@@ -1,0 +1,1 @@
+bench/bench_common.ml: List Printf Sb7_core Sb7_harness Sb7_stm String

@@ -1,0 +1,1 @@
+bench/experiments.ml: Array Bench_common Hashtbl List Option Printf Sb7_core Sb7_harness Sb7_runtime Sb7_stm String Unix

@@ -1,0 +1,1 @@
+bench/main.ml: Array Bench_common Experiments List Micro Printf String Sys

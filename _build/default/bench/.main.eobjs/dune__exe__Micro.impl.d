@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Bechamel Bench_common Benchmark Hashtbl Instance Lazy List Measure Option Printf Sb7_core Sb7_runtime Sb7_stm Staged Test Time Toolkit

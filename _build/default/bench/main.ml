@@ -1,0 +1,71 @@
+(* Benchmark entry point: regenerates every table and figure of the
+   paper's evaluation (plus this reproduction's ablations).
+
+     dune exec bench/main.exe                 # everything, quick settings
+     dune exec bench/main.exe -- fig4         # one experiment
+     dune exec bench/main.exe -- --full all   # the paper's scale (slow)
+
+   Experiments: table2 fig3 fig4 table3 fig6 t1-astm ablation-index
+   ablation-cm ablation-stm micro all *)
+
+open Bench_common
+
+let experiments : (string * (settings -> unit)) list =
+  [
+    ("table2", Experiments.table2);
+    ("fig3", Experiments.fig3);
+    ("fig4", Experiments.fig4);
+    ("table3", Experiments.table3);
+    ("fig6", Experiments.fig6);
+    ("t1-astm", Experiments.t1_astm);
+    ("baseline", Experiments.baseline);
+    ("oplat", Experiments.oplat);
+    ("scaling", Experiments.scaling);
+    ("ablation-index", Experiments.ablation_index);
+    ("ablation-cm", Experiments.ablation_cm);
+    ("ablation-stm", Experiments.ablation_stm);
+    ("micro", (fun _ -> Micro.run ()));
+  ]
+
+let usage () =
+  Printf.eprintf
+    "usage: main.exe [--full] [--duration SECONDS] [--csv FILE] \
+     [EXPERIMENT...]\n\
+     experiments: %s all\n"
+    (String.concat " " (List.map fst experiments));
+  exit 2
+
+let csv_path = ref None
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let rec parse settings selected = function
+    | [] -> (settings, List.rev selected)
+    | "--full" :: rest -> parse full selected rest
+    | "--quick" :: rest -> parse quick selected rest
+    | "--duration" :: v :: rest -> (
+      match float_of_string_opt v with
+      | Some d -> parse { settings with duration = d } selected rest
+      | None -> usage ())
+    | "--csv" :: path :: rest ->
+      csv_path := Some path;
+      parse settings selected rest
+    | "all" :: rest ->
+      parse settings (List.rev_map fst experiments @ selected) rest
+    | name :: rest when List.mem_assoc name experiments ->
+      parse settings (name :: selected) rest
+    | _ -> usage ()
+  in
+  let settings, selected = parse quick [] args in
+  let selected = if selected = [] then List.map fst experiments else selected in
+  Printf.printf
+    "STMBench7 experiment harness — scale=%s, %.1fs per point, threads={%s}\n"
+    settings.scale_name settings.duration
+    (String.concat "," (List.map string_of_int settings.threads));
+  Printf.printf
+    "(single-CPU containers time-slice domains: expect contention effects, \
+     not parallel speedup)\n%!";
+  List.iter (fun name -> (List.assoc name experiments) settings) selected;
+  match !csv_path with
+  | None -> ()
+  | Some path -> dump_csv path

@@ -1,0 +1,90 @@
+(* Bechamel micro-benchmarks of the operation kernels under the
+   sequential runtime: the per-operation costs that the macro figures
+   aggregate. One Test.make per operation family. *)
+
+open Bechamel
+open Toolkit
+module Seq = Sb7_runtime.Seq_runtime
+module I = Sb7_core.Instance.Make (Seq)
+module P = Sb7_core.Parameters
+
+let setup = lazy (I.Setup.create ~seed:42 P.tiny)
+
+let op_test code =
+  let rng = Sb7_core.Sb_random.create ~seed:13 in
+  Test.make ~name:code
+    (Staged.stage (fun () ->
+         let setup = Lazy.force setup in
+         let op =
+           match I.Operation.by_code code with
+           | Some op -> op
+           | None -> assert false
+         in
+         match op.I.Operation.run rng setup with
+         | (_ : int) -> ()
+         | exception Sb7_core.Common.Operation_failed _ -> ()))
+
+let text_tests =
+  let doc = Sb7_core.Text.generate ~phrase:"I am documentation. " ~size:2_000 in
+  [
+    Test.make ~name:"count_char"
+      (Staged.stage (fun () -> ignore (Sb7_core.Text.count_char doc 'I')));
+    Test.make ~name:"toggle_i_am"
+      (Staged.stage (fun () -> ignore (Sb7_core.Text.toggle_i_am doc)));
+  ]
+
+let stm_tests =
+  let tv = Sb7_stm.Tl2.make 0 in
+  let atv = Sb7_stm.Astm.make 0 in
+  [
+    Test.make ~name:"tl2-rw-txn"
+      (Staged.stage (fun () ->
+           Sb7_stm.Tl2.atomic (fun () ->
+               Sb7_stm.Tl2.write tv (Sb7_stm.Tl2.read tv + 1))));
+    Test.make ~name:"astm-rw-txn"
+      (Staged.stage (fun () ->
+           Sb7_stm.Astm.atomic (fun () ->
+               Sb7_stm.Astm.write atv (Sb7_stm.Astm.read atv + 1))));
+  ]
+
+let tests () =
+  Test.make_grouped ~name:"kernels"
+    ([
+       op_test "ST1";
+       op_test "ST3";
+       op_test "OP1";
+       op_test "OP2";
+       op_test "OP7";
+       op_test "T1";
+       op_test "T6";
+       op_test "Q6";
+       op_test "SM3";
+     ]
+    @ text_tests @ stm_tests)
+
+let run () =
+  Bench_common.print_header
+    "Micro-benchmarks — per-operation kernel cost (sequential runtime, \
+     tiny scale)";
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None ()
+  in
+  let raw = Benchmark.all cfg instances (tests ()) in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
+  let rows = List.sort (fun (a, _) (b, _) -> compare a b) rows in
+  Printf.printf "%-28s %18s %10s\n" "kernel" "time/run [ns]" "r^2";
+  List.iter
+    (fun (name, ols) ->
+      let estimate =
+        match Analyze.OLS.estimates ols with
+        | Some (t :: _) -> t
+        | _ -> nan
+      in
+      let r2 = Option.value (Analyze.OLS.r_square ols) ~default:nan in
+      Printf.printf "%-28s %18.1f %10.4f\n" name estimate r2)
+    rows

@@ -1,0 +1,1 @@
+examples/cad_session.ml: Atomic Domain Format List Sb7_core Sb7_runtime Unix

@@ -1,0 +1,1 @@
+examples/cad_session.mli:

@@ -1,0 +1,1 @@
+examples/compare_strategies.ml: Format List Sb7_core Sb7_harness

@@ -1,0 +1,1 @@
+examples/custom_stm.ml: Atomic Format List Mutex Sb7_core Sb7_harness Sb7_runtime

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format List Sb7_core Sb7_harness Sb7_runtime

@@ -1,0 +1,1 @@
+examples/snapshot_analytics.ml: Atomic Domain Format List Sb7_core Sb7_harness Sb7_runtime Unix

@@ -1,0 +1,1 @@
+examples/stm_playground.ml: Array Atomic Domain Format List Sb7_core Sb7_stm Unix

@@ -1,0 +1,89 @@
+(* A CAD working-session simulation — the application class OO7 and
+   STMBench7 model (paper §1: "CAD, CAM or CASE software").
+
+   A small design team works concurrently on one shared design under
+   the medium-grained locking strategy:
+   - browsers navigate the assembly hierarchy and inspect parts
+     (short traversals / short operations);
+   - editors tweak part attributes and documentation (update
+     operations);
+   - a librarian occasionally restructures the design (structure
+     modifications);
+   - a nightly "design-rule check" sweeps the whole design (a long
+     traversal).
+
+     dune exec examples/cad_session.exe *)
+
+module R = Sb7_runtime.Medium_runtime
+module I = Sb7_core.Instance.Make (R)
+module P = Sb7_core.Parameters
+module Rand = Sb7_core.Sb_random
+
+let session_seconds = 2.0
+
+let run_op setup rng code =
+  match I.Operation.by_code code with
+  | None -> invalid_arg code
+  | Some op -> (
+    match
+      R.atomic ~profile:op.I.Operation.profile (fun () ->
+          op.I.Operation.run rng setup)
+    with
+    | (_ : int) -> true
+    | exception Sb7_core.Common.Operation_failed _ -> false)
+
+(* Each role loops over its own operation mix until the session ends. *)
+let role ~name ~mix ~seed ~setup ~stop () =
+  let rng = Rand.create ~seed in
+  let done_ = ref 0 and failed = ref 0 in
+  while not (Atomic.get stop) do
+    let code = Rand.element rng mix in
+    if run_op setup rng code then incr done_ else incr failed
+  done;
+  (name, !done_, !failed)
+
+let () =
+  Format.printf "Building the shared design (small scale)...@.";
+  let setup = I.Setup.create ~seed:7 P.small in
+  let stop = Atomic.make false in
+  let roles =
+    [
+      (* Two browsers: inspect parts and assemblies. *)
+      ("browser-1", [ "ST1"; "ST2"; "ST3"; "OP1"; "OP6"; "OP7"; "OP8" ], 11);
+      ("browser-2", [ "ST1"; "ST4"; "ST9"; "OP2"; "OP4"; "OP5" ], 12);
+      (* Two editors: update part attributes and documentation. *)
+      ("editor-1", [ "ST6"; "ST7"; "OP9"; "OP13"; "OP14"; "ST1" ], 13);
+      ("editor-2", [ "ST10"; "OP10"; "OP12"; "OP15"; "ST2" ], 14);
+      (* The librarian: evolves the structure. *)
+      ("librarian", [ "SM1"; "SM2"; "SM3"; "SM4"; "SM5"; "SM6" ], 15);
+      (* The design-rule check: repeated full sweeps. *)
+      ("rule-check", [ "T1"; "Q6"; "T4" ], 16);
+    ]
+  in
+  Format.printf "Session running for %.1fs with %d concurrent roles...@."
+    session_seconds (List.length roles);
+  let domains =
+    List.map
+      (fun (name, mix, seed) ->
+        Domain.spawn (role ~name ~mix ~seed ~setup ~stop))
+      roles
+  in
+  Unix.sleepf session_seconds;
+  Atomic.set stop true;
+  let outcomes = List.map Domain.join domains in
+  Format.printf "@.%-12s %12s %12s@." "role" "completed" "failed";
+  List.iter
+    (fun (name, ok, failed) ->
+      Format.printf "%-12s %12d %12d@." name ok failed)
+    outcomes;
+
+  (* The concurrent session left the design consistent. *)
+  I.Invariants.check_exn setup;
+  Format.printf "@.Design invariants hold after the session.@.";
+  let census = I.Structure_stats.collect setup in
+  Format.printf "Final design census:@.  @[<v>%a@]@." I.Structure_stats.pp
+    census;
+  let lock_stats = R.stats () in
+  Format.printf "Lock statistics:";
+  List.iter (fun (k, v) -> Format.printf " %s=%d" k v) lock_stats;
+  Format.printf "@."

@@ -1,0 +1,1 @@
+lib/core/avl.ml: Option

@@ -1,0 +1,1 @@
+lib/core/avl_index.ml: Avl Index_intf Sb7_runtime

@@ -1,0 +1,1 @@
+lib/core/bag.ml: Common List Sb7_runtime Sb_random

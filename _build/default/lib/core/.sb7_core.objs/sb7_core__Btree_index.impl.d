@@ -1,0 +1,1 @@
+lib/core/btree_index.ml: Array Index_intf Sb7_runtime

@@ -1,0 +1,1 @@
+lib/core/common.ml: Printf

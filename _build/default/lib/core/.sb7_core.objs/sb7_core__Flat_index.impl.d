@@ -1,0 +1,1 @@
+lib/core/flat_index.ml: Array Index_intf Sb7_runtime

@@ -1,0 +1,1 @@
+lib/core/id_pool.ml: Common List Sb7_runtime

@@ -1,0 +1,1 @@
+lib/core/index.ml: Avl_index Btree_index Flat_index Index_intf Sb7_runtime

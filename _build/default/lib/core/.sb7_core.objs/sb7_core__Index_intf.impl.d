@@ -1,0 +1,1 @@
+lib/core/index_intf.ml: Printf String

@@ -1,0 +1,1 @@
+lib/core/invariants.ml: Hashtbl Index_intf List Parameters Printf Sb7_runtime Setup String Types

@@ -1,0 +1,1 @@
+lib/core/nav.ml: Common Hashtbl List Sb7_runtime Sb_random Setup Types

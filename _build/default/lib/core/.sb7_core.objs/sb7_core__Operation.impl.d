@@ -1,0 +1,1 @@
+lib/core/operation.ml: Category List Sb7_runtime Sb_random Setup Short_ops Short_traversals String Structure_mods Traversals

@@ -1,0 +1,1 @@
+lib/core/parameters.ml: Format List Printf String

@@ -1,0 +1,1 @@
+lib/core/sb_random.mli:

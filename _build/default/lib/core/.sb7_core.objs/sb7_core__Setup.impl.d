@@ -1,0 +1,1 @@
+lib/core/setup.ml: Array Bag Common Id_pool Index Index_intf Int List Option Parameters Printf Sb7_runtime Sb_random String Text Types

@@ -1,0 +1,1 @@
+lib/core/short_ops.ml: List Nav Parameters Sb7_runtime Setup Text Types

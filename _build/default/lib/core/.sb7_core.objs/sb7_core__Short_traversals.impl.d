@@ -1,0 +1,1 @@
+lib/core/short_traversals.ml: Common List Nav Sb7_runtime Sb_random Setup Text Types

@@ -1,0 +1,1 @@
+lib/core/structure_dot.ml: Format Hashtbl List Sb7_runtime Setup Types

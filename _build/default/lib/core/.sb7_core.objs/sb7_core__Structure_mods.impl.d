@@ -1,0 +1,1 @@
+lib/core/structure_mods.ml: Common List Nav Parameters Sb7_runtime Sb_random Setup Types

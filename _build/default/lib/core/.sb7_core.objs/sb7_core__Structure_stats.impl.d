@@ -1,0 +1,1 @@
+lib/core/structure_stats.ml: Format List Sb7_runtime Setup Types

@@ -1,0 +1,1 @@
+lib/core/text.ml: Buffer Printf String

@@ -1,0 +1,1 @@
+lib/core/traversals.ml: List Nav Sb7_runtime Sb_random Setup Text Types

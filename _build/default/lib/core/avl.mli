@@ -1,0 +1,31 @@
+(** Immutable AVL map with an explicit comparison function — the value
+    {!Avl_index} stores inside a single transactional variable, the
+    OCaml analogue of the original benchmark's [TreeMap] indexes.
+
+    The same comparison function must be passed to every operation on a
+    given tree. *)
+
+type ('k, 'v) t
+
+val empty : ('k, 'v) t
+val height : ('k, 'v) t -> int
+val add : ('k -> 'k -> int) -> 'k -> 'v -> ('k, 'v) t -> ('k, 'v) t
+val find : ('k -> 'k -> int) -> 'k -> ('k, 'v) t -> 'v option
+val mem : ('k -> 'k -> int) -> 'k -> ('k, 'v) t -> bool
+val remove : ('k -> 'k -> int) -> 'k -> ('k, 'v) t -> ('k, 'v) t
+val min_binding : ('k, 'v) t -> ('k * 'v) option
+
+(** In ascending key order. *)
+val iter : ('k -> 'v -> unit) -> ('k, 'v) t -> unit
+
+(** In ascending key order. *)
+val fold : ('k -> 'v -> 'acc -> 'acc) -> ('k, 'v) t -> 'acc -> 'acc
+
+val cardinal : ('k, 'v) t -> int
+
+(** Bindings with [lo <= key <= hi], in ascending key order. *)
+val range : ('k -> 'k -> int) -> 'k -> 'k -> ('k, 'v) t -> ('k * 'v) list
+
+(** Structural invariants (ordering, balance, cached heights), for
+    property tests. *)
+val well_formed : ('k -> 'k -> int) -> ('k, 'v) t -> bool

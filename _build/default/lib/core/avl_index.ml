@@ -1,0 +1,26 @@
+(** Index backed by an immutable AVL map held in a single transactional
+    variable — the analogue of the original benchmark's [TreeMap].
+    Under an object-granularity STM the whole index is one object, so
+    any update conflicts with every concurrent access: exactly the
+    configuration whose cost the paper's §5 analyses. *)
+
+module Make (R : Sb7_runtime.Runtime_intf.S) = struct
+  let create ~name ~cmp : ('k, 'v) Index_intf.t =
+    let root = R.make Avl.empty in
+    {
+      name;
+      get = (fun k -> Avl.find cmp k (R.read root));
+      put = (fun k v -> R.write root (Avl.add cmp k v (R.read root)));
+      remove =
+        (fun k ->
+          let t = R.read root in
+          if Avl.mem cmp k t then begin
+            R.write root (Avl.remove cmp k t);
+            true
+          end
+          else false);
+      range = (fun lo hi -> Avl.range cmp lo hi (R.read root));
+      iter = (fun f -> Avl.iter f (R.read root));
+      size = (fun () -> Avl.cardinal (R.read root));
+    }
+end

@@ -1,0 +1,234 @@
+(** Index backed by a B+tree in which every node lives in its own
+    transactional variable. Concurrent transactions conflict only when
+    they touch the same node, so updates to distinct key regions can
+    commit in parallel — the "implement the indexes manually, using
+    B-trees, with each node synchronized separately" fix proposed in
+    §5 of the paper.
+
+    Deletions remove keys from leaves without rebalancing (the tree can
+    only lose height via an emptied root child); the benchmark's
+    workloads delete at most as many keys as they insert, so the tree
+    stays within a constant factor of balanced. *)
+
+module Make (R : Sb7_runtime.Runtime_intf.S) = struct
+  let max_keys = 16
+
+  type ('k, 'v) node =
+    | Leaf of ('k * 'v) array
+    | Internal of 'k array * ('k, 'v) node R.tvar array
+        (* [Internal (seps, children)]: [Array.length children =
+           Array.length seps + 1]; child [i] holds keys < [seps.(i)],
+           the last child holds keys >= the last separator. *)
+
+  let child_for cmp seps k =
+    let n = Array.length seps in
+    let rec scan i = if i < n && cmp k seps.(i) >= 0 then scan (i + 1) else i in
+    scan 0
+
+  let leaf_search cmp arr k =
+    let lo = ref 0 and hi = ref (Array.length arr) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if cmp (fst arr.(mid)) k < 0 then lo := mid + 1 else hi := mid
+    done;
+    !lo
+
+  let rec find cmp nref k =
+    match R.read nref with
+    | Leaf arr ->
+      let i = leaf_search cmp arr k in
+      if i < Array.length arr && cmp (fst arr.(i)) k = 0 then Some (snd arr.(i))
+      else None
+    | Internal (seps, children) -> find cmp children.(child_for cmp seps k) k
+
+  let insert_leaf cmp arr k v =
+    let i = leaf_search cmp arr k in
+    if i < Array.length arr && cmp (fst arr.(i)) k = 0 then begin
+      let copy = Array.copy arr in
+      copy.(i) <- (k, v);
+      copy
+    end
+    else begin
+      let n = Array.length arr in
+      let copy = Array.make (n + 1) (k, v) in
+      Array.blit arr 0 copy 0 i;
+      Array.blit arr i copy (i + 1) (n - i);
+      copy
+    end
+
+  (* Returns [Some (separator, right_node)] if the node split. *)
+  let rec insert cmp nref k v =
+    match R.read nref with
+    | Leaf arr ->
+      let arr = insert_leaf cmp arr k v in
+      if Array.length arr <= max_keys then begin
+        R.write nref (Leaf arr);
+        None
+      end
+      else begin
+        let mid = Array.length arr / 2 in
+        let left = Array.sub arr 0 mid in
+        let right = Array.sub arr mid (Array.length arr - mid) in
+        R.write nref (Leaf left);
+        Some (fst right.(0), Leaf right)
+      end
+    | Internal (seps, children) -> (
+      let ci = child_for cmp seps k in
+      match insert cmp children.(ci) k v with
+      | None -> None
+      | Some (sep, right_node) ->
+        let right_ref = R.make right_node in
+        let nseps = Array.length seps in
+        let seps' = Array.make (nseps + 1) sep in
+        Array.blit seps 0 seps' 0 ci;
+        Array.blit seps ci seps' (ci + 1) (nseps - ci);
+        let children' = Array.make (nseps + 2) right_ref in
+        Array.blit children 0 children' 0 (ci + 1);
+        Array.blit children (ci + 1) children' (ci + 2) (nseps - ci);
+        if Array.length seps' <= max_keys then begin
+          R.write nref (Internal (seps', children'));
+          None
+        end
+        else begin
+          let mid = Array.length seps' / 2 in
+          let sep_up = seps'.(mid) in
+          let lseps = Array.sub seps' 0 mid in
+          let rseps = Array.sub seps' (mid + 1) (Array.length seps' - mid - 1) in
+          let lchildren = Array.sub children' 0 (mid + 1) in
+          let rchildren =
+            Array.sub children' (mid + 1) (Array.length children' - mid - 1)
+          in
+          R.write nref (Internal (lseps, lchildren));
+          Some (sep_up, Internal (rseps, rchildren))
+        end)
+
+  let rec remove cmp nref k =
+    match R.read nref with
+    | Leaf arr ->
+      let i = leaf_search cmp arr k in
+      if i < Array.length arr && cmp (fst arr.(i)) k = 0 then begin
+        let n = Array.length arr in
+        let copy = Array.make (n - 1) (k, snd arr.(i)) in
+        Array.blit arr 0 copy 0 i;
+        Array.blit arr (i + 1) copy i (n - i - 1);
+        R.write nref (Leaf copy);
+        true
+      end
+      else false
+    | Internal (seps, children) -> remove cmp children.(child_for cmp seps k) k
+
+  let rec iter f nref =
+    match R.read nref with
+    | Leaf arr -> Array.iter (fun (k, v) -> f k v) arr
+    | Internal (_, children) -> Array.iter (iter f) children
+
+  let rec range cmp lo hi nref acc =
+    match R.read nref with
+    | Leaf arr ->
+      let n = Array.length arr in
+      let rec collect i acc =
+        if i < 0 then acc
+        else begin
+          let k, v = arr.(i) in
+          if cmp k lo < 0 then acc
+          else if cmp k hi > 0 then collect (i - 1) acc
+          else collect (i - 1) ((k, v) :: acc)
+        end
+      in
+      collect (n - 1) acc
+    | Internal (seps, children) ->
+      (* Child [i] spans [seps.(i-1), seps.(i)); recurse into those
+         intersecting [lo, hi], right to left to build ascending acc. *)
+      let n = Array.length children in
+      let rec visit i acc =
+        if i < 0 then acc
+        else begin
+          let min_ok = i = 0 || cmp seps.(i - 1) hi <= 0 in
+          let max_ok = i = n - 1 || cmp lo seps.(i) < 0 in
+          let acc =
+            if min_ok && max_ok then range cmp lo hi children.(i) acc else acc
+          in
+          visit (i - 1) acc
+        end
+      in
+      visit (n - 1) acc
+
+  let rec count nref =
+    match R.read nref with
+    | Leaf arr -> Array.length arr
+    | Internal (_, children) ->
+      Array.fold_left (fun acc c -> acc + count c) 0 children
+
+  (** Structural invariants, for property tests: key ordering within and
+      across nodes, and node occupancy. *)
+  let well_formed cmp root_ref =
+    let sorted_within arr =
+      let ok = ref true in
+      for i = 0 to Array.length arr - 2 do
+        if cmp (fst arr.(i)) (fst arr.(i + 1)) >= 0 then ok := false
+      done;
+      !ok
+    in
+    let rec check nref lo hi =
+      let in_bounds k =
+        (match lo with None -> true | Some l -> cmp k l >= 0)
+        && match hi with None -> true | Some h -> cmp k h < 0
+      in
+      match R.read nref with
+      | Leaf arr -> sorted_within arr && Array.for_all (fun (k, _) -> in_bounds k) arr
+      | Internal (seps, children) ->
+        Array.length children = Array.length seps + 1
+        && Array.length seps <= max_keys
+        && Array.for_all in_bounds seps
+        && begin
+             let ok = ref true in
+             for i = 0 to Array.length seps - 2 do
+               if cmp seps.(i) seps.(i + 1) >= 0 then ok := false
+             done;
+             !ok
+           end
+        && begin
+             let n = Array.length children in
+             let ok = ref true in
+             for i = 0 to n - 1 do
+               let lo' = if i = 0 then lo else Some seps.(i - 1) in
+               let hi' = if i = n - 1 then hi else Some seps.(i) in
+               if not (check children.(i) lo' hi') then ok := false
+             done;
+             !ok
+           end
+    in
+    check root_ref None None
+
+  (** Returns the index together with its structural-invariant checker
+      (used by the property tests). *)
+  let create_with_check ~name ~cmp : ('k, 'v) Index_intf.t * (unit -> bool) =
+    let root = R.make (Leaf [||]) in
+    let root_ref = R.make root in
+    let put k v =
+      let r = R.read root_ref in
+      match insert cmp r k v with
+      | None -> ()
+      | Some (sep, right_node) ->
+        (* Root split: [insert] left the low half in [r]; keep the root
+           tvar stable by moving both halves into fresh children. *)
+        let left_ref = R.make (R.read r) in
+        let right_ref = R.make right_node in
+        R.write r (Internal ([| sep |], [| left_ref; right_ref |]))
+    in
+    let index : ('k, 'v) Index_intf.t =
+      {
+        name;
+        get = (fun k -> find cmp (R.read root_ref) k);
+        put;
+        remove = (fun k -> remove cmp (R.read root_ref) k);
+        range = (fun lo hi -> range cmp lo hi (R.read root_ref) []);
+        iter = (fun f -> iter f (R.read root_ref));
+        size = (fun () -> count (R.read root_ref));
+      }
+    in
+    (index, fun () -> well_formed cmp (R.read root_ref))
+
+  let create ~name ~cmp : ('k, 'v) Index_intf.t =
+    fst (create_with_check ~name ~cmp)
+end

@@ -1,0 +1,19 @@
+(** The four operation categories of STMBench7 (paper §3). *)
+
+type t =
+  | Long_traversal
+  | Short_traversal
+  | Short_operation
+  | Structure_modification
+
+let all =
+  [ Long_traversal; Short_traversal; Short_operation; Structure_modification ]
+
+let to_string = function
+  | Long_traversal -> "long-traversal"
+  | Short_traversal -> "short-traversal"
+  | Short_operation -> "short-operation"
+  | Structure_modification -> "structure-modification"
+
+let compare = Stdlib.compare
+let equal a b = compare a b = 0

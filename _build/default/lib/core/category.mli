@@ -1,0 +1,12 @@
+(** The four operation categories of STMBench7 (paper §3). *)
+
+type t =
+  | Long_traversal
+  | Short_traversal
+  | Short_operation
+  | Structure_modification
+
+val all : t list
+val to_string : t -> string
+val compare : t -> t -> int
+val equal : t -> t -> bool

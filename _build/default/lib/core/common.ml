@@ -1,0 +1,10 @@
+(** Shared definitions for the benchmark core. *)
+
+(** Raised by an operation that cannot proceed, per the STMBench7
+    specification (e.g. a random-ID index lookup misses, an ID pool is
+    exhausted, or a structural precondition fails). The benchmark
+    counts these as failed operations; they are normal behaviour, not
+    errors. *)
+exception Operation_failed of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Operation_failed s)) fmt

@@ -1,0 +1,76 @@
+(** Index backed by a sorted array of bindings held in a single
+    transactional variable. Every update allocates and fills a complete
+    copy of the array, making the "object-level logging copies the whole
+    big object" cost of the paper physically real for every runtime —
+    the worst-case index representation, used by the ablation bench. *)
+
+module Make (R : Sb7_runtime.Runtime_intf.S) = struct
+  (* Binary search for the insertion point of [k] (first index with
+     key >= k). *)
+  let search cmp (arr : ('k * 'v) array) k =
+    let lo = ref 0 and hi = ref (Array.length arr) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if cmp (fst arr.(mid)) k < 0 then lo := mid + 1 else hi := mid
+    done;
+    !lo
+
+  let found cmp arr k i = i < Array.length arr && cmp (fst arr.(i)) k = 0
+
+  let create ~name ~cmp : ('k, 'v) Index_intf.t =
+    let cells = R.make [||] in
+    {
+      name;
+      get =
+        (fun k ->
+          let arr = R.read cells in
+          let i = search cmp arr k in
+          if found cmp arr k i then Some (snd arr.(i)) else None);
+      put =
+        (fun k v ->
+          let arr = R.read cells in
+          let i = search cmp arr k in
+          if found cmp arr k i then begin
+            let copy = Array.copy arr in
+            copy.(i) <- (k, v);
+            R.write cells copy
+          end
+          else begin
+            let n = Array.length arr in
+            let copy = Array.make (n + 1) (k, v) in
+            Array.blit arr 0 copy 0 i;
+            Array.blit arr i copy (i + 1) (n - i);
+            R.write cells copy
+          end);
+      remove =
+        (fun k ->
+          let arr = R.read cells in
+          let i = search cmp arr k in
+          if found cmp arr k i then begin
+            let n = Array.length arr in
+            let copy = Array.make (n - 1) arr.(0) in
+            Array.blit arr 0 copy 0 i;
+            Array.blit arr (i + 1) copy i (n - i - 1);
+            R.write cells copy;
+            true
+          end
+          else false);
+      range =
+        (fun lo hi ->
+          let arr = R.read cells in
+          let start = search cmp arr lo in
+          let rec collect i acc =
+            if i >= start then collect (i - 1) (arr.(i) :: acc) else acc
+          in
+          let stop = ref start in
+          while !stop < Array.length arr && cmp (fst arr.(!stop)) hi <= 0 do
+            incr stop
+          done;
+          collect (!stop - 1) []);
+      iter =
+        (fun f ->
+          let arr = R.read cells in
+          Array.iter (fun (k, v) -> f k v) arr);
+      size = (fun () -> Array.length (R.read cells));
+    }
+end

@@ -1,0 +1,13 @@
+(** Index construction dispatching on {!Index_intf.kind}. *)
+
+module Make (R : Sb7_runtime.Runtime_intf.S) = struct
+  module Avl_i = Avl_index.Make (R)
+  module Flat_i = Flat_index.Make (R)
+  module Btree_i = Btree_index.Make (R)
+
+  let create (kind : Index_intf.kind) ~name ~cmp : ('k, 'v) Index_intf.t =
+    match kind with
+    | Avl -> Avl_i.create ~name ~cmp
+    | Flat -> Flat_i.create ~name ~cmp
+    | Btree -> Btree_i.create ~name ~cmp
+end

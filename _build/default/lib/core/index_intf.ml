@@ -1,0 +1,40 @@
+(** First-class index values (Table 1 of the paper lists the six index
+    instances the benchmark maintains).
+
+    An index is a record of closures so the implementation — and hence
+    its conflict granularity under an STM — can be chosen per benchmark
+    run: see {!Avl_index} (one big object, the default, matching the
+    original's [TreeMap]), {!Flat_index} (one big object whose every
+    update physically copies the whole payload) and {!Btree_index}
+    (one transactional variable per node — the per-node-synchronized
+    B-tree the paper's §5 proposes as the scalable fix). *)
+
+type ('k, 'v) t = {
+  name : string;
+  get : 'k -> 'v option;
+  put : 'k -> 'v -> unit;
+  remove : 'k -> bool;  (** true if the key was present *)
+  range : 'k -> 'k -> ('k * 'v) list;
+      (** bindings with key in the inclusive range, ascending *)
+  iter : ('k -> 'v -> unit) -> unit;  (** ascending key order *)
+  size : unit -> int;
+}
+
+type kind =
+  | Avl  (** functional AVL map in a single tvar *)
+  | Flat  (** sorted array in a single tvar; updates copy it entirely *)
+  | Btree  (** B+tree with a tvar per node *)
+
+let kind_to_string = function
+  | Avl -> "avl"
+  | Flat -> "flat"
+  | Btree -> "btree"
+
+let kind_of_string s =
+  match String.lowercase_ascii s with
+  | "avl" -> Ok Avl
+  | "flat" -> Ok Flat
+  | "btree" -> Ok Btree
+  | other -> Error (Printf.sprintf "unknown index kind %S" other)
+
+let all_kinds = [ Avl; Flat; Btree ]

@@ -1,0 +1,230 @@
+(** Structural-consistency checker for the benchmark state.
+
+    Walks the whole object graph and cross-checks it against the six
+    indexes, the ID pools and the construction rules. Used by the
+    integration tests after mixed random runs (single- and
+    multi-threaded) to establish that operations preserve every
+    invariant, and available to library users as a debugging aid.
+
+    Checks are read-only; run them quiesced (no concurrent writers) or
+    inside one [R.atomic] transaction. *)
+
+module Make (R : Sb7_runtime.Runtime_intf.S) = struct
+  module T = Types.Make (R)
+  module S = Setup.Make (R)
+
+  type violation = string
+
+  let check (setup : S.t) : violation list =
+    let violations = ref [] in
+    let bad fmt =
+      Printf.ksprintf (fun s -> violations := s :: !violations) fmt
+    in
+
+    let params = setup.S.params in
+    let root = setup.S.module_.T.mod_design_root in
+
+    (* -- Assembly tree: levels, parent links, child counts -- *)
+    if root.T.ca_level <> params.Parameters.num_assm_levels then
+      bad "root level %d <> %d" root.T.ca_level params.num_assm_levels;
+    if root.T.ca_super <> None then bad "root has a parent";
+
+    let live_cas = Hashtbl.create 64 in
+    let live_bas = Hashtbl.create 64 in
+    let rec walk (ca : T.complex_assembly) =
+      if Hashtbl.mem live_cas ca.T.ca_id then
+        bad "complex assembly %d appears twice in the tree" ca.T.ca_id;
+      Hashtbl.replace live_cas ca.T.ca_id ca;
+      let children = R.read ca.T.ca_sub in
+      if children = [] then bad "complex assembly %d has no children" ca.T.ca_id;
+      List.iter
+        (function
+          | T.Complex child ->
+            if child.T.ca_level <> ca.T.ca_level - 1 then
+              bad "complex assembly %d at level %d under level %d"
+                child.T.ca_id child.T.ca_level ca.T.ca_level;
+            (match child.T.ca_super with
+            | Some p when p.T.ca_id = ca.T.ca_id -> ()
+            | _ -> bad "complex assembly %d has wrong parent" child.T.ca_id);
+            walk child
+          | T.Base b ->
+            if ca.T.ca_level <> 2 then
+              bad "base assembly %d under level-%d assembly" b.T.ba_id
+                ca.T.ca_level;
+            (match b.T.ba_super with
+            | Some p when p.T.ca_id = ca.T.ca_id -> ()
+            | _ -> bad "base assembly %d has wrong parent" b.T.ba_id);
+            if Hashtbl.mem live_bas b.T.ba_id then
+              bad "base assembly %d appears twice in the tree" b.T.ba_id;
+            Hashtbl.replace live_bas b.T.ba_id b)
+        children
+    in
+    walk root;
+
+    (* -- Assembly indexes match the tree -- *)
+    let check_index name index live =
+      let seen = ref 0 in
+      index.Index_intf.iter (fun id _ ->
+          incr seen;
+          if not (Hashtbl.mem live id) then
+            bad "%s index contains %d which is not in the tree" name id);
+      if !seen <> Hashtbl.length live then
+        bad "%s index has %d entries, tree has %d" name !seen
+          (Hashtbl.length live)
+    in
+    check_index "complex-assembly" setup.S.ca_id_index live_cas;
+    check_index "base-assembly" setup.S.ba_id_index live_bas;
+
+    (* -- Composite parts: library index is authoritative -- *)
+    let live_cps = Hashtbl.create 64 in
+    setup.S.cp_id_index.iter (fun id cp ->
+        if id <> cp.T.cp_id then bad "composite part %d indexed under %d" cp.T.cp_id id;
+        Hashtbl.replace live_cps id cp);
+
+    (* Bags are symmetric: ba.components multiset matches cp.used_in. *)
+    let count_in eq x l = List.length (List.filter (eq x) l) in
+    Hashtbl.iter
+      (fun _ (ba : T.base_assembly) ->
+        List.iter
+          (fun (cp : T.composite_part) ->
+            if not (Hashtbl.mem live_cps cp.T.cp_id) then
+              bad "base assembly %d links dead composite part %d" ba.T.ba_id
+                cp.T.cp_id
+            else begin
+              let here =
+                count_in
+                  (fun (a : T.composite_part) b -> a.T.cp_id = b.T.cp_id)
+                  cp (R.read ba.T.ba_components)
+              in
+              let there =
+                count_in
+                  (fun (a : T.base_assembly) b -> a.T.ba_id = b.T.ba_id)
+                  ba (R.read cp.T.cp_used_in)
+              in
+              if here <> there then
+                bad "link multiplicity mismatch ba %d <-> cp %d (%d vs %d)"
+                  ba.T.ba_id cp.T.cp_id here there
+            end)
+          (R.read ba.T.ba_components))
+      live_bas;
+    Hashtbl.iter
+      (fun _ (cp : T.composite_part) ->
+        List.iter
+          (fun (ba : T.base_assembly) ->
+            if not (Hashtbl.mem live_bas ba.T.ba_id) then
+              bad "composite part %d used in dead base assembly %d"
+                cp.T.cp_id ba.T.ba_id)
+          (R.read cp.T.cp_used_in))
+      live_cps;
+
+    (* -- Atomic parts: per-composite graphs and the two indexes -- *)
+    let live_aps = Hashtbl.create 256 in
+    Hashtbl.iter
+      (fun _ (cp : T.composite_part) ->
+        let parts = R.read cp.T.cp_parts in
+        if List.length parts <> params.num_atomic_per_comp then
+          bad "composite part %d has %d atomic parts (expected %d)"
+            cp.T.cp_id (List.length parts) params.num_atomic_per_comp;
+        let local = Hashtbl.create 64 in
+        List.iter
+          (fun (p : T.atomic_part) ->
+            if Hashtbl.mem live_aps p.T.ap_id then
+              bad "atomic part %d belongs to two composite parts" p.T.ap_id;
+            Hashtbl.replace live_aps p.T.ap_id p;
+            Hashtbl.replace local p.T.ap_id ();
+            match p.T.ap_part_of with
+            | Some owner when owner.T.cp_id = cp.T.cp_id -> ()
+            | _ -> bad "atomic part %d has wrong owner" p.T.ap_id)
+          parts;
+        (* Root part belongs to the graph, and the graph is connected:
+           a DFS from the root reaches every part. *)
+        let rp = R.read cp.T.cp_root_part in
+        if not (Hashtbl.mem local rp.T.ap_id) then
+          bad "root part %d of composite %d not among its parts" rp.T.ap_id
+            cp.T.cp_id;
+        let visited = Hashtbl.create 64 in
+        let rec dfs (p : T.atomic_part) =
+          if not (Hashtbl.mem visited p.T.ap_id) then begin
+            Hashtbl.replace visited p.T.ap_id ();
+            List.iter
+              (fun (c : T.connection) ->
+                if c.T.conn_from.T.ap_id <> p.T.ap_id then
+                  bad "connection from-link broken at part %d" p.T.ap_id;
+                if not (Hashtbl.mem local c.T.conn_to.T.ap_id) then
+                  bad "connection from %d leaves composite part %d"
+                    p.T.ap_id cp.T.cp_id
+                else dfs c.T.conn_to)
+              (R.read p.T.ap_to)
+          end
+        in
+        dfs rp;
+        if Hashtbl.length visited <> List.length parts then
+          bad "atomic-part graph of composite %d not connected (%d/%d)"
+            cp.T.cp_id (Hashtbl.length visited) (List.length parts))
+      live_cps;
+
+    let ap_index_size = setup.S.ap_id_index.size () in
+    if ap_index_size <> Hashtbl.length live_aps then
+      bad "atomic-part index has %d entries, structure has %d" ap_index_size
+        (Hashtbl.length live_aps);
+    setup.S.ap_id_index.iter (fun id p ->
+        if p.T.ap_id <> id then bad "atomic part %d indexed under %d" p.T.ap_id id;
+        if not (Hashtbl.mem live_aps id) then
+          bad "atomic-part index contains dead part %d" id);
+
+    (* Build-date index: buckets hold exactly the live parts with that
+       date. *)
+    let date_count = ref 0 in
+    setup.S.ap_date_index.iter (fun date bucket ->
+        if bucket = [] then bad "empty date bucket %d" date;
+        List.iter
+          (fun (p : T.atomic_part) ->
+            incr date_count;
+            if not (Hashtbl.mem live_aps p.T.ap_id) then
+              bad "date index holds dead part %d" p.T.ap_id
+            else if R.read p.T.ap_build_date <> date then
+              bad "part %d in bucket %d but has date %d" p.T.ap_id date
+                (R.read p.T.ap_build_date))
+          bucket);
+    if !date_count <> Hashtbl.length live_aps then
+      bad "date index holds %d parts, structure has %d" !date_count
+        (Hashtbl.length live_aps);
+
+    (* -- Documents -- *)
+    let doc_count = ref 0 in
+    setup.S.doc_title_index.iter (fun title doc ->
+        incr doc_count;
+        if not (String.equal doc.T.doc_title title) then
+          bad "document %S indexed under %S" doc.T.doc_title title;
+        match doc.T.doc_part with
+        | Some cp when Hashtbl.mem live_cps cp.T.cp_id ->
+          if cp.T.cp_document != doc then
+            bad "document of composite %d is not the indexed one" cp.T.cp_id
+        | _ -> bad "document %S attached to a dead composite part" title);
+    if !doc_count <> Hashtbl.length live_cps then
+      bad "document index has %d entries, %d composite parts live"
+        !doc_count (Hashtbl.length live_cps);
+
+    (* -- ID pools: free + live = capacity, and no live ID is free -- *)
+    let check_pool name pool live_count =
+      let available = S.Pool.available pool in
+      if available + live_count <> S.Pool.capacity pool then
+        bad "%s pool: %d free + %d live <> capacity %d" name available
+          live_count (S.Pool.capacity pool)
+    in
+    check_pool "atomic-part" setup.S.ap_pool (Hashtbl.length live_aps);
+    check_pool "composite-part" setup.S.cp_pool (Hashtbl.length live_cps);
+    check_pool "base-assembly" setup.S.ba_pool (Hashtbl.length live_bas);
+    check_pool "complex-assembly" setup.S.ca_pool (Hashtbl.length live_cas);
+
+    List.rev !violations
+
+  (** Convenience wrapper raising on the first violation set. *)
+  let check_exn setup =
+    match check setup with
+    | [] -> ()
+    | vs ->
+      failwith
+        (Printf.sprintf "structure invariants violated:\n  %s"
+           (String.concat "\n  " vs))
+end

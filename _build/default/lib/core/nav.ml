@@ -1,0 +1,122 @@
+(** Shared traversal helpers over the object graph. *)
+
+module Make (R : Sb7_runtime.Runtime_intf.S) = struct
+  module T = Types.Make (R)
+  module S = Setup.Make (R)
+
+  (** Depth-first search over a composite part's atomic-part graph,
+      following outgoing connections from the root part; [f] is applied
+      to each part exactly once. Returns the number of parts visited
+      (always the whole graph: construction guarantees connectivity). *)
+  let dfs_atomic_graph (root : T.atomic_part) f =
+    let visited = Hashtbl.create 64 in
+    let rec go (part : T.atomic_part) =
+      if not (Hashtbl.mem visited part.T.ap_id) then begin
+        Hashtbl.add visited part.T.ap_id ();
+        f part;
+        List.iter (fun (c : T.connection) -> go c.T.conn_to) (R.read part.T.ap_to)
+      end
+    in
+    go root;
+    Hashtbl.length visited
+
+  (** Depth-first walk of the assembly tree from [root]. *)
+  let rec iter_assemblies (root : T.complex_assembly) ~on_complex ~on_base =
+    on_complex root;
+    List.iter
+      (function
+        | T.Complex c -> iter_assemblies c ~on_complex ~on_base
+        | T.Base b -> on_base b)
+      (R.read root.T.ca_sub)
+
+  (** Apply [visit_cp] to every composite part of every base assembly,
+      depth-first from the design root — once per (assembly, part)
+      reference, as composite parts are shared. Returns the summed
+      results. *)
+  let traverse_composite_parts setup visit_cp =
+    let total = ref 0 in
+    iter_assemblies setup.S.module_.T.mod_design_root
+      ~on_complex:(fun _ -> ())
+      ~on_base:(fun ba ->
+        List.iter
+          (fun cp -> total := !total + visit_cp cp)
+          (R.read ba.T.ba_components));
+    !total
+
+  (** Random root-to-base-assembly descent (the ST1/ST2 path). *)
+  let rec descend_random rng (a : T.assembly) : T.base_assembly =
+    match a with
+    | T.Base ba -> ba
+    | T.Complex ca -> (
+      match R.read ca.T.ca_sub with
+      | [] -> Common.fail "descent reached a childless complex assembly"
+      | children -> descend_random rng (Sb_random.element rng children))
+
+  let random_base_assembly rng setup =
+    descend_random rng (T.Complex setup.S.module_.T.mod_design_root)
+
+  (** The base assembly's random composite part, or operation failure if
+      it has none (the specified ST1/ST2 failure mode). *)
+  let random_component rng (ba : T.base_assembly) =
+    match R.read ba.T.ba_components with
+    | [] -> Common.fail "base assembly %d has no composite parts" ba.T.ba_id
+    | components -> Sb_random.element rng components
+
+  (** Walk from [start] up through ascendant complex assemblies to the
+      root, visiting each at most once (the ST3 bottom-up traversal);
+      [f] is applied per first visit. Returns the visit count. *)
+  let ascend_complex_assemblies (bas : T.base_assembly list) f =
+    let visited = Hashtbl.create 16 in
+    let rec up (ca : T.complex_assembly option) =
+      match ca with
+      | None -> ()
+      | Some c ->
+        if not (Hashtbl.mem visited c.T.ca_id) then begin
+          Hashtbl.add visited c.T.ca_id ();
+          f c;
+          up c.T.ca_super
+        end
+    in
+    List.iter (fun (ba : T.base_assembly) -> up ba.T.ba_super) bas;
+    Hashtbl.length visited
+
+  (* Random existing-or-not IDs, drawn over each pool's full capacity:
+     lookups miss when the ID is currently unused — the specified
+     failure mode of the index-based operations. *)
+
+  let random_atomic_part_id rng setup =
+    Sb_random.in_range rng 1 (S.Pool.capacity setup.S.ap_pool)
+
+  let random_composite_part_id rng setup =
+    Sb_random.in_range rng 1 (S.Pool.capacity setup.S.cp_pool)
+
+  let random_base_assembly_id rng setup =
+    Sb_random.in_range rng 1 (S.Pool.capacity setup.S.ba_pool)
+
+  let random_complex_assembly_id rng setup =
+    Sb_random.in_range rng 1 (S.Pool.capacity setup.S.ca_pool)
+
+  let lookup_atomic_part rng setup =
+    let id = random_atomic_part_id rng setup in
+    match setup.S.ap_id_index.get id with
+    | Some p -> p
+    | None -> Common.fail "no atomic part with id %d" id
+
+  let lookup_composite_part rng setup =
+    let id = random_composite_part_id rng setup in
+    match setup.S.cp_id_index.get id with
+    | Some p -> p
+    | None -> Common.fail "no composite part with id %d" id
+
+  let lookup_base_assembly rng setup =
+    let id = random_base_assembly_id rng setup in
+    match setup.S.ba_id_index.get id with
+    | Some b -> b
+    | None -> Common.fail "no base assembly with id %d" id
+
+  let lookup_complex_assembly rng setup =
+    let id = random_complex_assembly_id rng setup in
+    match setup.S.ca_id_index.get id with
+    | Some c -> c
+    | None -> Common.fail "no complex assembly with id %d" id
+end

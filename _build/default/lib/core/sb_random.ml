@@ -1,0 +1,46 @@
+(** Deterministic, splittable pseudo-random generator (SplitMix64).
+
+    Each benchmark thread owns one generator split off a master seed, so
+    runs are reproducible for a given seed and thread count without any
+    synchronization on the generator state. *)
+
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix64 z =
+  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  Int64.(logxor z (shift_right_logical z 31))
+
+let next_int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix64 t.state
+
+let create ~seed = { state = Int64.of_int seed }
+
+(** A generator statistically independent of [t] (SplitMix split). *)
+let split t = { state = next_int64 t }
+
+let copy t = { state = t.state }
+
+(** Uniform integer in [0, bound); [bound] must be positive. *)
+let int t bound =
+  assert (bound > 0);
+  let r = Int64.to_int (next_int64 t) land max_int in
+  r mod bound
+
+(** Uniform integer in [lo, hi] inclusive. *)
+let in_range t lo hi =
+  assert (lo <= hi);
+  lo + int t (hi - lo + 1)
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+(** True with probability [percent]/100. *)
+let percent t percent = int t 100 < percent
+
+(** A random element of a non-empty list. *)
+let element t = function
+  | [] -> invalid_arg "Sb_random.element: empty list"
+  | l -> List.nth l (int t (List.length l))

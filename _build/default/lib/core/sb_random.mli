@@ -1,0 +1,31 @@
+(** Deterministic, splittable pseudo-random generator (SplitMix64).
+
+    Each benchmark thread owns one generator split off a master seed, so
+    runs are reproducible for a given seed and thread count without any
+    synchronization on the generator state. *)
+
+type t
+
+val create : seed:int -> t
+
+(** A generator statistically independent of the parent (SplitMix
+    split); advances the parent. *)
+val split : t -> t
+
+(** An independent handle replaying the same stream from this point. *)
+val copy : t -> t
+
+(** Uniform integer in [0, bound); [bound] must be positive. *)
+val int : t -> int -> int
+
+(** Uniform integer in [lo, hi] inclusive; requires [lo <= hi]. *)
+val in_range : t -> int -> int -> int
+
+val bool : t -> bool
+
+(** True with probability [percent]/100. *)
+val percent : t -> int -> bool
+
+(** A uniformly random element of a non-empty list.
+    @raise Invalid_argument on an empty list. *)
+val element : t -> 'a list -> 'a

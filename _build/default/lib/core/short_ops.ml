@@ -1,0 +1,156 @@
+(** The fifteen short operations OP1–OP15 (paper Appendix B.2.3). *)
+
+module Make (R : Sb7_runtime.Runtime_intf.S) = struct
+  module T = Types.Make (R)
+  module S = Setup.Make (R)
+  module Nav = Nav.Make (R)
+
+  (* OP1/OP9/OP15 skeleton: 10 random atomic-part index lookups; misses
+     are skipped (OP1 "may process fewer than 10"), not failures. *)
+  let op1_like rng setup visit =
+    let processed = ref 0 in
+    for _ = 1 to 10 do
+      let id = Nav.random_atomic_part_id rng setup in
+      match setup.S.ap_id_index.get id with
+      | None -> ()
+      | Some part ->
+        visit part;
+        incr processed
+    done;
+    !processed
+
+  (** OP1 (Q1 in OO7): read 10 random atomic parts via the ID index. *)
+  let op1 rng setup =
+    op1_like rng setup (fun p -> ignore (T.touch_atomic_part p))
+
+  (** OP9: OP1 + non-indexed update on each part. *)
+  let op9 rng setup = op1_like rng setup T.swap_xy
+
+  (** OP15: OP1 + indexed build-date update on each part. *)
+  let op15 rng setup =
+    op1_like rng setup (fun p -> S.update_atomic_part_date setup p)
+
+  (* OP2/OP3/OP10 skeleton: build-date range query over the date
+     index. [span] counts dates included, ending at the maximum. *)
+  let date_range_like setup ~span visit =
+    let hi = setup.S.params.Parameters.max_atomic_date in
+    let lo = hi - span + 1 in
+    let processed = ref 0 in
+    List.iter
+      (fun (_, bucket) ->
+        List.iter
+          (fun part ->
+            visit part;
+            incr processed)
+          bucket)
+      (setup.S.ap_date_index.range lo hi);
+    !processed
+
+  (** OP2 (Q2 in OO7): parts with build date in the newest 1% of the
+      date range. *)
+  let op2 _rng setup =
+    date_range_like setup ~span:10 (fun p -> ignore (T.touch_atomic_part p))
+
+  (** OP3 (Q3 in OO7): same with a 10% range. *)
+  let op3 _rng setup =
+    date_range_like setup ~span:100 (fun p -> ignore (T.touch_atomic_part p))
+
+  (** OP10: OP2's range + non-indexed update on each part. *)
+  let op10 _rng setup = date_range_like setup ~span:10 T.swap_xy
+
+  (** OP4 (T8 in OO7): count 'I' occurrences in the manual. *)
+  let op4 _rng setup =
+    Text.count_char (R.read setup.S.module_.T.mod_manual.T.man_text) 'I'
+
+  (** OP5 (T9 in OO7): 1 if the manual's first and last characters are
+      equal, else 0. *)
+  let op5 _rng setup =
+    if Text.first_last_equal (R.read setup.S.module_.T.mod_manual.T.man_text)
+    then 1
+    else 0
+
+  (** OP11: toggle the case of 'I'/'i' throughout the manual; returns
+      the number of characters changed. An update of one very large
+      object — an ASTM worst case. *)
+  let op11 _rng setup =
+    let manual = setup.S.module_.T.mod_manual in
+    let text, count = Text.toggle_i_case (R.read manual.T.man_text) in
+    R.write manual.T.man_text text;
+    count
+
+  (* OP6/OP12 skeleton: random complex assembly, then its siblings
+     (fellow children of its parent; the root has no siblings and
+     counts alone). *)
+  let op6_like rng setup visit =
+    let ca = Nav.lookup_complex_assembly rng setup in
+    match ca.T.ca_super with
+    | None ->
+      visit ca;
+      1
+    | Some parent ->
+      let count = ref 0 in
+      List.iter
+        (function
+          | T.Complex sibling ->
+            visit sibling;
+            incr count
+          | T.Base _ -> ())
+        (R.read parent.T.ca_sub);
+      !count
+
+  (** OP6: read all sibling complex assemblies of a random complex
+      assembly. *)
+  let op6 rng setup =
+    op6_like rng setup (fun ca -> ignore (T.touch_complex_assembly ca))
+
+  (** OP12: OP6 + non-indexed build-date update on each sibling. *)
+  let op12 rng setup =
+    op6_like rng setup (fun (ca : T.complex_assembly) ->
+        T.update_build_date_tvar ca.T.ca_build_date)
+
+  (* OP7/OP13 skeleton: random base assembly, then its siblings. *)
+  let op7_like rng setup visit =
+    let ba = Nav.lookup_base_assembly rng setup in
+    match ba.T.ba_super with
+    | None -> assert false (* base assemblies always have a parent *)
+    | Some parent ->
+      let count = ref 0 in
+      List.iter
+        (function
+          | T.Base sibling ->
+            visit sibling;
+            incr count
+          | T.Complex _ -> ())
+        (R.read parent.T.ca_sub);
+      !count
+
+  (** OP7: read all sibling base assemblies of a random base assembly. *)
+  let op7 rng setup =
+    op7_like rng setup (fun ba -> ignore (T.touch_base_assembly ba))
+
+  (** OP13: OP7 + non-indexed build-date update on each sibling. *)
+  let op13 rng setup =
+    op7_like rng setup (fun (ba : T.base_assembly) ->
+        T.update_build_date_tvar ba.T.ba_build_date)
+
+  (* OP8/OP14 skeleton: random base assembly, then its composite
+     parts. *)
+  let op8_like rng setup visit =
+    let ba = Nav.lookup_base_assembly rng setup in
+    let count = ref 0 in
+    List.iter
+      (fun cp ->
+        visit cp;
+        incr count)
+      (R.read ba.T.ba_components);
+    !count
+
+  (** OP8: read all composite parts of a random base assembly. *)
+  let op8 rng setup =
+    op8_like rng setup (fun cp -> ignore (T.touch_composite_part cp))
+
+  (** OP14: OP8 + non-indexed build-date update on each part. *)
+  let op14 rng setup =
+    op8_like rng setup (fun (cp : T.composite_part) ->
+        T.update_build_date_tvar cp.T.cp_build_date)
+end

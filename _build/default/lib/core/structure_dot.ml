@@ -1,0 +1,71 @@
+(** Graphviz export of a benchmark structure — the assembly hierarchy
+    with its composite-part links (Figure 1 of the paper), and
+    optionally one composite part's atomic-part graph. Debugging and
+    documentation tooling; emit with [dot -Tsvg]. *)
+
+module Make (R : Sb7_runtime.Runtime_intf.S) = struct
+  module T = Types.Make (R)
+  module S = Setup.Make (R)
+
+  (** The module's assembly tree down to composite parts. Composite
+      parts are shared, so several base assemblies may point at the
+      same node — exactly the design-library sharing of OO7. *)
+  let assembly_tree ppf (setup : S.t) =
+    Format.fprintf ppf "digraph stmbench7 {@.";
+    Format.fprintf ppf "  rankdir=TB;@.";
+    Format.fprintf ppf "  node [fontsize=9];@.";
+    let emitted_cps = Hashtbl.create 64 in
+    let rec walk (ca : T.complex_assembly) =
+      Format.fprintf ppf
+        "  ca%d [label=\"CA %d\\nlevel %d\" shape=box];@." ca.T.ca_id
+        ca.T.ca_id ca.T.ca_level;
+      List.iter
+        (function
+          | T.Complex child ->
+            Format.fprintf ppf "  ca%d -> ca%d;@." ca.T.ca_id child.T.ca_id;
+            walk child
+          | T.Base b ->
+            Format.fprintf ppf "  ba%d [label=\"BA %d\" shape=ellipse];@."
+              b.T.ba_id b.T.ba_id;
+            Format.fprintf ppf "  ca%d -> ba%d;@." ca.T.ca_id b.T.ba_id;
+            List.iter
+              (fun (cp : T.composite_part) ->
+                if not (Hashtbl.mem emitted_cps cp.T.cp_id) then begin
+                  Hashtbl.replace emitted_cps cp.T.cp_id ();
+                  Format.fprintf ppf
+                    "  cp%d [label=\"CP %d\" shape=component];@." cp.T.cp_id
+                    cp.T.cp_id
+                end;
+                Format.fprintf ppf "  ba%d -> cp%d [style=dashed];@."
+                  b.T.ba_id cp.T.cp_id)
+              (R.read b.T.ba_components))
+        (R.read ca.T.ca_sub)
+    in
+    walk setup.S.module_.T.mod_design_root;
+    (* Unlinked library parts (SM1 creations, or SM4 orphans). *)
+    setup.S.cp_id_index.iter (fun id _ ->
+        if not (Hashtbl.mem emitted_cps id) then
+          Format.fprintf ppf
+            "  cp%d [label=\"CP %d\\n(unlinked)\" shape=component \
+             style=dotted];@."
+            id id);
+    Format.fprintf ppf "}@."
+
+  (** One composite part's atomic-part graph with its connections. *)
+  let part_graph ppf (cp : T.composite_part) =
+    Format.fprintf ppf "digraph cp%d {@." cp.T.cp_id;
+    Format.fprintf ppf "  node [shape=circle fontsize=8];@.";
+    let root = R.read cp.T.cp_root_part in
+    List.iter
+      (fun (p : T.atomic_part) ->
+        let extra = if p.T.ap_id = root.T.ap_id then " style=filled" else "" in
+        Format.fprintf ppf "  ap%d [label=\"%d\"%s];@." p.T.ap_id p.T.ap_id
+          extra;
+        List.iter
+          (fun (c : T.connection) ->
+            Format.fprintf ppf "  ap%d -> ap%d [len=%d];@."
+              c.T.conn_from.T.ap_id c.T.conn_to.T.ap_id c.T.conn_length)
+          (R.read p.T.ap_to))
+      (R.read cp.T.cp_parts);
+    Format.fprintf ppf "}@."
+end

@@ -1,0 +1,51 @@
+(** Object-census over a benchmark structure, for reports, examples and
+    tests. Read-only; run quiesced or inside a transaction. *)
+
+module Make (R : Sb7_runtime.Runtime_intf.S) = struct
+  module T = Types.Make (R)
+  module S = Setup.Make (R)
+
+  type t = {
+    complex_assemblies : int;
+    base_assemblies : int;
+    composite_parts : int;
+    atomic_parts : int;
+    connections : int;
+    documents : int;
+    assembly_links : int; (* base-assembly -> composite-part references *)
+  }
+
+  let collect (setup : S.t) : t =
+    let complex = ref 0 and base = ref 0 and links = ref 0 in
+    let rec walk (ca : T.complex_assembly) =
+      incr complex;
+      List.iter
+        (function
+          | T.Complex c -> walk c
+          | T.Base b ->
+            incr base;
+            links := !links + List.length (R.read b.T.ba_components))
+        (R.read ca.T.ca_sub)
+    in
+    walk setup.S.module_.T.mod_design_root;
+    let connections = ref 0 in
+    setup.S.ap_id_index.iter (fun _ p ->
+        connections := !connections + List.length (R.read p.T.ap_to));
+    {
+      complex_assemblies = !complex;
+      base_assemblies = !base;
+      composite_parts = setup.S.cp_id_index.size ();
+      atomic_parts = setup.S.ap_id_index.size ();
+      connections = !connections;
+      documents = setup.S.doc_title_index.size ();
+      assembly_links = !links;
+    }
+
+  let pp ppf t =
+    Format.fprintf ppf
+      "complex assemblies: %d@ base assemblies: %d@ composite parts: %d@ \
+       atomic parts: %d@ connections: %d@ documents: %d@ assembly->part \
+       links: %d"
+      t.complex_assemblies t.base_assemblies t.composite_parts
+      t.atomic_parts t.connections t.documents t.assembly_links
+end

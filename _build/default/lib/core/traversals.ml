@@ -1,0 +1,120 @@
+(** The twelve long traversals (paper Appendix B.2.1): T1–T6 and the
+    long queries Q6, Q7. All originate from OO7 and never fail. *)
+
+module Make (R : Sb7_runtime.Runtime_intf.S) = struct
+  module T = Types.Make (R)
+  module S = Setup.Make (R)
+  module Nav = Nav.Make (R)
+
+  (* T1-family skeleton: full depth-first traversal down to every atomic
+     part, [on_part] applied once per part per composite-part reference,
+     [on_root] applied to each graph's root part. Returns parts visited. *)
+  let t1_like setup ~on_root ~on_part =
+    Nav.traverse_composite_parts setup (fun (cp : T.composite_part) ->
+        on_root (R.read cp.T.cp_root_part);
+        Nav.dfs_atomic_graph (R.read cp.T.cp_root_part) on_part)
+
+  let nothing (_ : T.atomic_part) = ()
+  let touch (p : T.atomic_part) = ignore (T.touch_atomic_part p)
+
+  (** T1: read-only deep traversal; returns atomic parts visited. *)
+  let t1 (_rng : Sb_random.t) setup =
+    t1_like setup ~on_root:nothing ~on_part:touch
+
+  (** T2a: T1 + update (x/y swap) on each graph's root part. *)
+  let t2a _rng setup = t1_like setup ~on_root:T.swap_xy ~on_part:touch
+
+  (** T2b: T1 + update on every atomic part. *)
+  let t2b _rng setup = t1_like setup ~on_root:nothing ~on_part:T.swap_xy
+
+  (** T2c: T2b with each update performed 4 times, one by one. *)
+  let t2c _rng setup =
+    let update4 p =
+      for _ = 1 to 4 do
+        T.swap_xy p
+      done
+    in
+    t1_like setup ~on_root:nothing ~on_part:update4
+
+  (** T3a: T1 + indexed build-date update on each graph's root part
+      (maintains the build-date index). *)
+  let t3a _rng setup =
+    t1_like setup
+      ~on_root:(fun p -> S.update_atomic_part_date setup p)
+      ~on_part:touch
+
+  (** T3b: indexed update on every atomic part. *)
+  let t3b _rng setup =
+    t1_like setup ~on_root:nothing
+      ~on_part:(fun p -> S.update_atomic_part_date setup p)
+
+  (** T3c: T3b with each update performed 4 times. *)
+  let t3c _rng setup =
+    t1_like setup ~on_root:nothing ~on_part:(fun p ->
+        for _ = 1 to 4 do
+          S.update_atomic_part_date setup p
+        done)
+
+  (* T4/T5 skeleton: traversal down to documents only. *)
+  let t4_like setup visit_doc =
+    Nav.traverse_composite_parts setup (fun (cp : T.composite_part) ->
+        visit_doc cp.T.cp_document)
+
+  (** T4: count occurrences of 'I' in every document. *)
+  let t4 _rng setup =
+    t4_like setup (fun (d : T.document) ->
+        Text.count_char (R.read d.T.doc_text) 'I')
+
+  (** T5: toggle "I am"/"This is" in every document; returns total
+      replacements. *)
+  let t5 _rng setup =
+    t4_like setup (fun (d : T.document) ->
+        let text, count = Text.toggle_i_am (R.read d.T.doc_text) in
+        R.write d.T.doc_text text;
+        count)
+
+  (** T6: like T1 but visits only each graph's root atomic part. *)
+  let t6 _rng setup =
+    Nav.traverse_composite_parts setup (fun (cp : T.composite_part) ->
+        touch (R.read cp.T.cp_root_part);
+        1)
+
+  (** Q6: count complex assemblies that are ascendants of a base
+      assembly older than at least one of its composite parts. *)
+  let q6 _rng setup =
+    let count = ref 0 in
+    let rec visit_complex (ca : T.complex_assembly) =
+      let matched_below =
+        List.fold_left
+          (fun acc child ->
+            let m =
+              match child with
+              | T.Complex c -> visit_complex c
+              | T.Base b -> base_matches b
+            in
+            m || acc)
+          false
+          (R.read ca.T.ca_sub)
+      in
+      if matched_below then begin
+        ignore (T.touch_complex_assembly ca);
+        incr count
+      end;
+      matched_below
+    and base_matches (ba : T.base_assembly) =
+      let ba_date = R.read ba.T.ba_build_date in
+      List.exists
+        (fun (cp : T.composite_part) -> R.read cp.T.cp_build_date > ba_date)
+        (R.read ba.T.ba_components)
+    in
+    ignore (visit_complex setup.S.module_.T.mod_design_root);
+    !count
+
+  (** Q7: iterate every atomic part via the ID index. *)
+  let q7 _rng setup =
+    let count = ref 0 in
+    setup.S.ap_id_index.iter (fun _ p ->
+        touch p;
+        incr count);
+    !count
+end

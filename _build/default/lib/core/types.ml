@@ -1,0 +1,106 @@
+(** The OO7/STMBench7 object graph (paper Figure 1 and Appendix B.1).
+
+    Per the specification, only module and connection objects are
+    immutable; every other mutable attribute lives in a runtime
+    transactional variable so concurrency control is entirely the
+    runtime's business.
+
+    Parent back-links ([ap_part_of], [doc_part], [ba_super], [ca_super])
+    are plain mutable fields set exactly once, while the object is still
+    private to the creating operation, and never reassigned: assemblies
+    and parts never move between parents — they are only created and
+    deleted. Reading them therefore needs no synchronization. *)
+
+module Make (R : Sb7_runtime.Runtime_intf.S) = struct
+  type atomic_part = {
+    ap_id : int;
+    ap_type : string;
+    ap_build_date : int R.tvar; (* indexed: updates maintain the date index *)
+    ap_x : int R.tvar; (* non-indexed attribute *)
+    ap_y : int R.tvar; (* non-indexed attribute *)
+    ap_to : connection list R.tvar; (* outgoing connections *)
+    ap_from : connection list R.tvar; (* incoming connections *)
+    mutable ap_part_of : composite_part option;
+  }
+
+  and connection = {
+    conn_type : string;
+    conn_length : int;
+    conn_from : atomic_part;
+    conn_to : atomic_part;
+  }
+
+  and composite_part = {
+    cp_id : int;
+    cp_type : string;
+    cp_build_date : int R.tvar;
+    cp_document : document;
+    cp_used_in : base_assembly list R.tvar; (* bag: owning base assemblies *)
+    cp_root_part : atomic_part R.tvar;
+    cp_parts : atomic_part list R.tvar; (* set of all descendant parts *)
+  }
+
+  and document = {
+    doc_id : int;
+    doc_title : string; (* indexed, immutable *)
+    doc_text : string R.tvar;
+    mutable doc_part : composite_part option;
+  }
+
+  and base_assembly = {
+    ba_id : int;
+    ba_type : string;
+    ba_build_date : int R.tvar;
+    ba_components : composite_part list R.tvar; (* bag: shared components *)
+    mutable ba_super : complex_assembly option;
+  }
+
+  and complex_assembly = {
+    ca_id : int;
+    ca_type : string;
+    ca_build_date : int R.tvar;
+    ca_level : int; (* 2 = just above base assemblies … levels = root *)
+    ca_sub : assembly list R.tvar; (* children, one level down *)
+    mutable ca_super : complex_assembly option; (* None for the root *)
+  }
+
+  and assembly =
+    | Base of base_assembly
+    | Complex of complex_assembly
+
+  type manual = {
+    man_id : int;
+    man_title : string;
+    man_text : string R.tvar;
+  }
+
+  type module_t = {
+    mod_id : int;
+    mod_manual : manual;
+    mod_design_root : complex_assembly;
+  }
+
+  let assembly_id = function
+    | Base b -> b.ba_id
+    | Complex c -> c.ca_id
+
+  (* The standard "perform an update operation on non-indexed
+     attributes" of an atomic part: swap x and y. *)
+  let swap_xy part =
+    let x = R.read part.ap_x and y = R.read part.ap_y in
+    R.write part.ap_x y;
+    R.write part.ap_y x
+
+  (* The standard build-date update of OO7: nudge the date by one,
+     alternating direction so repeated updates stay in range. *)
+  let nudge_date date = if date mod 2 = 0 then date + 1 else date - 1
+
+  let update_build_date_tvar tv = R.write tv (nudge_date (R.read tv))
+
+  (* The standard read-only operation on an object: read its build date
+     (forcing a tracked read) and return it. *)
+  let touch_atomic_part p = R.read p.ap_build_date
+  let touch_base_assembly (b : base_assembly) = R.read b.ba_build_date
+  let touch_complex_assembly (c : complex_assembly) = R.read c.ca_build_date
+  let touch_composite_part (c : composite_part) = R.read c.cp_build_date
+end

@@ -1,0 +1,1 @@
+lib/harness/benchmark.ml: Array Atomic Domain List Printf Run_result Sb7_core Sb7_runtime Stats Unix Workload

@@ -1,0 +1,1 @@
+lib/harness/csv.ml: Array List Printf Run_result Sb7_core Stats String Workload

@@ -1,0 +1,1 @@
+lib/harness/driver.ml: Benchmark Run_result Sb7_runtime

@@ -1,0 +1,1 @@
+lib/harness/driver.mli: Benchmark Run_result Sb7_runtime

@@ -1,0 +1,1 @@
+lib/harness/report.ml: Array Format List Printf Run_result Sb7_core Stats Workload

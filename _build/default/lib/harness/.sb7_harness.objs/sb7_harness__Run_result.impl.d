@@ -1,0 +1,1 @@
+lib/harness/run_result.ml: Array Sb7_core Stats String Workload

@@ -1,0 +1,1 @@
+lib/harness/soak.ml: Benchmark Format List Printf Run_result Sb7_core Sb7_runtime Stats Workload

@@ -1,0 +1,181 @@
+(** The benchmark driver: builds the structure, spawns the worker
+    domains, mixes operations according to the workload ratios and
+    collects per-thread statistics — the multi-threaded core the paper
+    describes in §4 ("threads are uniform: each picks its next operation
+    randomly from the whole pool"). *)
+
+module Category = Sb7_core.Category
+module Parameters = Sb7_core.Parameters
+module Index_intf = Sb7_core.Index_intf
+
+type config = {
+  threads : int;
+  duration_s : float;
+  warmup_s : float;
+      (** run (and discard) this much benchmark work before the measured
+          window, letting caches, allocator and lock queues settle *)
+  max_ops : int option;
+      (** stop after this many operations per thread instead of (or in
+          addition to) the time limit; used by tests *)
+  workload : Workload.kind;
+  mix : Workload.mix;
+      (** relative category weights; Table 2 defaults unless overridden *)
+  long_traversals : bool;
+  structure_mods : bool;
+  reduced_ops : bool;  (** restrict to the paper's §5 reduced set (Fig. 6) *)
+  only_op : string option;
+      (** run a single named operation in isolation (OO7-style latency
+          measurement) instead of the workload mix *)
+  scale : Parameters.t;
+  scale_name : string;
+  index_kind : Index_intf.kind;
+  seed : int;
+  histograms : bool;
+}
+
+let default_config =
+  {
+    threads = 1;
+    duration_s = 10.;
+    warmup_s = 0.;
+    max_ops = None;
+    workload = Workload.Read_dominated;
+    mix = Workload.default_mix;
+    long_traversals = true;
+    structure_mods = true;
+    reduced_ops = false;
+    only_op = None;
+    scale = Parameters.medium;
+    scale_name = "medium";
+    index_kind = Index_intf.Avl;
+    seed = 42;
+    histograms = false;
+  }
+
+module Make (R : Sb7_runtime.Runtime_intf.S) = struct
+  module I = Sb7_core.Instance.Make (R)
+  module Sb_random = Sb7_core.Sb_random
+
+  let enabled_operations config : I.Operation.t array =
+    match config.only_op with
+    | Some code -> (
+      match I.Operation.by_code code with
+      | Some op -> [| op |]
+      | None -> invalid_arg (Printf.sprintf "unknown operation %S" code))
+    | None ->
+      I.Operation.all
+      |> List.filter (fun (op : I.Operation.t) ->
+             (config.long_traversals
+             || not (Category.equal op.category Category.Long_traversal))
+             && (config.structure_mods
+                || not
+                     (Category.equal op.category
+                        Category.Structure_modification))
+             && ((not config.reduced_ops) || I.Operation.in_reduced_set op))
+      |> Array.of_list
+
+  let describe (op : I.Operation.t) : Workload.op_desc =
+    {
+      code = op.code;
+      category = op.category;
+      read_only = I.Operation.read_only op;
+    }
+
+  let build_setup config =
+    I.Setup.create ~index_kind:config.index_kind ~seed:config.seed
+      config.scale
+
+  (* One worker thread: run operations until the stop flag rises (and,
+     in max_ops mode, at most [budget] operations). *)
+  let worker ~(ops : I.Operation.t array) ~cdf ~setup ~stop ~budget ~seed
+      ~histograms =
+    let rng = Sb_random.create ~seed in
+    let stats = Stats.create ~ops:(Array.length ops) ~histograms in
+    let uniform () =
+      float_of_int (Sb_random.int rng 1_000_000) /. 1_000_000.
+    in
+    let executed = ref 0 in
+    let within_budget () =
+      match budget with
+      | None -> true
+      | Some b -> !executed < b
+    in
+    while (not (Atomic.get stop)) && within_budget () do
+      let i = Workload.sample cdf (uniform ()) in
+      let op = ops.(i) in
+      let t0 = Unix.gettimeofday () in
+      let ok =
+        match R.atomic ~profile:op.profile (fun () -> op.run rng setup) with
+        | (_ : int) -> true
+        | exception Sb7_core.Common.Operation_failed _ -> false
+      in
+      let latency = Unix.gettimeofday () -. t0 in
+      Stats.record stats ~op:i ~latency_s:latency ~ok;
+      incr executed
+    done;
+    stats
+
+  let run ?setup config : Run_result.t =
+    assert (config.threads >= 1);
+    let ops = enabled_operations config in
+    let descs = Array.map describe ops in
+    let expected = Workload.ratios ~mix:config.mix config.workload descs in
+    let cdf = Workload.cdf expected in
+    let setup =
+      match setup with
+      | Some s -> s
+      | None -> build_setup config
+    in
+    (* Warmup phase: same worker loop, results discarded. Skipped in
+       max_ops mode, which exists for deterministic tests. *)
+    if config.warmup_s > 0. && config.max_ops = None then begin
+      let stop = Atomic.make false in
+      let warm =
+        List.init config.threads (fun i ->
+            Domain.spawn (fun () ->
+                worker ~ops ~cdf ~setup ~stop ~budget:None
+                  ~seed:(config.seed + ((i + 1) * 104729))
+                  ~histograms:false))
+      in
+      Unix.sleepf config.warmup_s;
+      Atomic.set stop true;
+      List.iter (fun d -> ignore (Domain.join d)) warm
+    end;
+    R.reset_stats ();
+    let stop = Atomic.make false in
+    let t0 = Unix.gettimeofday () in
+    let domains =
+      List.init config.threads (fun i ->
+          Domain.spawn (fun () ->
+              worker ~ops ~cdf ~setup ~stop ~budget:config.max_ops
+                ~seed:(config.seed + ((i + 1) * 7919))
+                ~histograms:config.histograms))
+    in
+    (match config.max_ops with
+    | Some _ -> () (* threads stop on their own budget *)
+    | None ->
+      Unix.sleepf config.duration_s;
+      Atomic.set stop true);
+    let parts = List.map Domain.join domains in
+    let elapsed = Unix.gettimeofday () -. t0 in
+    let stats =
+      Stats.merge ~ops:(Array.length ops) ~histograms:config.histograms parts
+    in
+    {
+      runtime_name = R.name;
+      workload = config.workload;
+      mix = config.mix;
+      threads = config.threads;
+      requested_s = config.duration_s;
+      elapsed_s = elapsed;
+      ops = descs;
+      expected;
+      stats;
+      runtime_counters = R.stats ();
+      scale_name = config.scale_name;
+      index_kind = config.index_kind;
+      long_traversals = config.long_traversals;
+      structure_mods = config.structure_mods;
+      reduced_ops = config.reduced_ops;
+    }
+end

@@ -1,0 +1,23 @@
+(** Machine-readable export of run results, for plotting the figures
+    outside the harness (gnuplot, matplotlib, a spreadsheet). *)
+
+val header_summary : string
+
+(** Quote a CSV field if it contains separators or quotes. *)
+val escape : string -> string
+
+(** One line per run: inputs plus totals — the paper's figure data
+    points. *)
+val summary_row : Run_result.t -> string
+
+val header_per_op : string
+
+(** One line per operation of a run: the detailed-results section as
+    data. *)
+val per_op_rows : Run_result.t -> string list
+
+(** Write header plus one summary line per result. *)
+val write_summary : out_channel -> Run_result.t list -> unit
+
+(** Write header plus the per-operation detail of every result. *)
+val write_per_op : out_channel -> Run_result.t list -> unit

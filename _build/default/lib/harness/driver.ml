@@ -1,0 +1,14 @@
+(** Running a benchmark configuration against a runtime chosen by name
+    at run time (first-class-module dispatch over {!Sb7_runtime.Registry}). *)
+
+let run_with (runtime : Sb7_runtime.Registry.packed) (config : Benchmark.config)
+    : Run_result.t =
+  let module R = (val runtime : Sb7_runtime.Runtime_intf.S) in
+  let module B = Benchmark.Make (R) in
+  B.run config
+
+let run ~runtime_name (config : Benchmark.config) :
+    (Run_result.t, string) result =
+  match Sb7_runtime.Registry.find runtime_name with
+  | Error _ as e -> e
+  | Ok runtime -> Ok (run_with runtime config)

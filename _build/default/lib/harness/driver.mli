@@ -1,0 +1,9 @@
+(** Running a benchmark configuration against a runtime chosen by name
+    at run time (first-class-module dispatch over
+    {!Sb7_runtime.Registry}). *)
+
+val run_with : Sb7_runtime.Registry.packed -> Benchmark.config -> Run_result.t
+
+(** [run ~runtime_name config] resolves the strategy name and runs;
+    [Error] on an unknown name. *)
+val run : runtime_name:string -> Benchmark.config -> (Run_result.t, string) result

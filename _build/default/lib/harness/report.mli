@@ -1,0 +1,18 @@
+(** Benchmark output, following the sections of the paper's Appendix A:
+    benchmark parameters, optional TTC histograms, detailed
+    per-operation results, sample errors, and summary results. *)
+
+val print_parameters : Format.formatter -> Run_result.t -> unit
+val print_histograms : Format.formatter -> Run_result.t -> unit
+val print_detailed : Format.formatter -> Run_result.t -> unit
+
+(** Per-operation (C, R, E, A, F) tuples: C = configured ratio,
+    R = achieved ratio among successes, E = |C − R|, A = achieved ratio
+    among started operations, F = |A − R|. *)
+val sample_errors : Run_result.t -> (float * float * float * float * float) array
+
+val print_sample_errors : Format.formatter -> Run_result.t -> unit
+val print_summary : Format.formatter -> Run_result.t -> unit
+
+(** All sections in Appendix-A order. *)
+val print : Format.formatter -> Run_result.t -> unit

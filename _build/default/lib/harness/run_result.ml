@@ -1,0 +1,62 @@
+(** The outcome of one benchmark run, independent of the runtime
+    functor so reports and bench harnesses can treat all strategies
+    uniformly. *)
+
+type t = {
+  runtime_name : string;
+  workload : Workload.kind;
+  mix : Workload.mix;
+  threads : int;
+  requested_s : float;
+  elapsed_s : float;
+  ops : Workload.op_desc array;
+  expected : float array; (* expected per-op ratios, parallel to [ops] *)
+  stats : Stats.t; (* merged across threads, parallel to [ops] *)
+  runtime_counters : (string * int) list;
+  scale_name : string;
+  index_kind : Sb7_core.Index_intf.kind;
+  long_traversals : bool;
+  structure_mods : bool;
+  reduced_ops : bool;
+}
+
+let op_index t code =
+  let found = ref None in
+  Array.iteri (fun i (o : Workload.op_desc) -> if String.equal o.code code then found := Some i) t.ops;
+  !found
+
+(** Successful operations per second. *)
+let throughput t =
+  if t.elapsed_s <= 0. then 0.
+  else float_of_int (Stats.total_successes t.stats) /. t.elapsed_s
+
+(** Started (successful or failed) operations per second. *)
+let attempts_throughput t =
+  if t.elapsed_s <= 0. then 0.
+  else float_of_int (Stats.total_attempts t.stats) /. t.elapsed_s
+
+(** Maximum observed latency of one operation, in ms (0 if it never
+    completed successfully). *)
+let max_latency_ms t ~code =
+  match op_index t code with
+  | None -> 0.
+  | Some i -> t.stats.Stats.per_op.(i).Stats.max_latency_ms
+
+let successes t ~code =
+  match op_index t code with
+  | None -> 0
+  | Some i -> t.stats.Stats.per_op.(i).Stats.successes
+
+(** Per-category aggregate: successes, failures, attempts, max latency. *)
+let category_totals t category =
+  let successes = ref 0 and failures = ref 0 and max_ms = ref 0. in
+  Array.iteri
+    (fun i (o : Workload.op_desc) ->
+      if Sb7_core.Category.equal o.category category then begin
+        let s = t.stats.Stats.per_op.(i) in
+        successes := !successes + s.Stats.successes;
+        failures := !failures + s.Stats.failures;
+        if s.Stats.max_latency_ms > !max_ms then max_ms := s.Stats.max_latency_ms
+      end)
+    t.ops;
+  (!successes, !failures, !max_ms)

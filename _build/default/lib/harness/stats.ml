@@ -1,0 +1,113 @@
+(** Per-operation performance counters.
+
+    Each benchmark thread records into its own [t] (no synchronization
+    during the run); the harness merges them at the end — the scheme the
+    paper describes in §4. Latencies ("TTC", time to completion) are
+    histogrammed with 1 ms buckets as in the original's
+    [--ttc-histograms] output. *)
+
+let histogram_buckets = 4096 (* 1 ms buckets; the last bucket overflows *)
+
+type op_stat = {
+  mutable successes : int;
+  mutable failures : int;
+  mutable max_latency_ms : float; (* over successful executions *)
+  mutable total_latency_ms : float;
+  mutable histogram : int array; (* empty unless histograms enabled *)
+}
+
+type t = {
+  per_op : op_stat array;
+  with_histograms : bool;
+}
+
+let empty_op () =
+  {
+    successes = 0;
+    failures = 0;
+    max_latency_ms = 0.;
+    total_latency_ms = 0.;
+    histogram = [||];
+  }
+
+let create ~ops ~histograms =
+  {
+    per_op =
+      Array.init ops (fun _ ->
+          let s = empty_op () in
+          if histograms then s.histogram <- Array.make histogram_buckets 0;
+          s);
+    with_histograms = histograms;
+  }
+
+let record t ~op ~latency_s ~ok =
+  let s = t.per_op.(op) in
+  if ok then begin
+    let ms = latency_s *. 1000. in
+    s.successes <- s.successes + 1;
+    s.total_latency_ms <- s.total_latency_ms +. ms;
+    if ms > s.max_latency_ms then s.max_latency_ms <- ms;
+    if t.with_histograms then begin
+      let bucket = min (int_of_float ms) (histogram_buckets - 1) in
+      s.histogram.(bucket) <- s.histogram.(bucket) + 1
+    end
+  end
+  else s.failures <- s.failures + 1
+
+let attempts s = s.successes + s.failures
+
+let merge_into ~(into : t) (src : t) =
+  Array.iteri
+    (fun i (s : op_stat) ->
+      let d = into.per_op.(i) in
+      d.successes <- d.successes + s.successes;
+      d.failures <- d.failures + s.failures;
+      d.total_latency_ms <- d.total_latency_ms +. s.total_latency_ms;
+      if s.max_latency_ms > d.max_latency_ms then
+        d.max_latency_ms <- s.max_latency_ms;
+      if into.with_histograms && s.histogram <> [||] then
+        Array.iteri
+          (fun b c -> d.histogram.(b) <- d.histogram.(b) + c)
+          s.histogram)
+    src.per_op
+
+let merge ~ops ~histograms parts =
+  let total = create ~ops ~histograms in
+  List.iter (fun p -> merge_into ~into:total p) parts;
+  total
+
+let total_successes t =
+  Array.fold_left (fun acc s -> acc + s.successes) 0 t.per_op
+
+let total_failures t =
+  Array.fold_left (fun acc s -> acc + s.failures) 0 t.per_op
+
+let total_attempts t = total_successes t + total_failures t
+
+(** Mean successful latency in ms (0 when nothing succeeded). *)
+let mean_latency_ms s =
+  if s.successes = 0 then 0. else s.total_latency_ms /. float_of_int s.successes
+
+(** The [q]-quantile (0 <= q <= 1) of an operation's successful
+    latencies in ms, computed from its TTC histogram; [None] when
+    histograms are disabled or the operation never succeeded. The value
+    is the upper edge of the bucket containing the quantile, i.e.
+    accurate to 1 ms (the histogram granularity). *)
+let percentile_ms s q =
+  assert (q >= 0. && q <= 1.);
+  if s.histogram = [||] || s.successes = 0 then None
+  else begin
+    let target =
+      int_of_float (ceil (q *. float_of_int s.successes)) |> max 1
+    in
+    let rec scan bucket seen =
+      if bucket >= Array.length s.histogram then
+        Some (float_of_int (Array.length s.histogram))
+      else begin
+        let seen = seen + s.histogram.(bucket) in
+        if seen >= target then Some (float_of_int (bucket + 1))
+        else scan (bucket + 1) seen
+      end
+    in
+    scan 0 0
+  end

@@ -1,0 +1,47 @@
+(** Per-operation performance counters.
+
+    Each benchmark thread records into its own [t] with no
+    synchronization; the harness merges them when the run ends (the
+    scheme the paper describes in §4). Latencies ("TTC", time to
+    completion) are histogrammed with 1 ms buckets, as in the
+    original's [--ttc-histograms] output. *)
+
+val histogram_buckets : int
+
+type op_stat = {
+  mutable successes : int;
+  mutable failures : int;
+  mutable max_latency_ms : float;  (** over successful executions *)
+  mutable total_latency_ms : float;
+  mutable histogram : int array;  (** [[||]] unless histograms enabled *)
+}
+
+type t = {
+  per_op : op_stat array;
+  with_histograms : bool;
+}
+
+val create : ops:int -> histograms:bool -> t
+
+(** Record one executed operation. Failed operations count but do not
+    contribute latency (the paper reports latency of successful
+    completions). *)
+val record : t -> op:int -> latency_s:float -> ok:bool -> unit
+
+val attempts : op_stat -> int
+
+val merge_into : into:t -> t -> unit
+
+val merge : ops:int -> histograms:bool -> t list -> t
+
+val total_successes : t -> int
+val total_failures : t -> int
+val total_attempts : t -> int
+
+(** Mean successful latency in ms (0 when nothing succeeded). *)
+val mean_latency_ms : op_stat -> float
+
+(** The [q]-quantile (0 ≤ q ≤ 1) of successful latencies in ms from the
+    TTC histogram — accurate to the 1 ms bucket granularity; [None]
+    when histograms are disabled or nothing succeeded. *)
+val percentile_ms : op_stat -> float -> float option

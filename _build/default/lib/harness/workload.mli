@@ -1,0 +1,64 @@
+(** Workload types and operation-ratio computation (paper §3, Table 2).
+
+    An individual operation's sampling weight is
+
+    {v category_ratio x kind_ratio / |enabled ops in the same
+       (category, read-only?) group| v}
+
+    normalized over all enabled operations — operations of the same
+    category and kind run in equal proportions. Structure modifications
+    are all updates, so their effective share shrinks below Table 2's
+    10% under read-dominated workloads and grows under write-dominated
+    ones. *)
+
+type kind =
+  | Read_dominated
+  | Read_write
+  | Write_dominated
+
+val kind_to_string : kind -> string
+val kind_long_name : kind -> string
+val kind_of_string : string -> (kind, string) result
+val all_kinds : kind list
+
+(** Read-only percentage of the workload (Table 2 columns: 90/60/10). *)
+val read_only_percent : kind -> int
+
+(** A category mix: relative weights of the four operation categories.
+    Table 2's defaults are {!default_mix}; custom mixes implement the
+    §6 future work of exploring more workloads. *)
+type mix = {
+  long_traversals : int;
+  short_traversals : int;
+  short_operations : int;
+  structure_mods : int;
+}
+
+val default_mix : mix
+val mix_to_string : mix -> string
+
+(** Parse "LT:ST:OP:SM", e.g. "5:40:45:10": non-negative relative
+    weights with a positive sum. *)
+val mix_of_string : string -> (mix, string) result
+
+val mix_percent : mix -> Sb7_core.Category.t -> int
+
+(** Category percentage of the default mix (Table 2 rows: 5/40/45/10). *)
+val category_percent : Sb7_core.Category.t -> int
+
+(** Metadata the ratio computation needs about one operation. *)
+type op_desc = {
+  code : string;
+  category : Sb7_core.Category.t;
+  read_only : bool;
+}
+
+(** Per-operation probabilities for the enabled operation set; sums
+    to 1. *)
+val ratios : ?mix:mix -> kind -> op_desc array -> float array
+
+(** Cumulative distribution for sampling. *)
+val cdf : float array -> float array
+
+(** Index of the operation selected by uniform draw [u] in [0, 1). *)
+val sample : float array -> float -> int

@@ -1,0 +1,1 @@
+lib/runtime/astm_runtime.ml: Op_profile Sb7_stm

@@ -1,0 +1,1 @@
+lib/runtime/astm_runtime.mli: Runtime_intf

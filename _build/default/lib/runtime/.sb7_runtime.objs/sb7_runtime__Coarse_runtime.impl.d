@@ -1,0 +1,1 @@
+lib/runtime/coarse_runtime.ml: Atomic Op_profile Sb7_rwlock

@@ -1,0 +1,1 @@
+lib/runtime/coarse_runtime.mli: Runtime_intf

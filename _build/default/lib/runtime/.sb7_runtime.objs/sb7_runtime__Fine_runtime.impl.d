@@ -1,0 +1,1 @@
+lib/runtime/fine_runtime.ml: Atomic Domain Hashtbl List Op_profile Sb7_stm

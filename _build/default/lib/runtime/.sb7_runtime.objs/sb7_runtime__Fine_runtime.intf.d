@@ -1,0 +1,1 @@
+lib/runtime/fine_runtime.mli: Runtime_intf

@@ -1,0 +1,1 @@
+lib/runtime/lsa_runtime.mli: Runtime_intf

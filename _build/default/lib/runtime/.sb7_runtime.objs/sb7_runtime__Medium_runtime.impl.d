@@ -1,0 +1,1 @@
+lib/runtime/medium_runtime.ml: Array Atomic List Op_profile Printf Sb7_rwlock

@@ -1,0 +1,1 @@
+lib/runtime/medium_runtime.mli: Runtime_intf

@@ -1,0 +1,1 @@
+lib/runtime/op_profile.ml: Format Hashtbl List Printf String

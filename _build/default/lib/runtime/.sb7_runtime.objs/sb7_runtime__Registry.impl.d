@@ -1,0 +1,1 @@
+lib/runtime/registry.ml: Astm_runtime Coarse_runtime Fine_runtime List Lsa_runtime Medium_runtime Printf Runtime_intf Seq_runtime String Tl2_runtime

@@ -1,0 +1,1 @@
+lib/runtime/seq_runtime.ml: Atomic Op_profile

@@ -1,0 +1,1 @@
+lib/runtime/seq_runtime.mli: Runtime_intf

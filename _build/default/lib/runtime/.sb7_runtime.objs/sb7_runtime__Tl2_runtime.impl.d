@@ -1,0 +1,1 @@
+lib/runtime/tl2_runtime.ml: Op_profile Sb7_stm

@@ -1,0 +1,1 @@
+lib/runtime/tl2_runtime.mli: Runtime_intf

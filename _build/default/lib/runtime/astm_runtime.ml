@@ -1,0 +1,21 @@
+(** The ASTM-style STM as a benchmark runtime: every operation is one
+    flat transaction, exactly the "straightforward approach of an
+    average programmer" the paper evaluates. The lock profile is
+    ignored. *)
+
+module Stm = Sb7_stm.Astm
+
+let name = Stm.name
+
+type 'a tvar = 'a Stm.tvar
+
+let make = Stm.make
+let read = Stm.read
+let write = Stm.write
+
+let atomic ~profile f =
+  ignore (profile : Op_profile.t);
+  Stm.atomic f
+
+let stats () = Sb7_stm.Stm_stats.to_assoc (Stm.stats ())
+let reset_stats = Stm.reset_stats

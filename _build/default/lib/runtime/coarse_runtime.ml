@@ -1,0 +1,34 @@
+(** The coarse-grained locking strategy of the paper: one global
+    read-write lock protects the entire data structure. Read-only
+    operations take it in read mode, everything else in write mode. *)
+
+let name = "coarse"
+
+type 'a tvar = 'a ref
+
+let make v = ref v
+let read tv = !tv
+let write tv v = tv := v
+
+let global = Sb7_rwlock.Rwlock.create ~name:"global" ()
+let read_acquisitions = Atomic.make 0
+let write_acquisitions = Atomic.make 0
+
+let atomic ~profile f =
+  let mode : Sb7_rwlock.Rwlock.mode =
+    if Op_profile.read_only profile then Read else Write
+  in
+  (match mode with
+  | Read -> ignore (Atomic.fetch_and_add read_acquisitions 1)
+  | Write -> ignore (Atomic.fetch_and_add write_acquisitions 1));
+  Sb7_rwlock.Rwlock.with_lock global mode f
+
+let stats () =
+  [
+    ("read_acquisitions", Atomic.get read_acquisitions);
+    ("write_acquisitions", Atomic.get write_acquisitions);
+  ]
+
+let reset_stats () =
+  Atomic.set read_acquisitions 0;
+  Atomic.set write_acquisitions 0

@@ -1,0 +1,6 @@
+(** The fine-grained locking strategy: strict two-phase locking at tvar
+    granularity with no-wait deadlock avoidance and undo-based restart —
+    the "ultimate baseline" the paper's §6 leaves as future work. See
+    the implementation header for the full design discussion. *)
+
+include Runtime_intf.S

@@ -1,0 +1,22 @@
+(** The LSA multi-version STM as a benchmark runtime. Unlike the other
+    STM runtimes it inspects the operation profile: read-only
+    operations run as snapshot transactions (no validation, no
+    aborts against writers), update operations as TL2-like update
+    transactions. *)
+
+module Stm = Sb7_stm.Lsa
+
+let name = Stm.name
+
+type 'a tvar = 'a Stm.tvar
+
+let make = Stm.make
+let read = Stm.read
+let write = Stm.write
+
+let atomic ~profile f =
+  if Op_profile.read_only profile then Stm.atomic_snapshot f
+  else Stm.atomic f
+
+let stats () = Sb7_stm.Stm_stats.to_assoc (Stm.stats ())
+let reset_stats = Stm.reset_stats

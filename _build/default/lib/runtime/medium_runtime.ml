@@ -1,0 +1,86 @@
+(** The medium-grained locking strategy of the paper (its Figure 5):
+
+    - one read-write lock per lock domain: each of the 7 assembly
+      levels, all composite parts, all atomic parts, all documents,
+      and the manual;
+    - one additional "structure" read-write lock, acquired in write
+      mode by structure-modification operations (isolating them
+      completely) and in read mode by every other operation.
+
+    Domain locks are acquired in the canonical order defined by
+    {!Op_profile.locking_plan}, so the strategy is deadlock-free. *)
+
+module Rwlock = Sb7_rwlock.Rwlock
+
+let name = "medium"
+
+type 'a tvar = 'a ref
+
+let make v = ref v
+let read tv = !tv
+let write tv v = tv := v
+
+let structure_lock = Rwlock.create ~name:"structure" ()
+
+let domain_locks =
+  Array.init Op_profile.num_domains (fun i ->
+      Rwlock.create ~name:(Printf.sprintf "domain-%d" i) ())
+
+let lock_of_domain d = domain_locks.(Op_profile.domain_rank d)
+
+let read_acquisitions = Atomic.make 0
+let write_acquisitions = Atomic.make 0
+let structural_ops = Atomic.make 0
+
+let acquire_plan plan =
+  List.iter
+    (fun (d, mode) ->
+      match mode with
+      | `Read ->
+        ignore (Atomic.fetch_and_add read_acquisitions 1);
+        Rwlock.acquire_read (lock_of_domain d)
+      | `Write ->
+        ignore (Atomic.fetch_and_add write_acquisitions 1);
+        Rwlock.acquire_write (lock_of_domain d))
+    plan
+
+let release_plan plan =
+  List.iter
+    (fun (d, mode) ->
+      match mode with
+      | `Read -> Rwlock.release_read (lock_of_domain d)
+      | `Write -> Rwlock.release_write (lock_of_domain d))
+    (List.rev plan)
+
+let atomic ~profile f =
+  let structure_mode : Rwlock.mode =
+    if profile.Op_profile.structural then begin
+      ignore (Atomic.fetch_and_add structural_ops 1);
+      Write
+    end
+    else Read
+  in
+  let plan = Op_profile.locking_plan profile in
+  Rwlock.acquire structure_lock structure_mode;
+  acquire_plan plan;
+  match f () with
+  | result ->
+    release_plan plan;
+    Rwlock.release structure_lock structure_mode;
+    result
+  | exception exn ->
+    release_plan plan;
+    Rwlock.release structure_lock structure_mode;
+    raise exn
+
+let stats () =
+  [
+    ("read_acquisitions", Atomic.get read_acquisitions);
+    ("write_acquisitions", Atomic.get write_acquisitions);
+    ("structural_ops", Atomic.get structural_ops);
+  ]
+
+let reset_stats () =
+  Atomic.set read_acquisitions 0;
+  Atomic.set write_acquisitions 0;
+  Atomic.set structural_ops 0

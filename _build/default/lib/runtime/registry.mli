@@ -1,0 +1,11 @@
+(** Runtime lookup by command-line name. *)
+
+type packed = (module Runtime_intf.S)
+
+(** All strategies, in presentation order:
+    seq, coarse, medium, fine, tl2, lsa, astm. *)
+val all : (string * packed) list
+
+val names : string list
+
+val find : string -> (packed, string) result

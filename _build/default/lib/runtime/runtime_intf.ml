@@ -1,0 +1,33 @@
+(** A synchronization strategy ("runtime") for the benchmark.
+
+    The core data structure and all 45 operations are written against
+    this signature only — the OCaml analogue of STMBench7's sync-free
+    core that gets its concurrency control woven in separately. *)
+
+module type S = sig
+  (** Strategy name as used on the command line
+      (["seq"], ["coarse"], ["medium"], ["tl2"], ["astm"]). *)
+  val name : string
+
+  (** A shared mutable cell of the data structure. For lock-based
+      runtimes this is a plain reference; for STM runtimes it is a
+      transactional variable. *)
+  type 'a tvar
+
+  val make : 'a -> 'a tvar
+  val read : 'a tvar -> 'a
+  val write : 'a tvar -> 'a -> unit
+
+  (** [atomic ~profile f] executes one benchmark operation atomically.
+      Lock runtimes acquire the locks demanded by [profile]; STM
+      runtimes run [f] as a transaction (ignoring the profile) and
+      retry it on conflict. Exceptions from [f] (e.g. the specified
+      operation failures) release locks / roll back and propagate. *)
+  val atomic : profile:Op_profile.t -> (unit -> 'a) -> 'a
+
+  (** Strategy-specific counters (lock acquisitions, STM commits and
+      aborts, …) for reports; reset with [reset_stats]. *)
+  val stats : unit -> (string * int) list
+
+  val reset_stats : unit -> unit
+end

@@ -1,0 +1,22 @@
+(** The no-synchronization runtime: plain references, [atomic] runs the
+    operation directly. Only safe single-threaded; used for setup
+    validation, deterministic tests and as the bechamel micro-benchmark
+    baseline. *)
+
+let name = "seq"
+
+type 'a tvar = 'a ref
+
+let make v = ref v
+let read tv = !tv
+let write tv v = tv := v
+
+let operations = Atomic.make 0
+
+let atomic ~profile f =
+  ignore (profile : Op_profile.t);
+  ignore (Atomic.fetch_and_add operations 1);
+  f ()
+
+let stats () = [ ("operations", Atomic.get operations) ]
+let reset_stats () = Atomic.set operations 0

@@ -1,0 +1,20 @@
+(** The TL2 STM as a benchmark runtime: every operation is one flat
+    transaction; the lock profile is ignored (that is the STM's selling
+    point). *)
+
+module Stm = Sb7_stm.Tl2
+
+let name = Stm.name
+
+type 'a tvar = 'a Stm.tvar
+
+let make = Stm.make
+let read = Stm.read
+let write = Stm.write
+
+let atomic ~profile f =
+  ignore (profile : Op_profile.t);
+  Stm.atomic f
+
+let stats () = Sb7_stm.Stm_stats.to_assoc (Stm.stats ())
+let reset_stats = Stm.reset_stats

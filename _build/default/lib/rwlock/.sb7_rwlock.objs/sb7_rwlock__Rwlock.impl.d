@@ -1,0 +1,1 @@
+lib/rwlock/rwlock.ml: Condition Mutex

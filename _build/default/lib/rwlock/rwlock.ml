@@ -1,0 +1,84 @@
+type mode =
+  | Read
+  | Write
+
+type t = {
+  lock_name : string;
+  mutex : Mutex.t;
+  can_read : Condition.t;
+  can_write : Condition.t;
+  mutable active_readers : int;
+  mutable writer : bool;
+  mutable blocked_writers : int;
+}
+
+let create ?(name = "rwlock") () =
+  {
+    lock_name = name;
+    mutex = Mutex.create ();
+    can_read = Condition.create ();
+    can_write = Condition.create ();
+    active_readers = 0;
+    writer = false;
+    blocked_writers = 0;
+  }
+
+let name t = t.lock_name
+
+let acquire_read t =
+  Mutex.lock t.mutex;
+  (* Writer preference: also wait while writers are queued. *)
+  while t.writer || t.blocked_writers > 0 do
+    Condition.wait t.can_read t.mutex
+  done;
+  t.active_readers <- t.active_readers + 1;
+  Mutex.unlock t.mutex
+
+let acquire_write t =
+  Mutex.lock t.mutex;
+  t.blocked_writers <- t.blocked_writers + 1;
+  while t.writer || t.active_readers > 0 do
+    Condition.wait t.can_write t.mutex
+  done;
+  t.blocked_writers <- t.blocked_writers - 1;
+  t.writer <- true;
+  Mutex.unlock t.mutex
+
+let release_read t =
+  Mutex.lock t.mutex;
+  assert (t.active_readers > 0);
+  t.active_readers <- t.active_readers - 1;
+  if t.active_readers = 0 && t.blocked_writers > 0 then
+    Condition.signal t.can_write;
+  if t.blocked_writers = 0 then Condition.broadcast t.can_read;
+  Mutex.unlock t.mutex
+
+let release_write t =
+  Mutex.lock t.mutex;
+  assert t.writer;
+  t.writer <- false;
+  if t.blocked_writers > 0 then Condition.signal t.can_write
+  else Condition.broadcast t.can_read;
+  Mutex.unlock t.mutex
+
+let acquire t = function
+  | Read -> acquire_read t
+  | Write -> acquire_write t
+
+let release t = function
+  | Read -> release_read t
+  | Write -> release_write t
+
+let with_lock t mode f =
+  acquire t mode;
+  match f () with
+  | result ->
+    release t mode;
+    result
+  | exception exn ->
+    release t mode;
+    raise exn
+
+let readers t = t.active_readers
+let writer_active t = t.writer
+let waiting_writers t = t.blocked_writers

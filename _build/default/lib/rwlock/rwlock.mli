@@ -1,0 +1,48 @@
+(** Writer-preferring read-write lock.
+
+    Multiple readers may hold the lock simultaneously; a writer holds it
+    exclusively. Once a writer is waiting, new readers block until the
+    writer has acquired and released the lock, so writers cannot starve
+    under a continuous stream of readers. This mirrors the semantics of
+    the [java.util.concurrent] read-write locks used by the original
+    STMBench7 locking strategies.
+
+    The lock is not reentrant: a thread must not acquire a lock it
+    already holds (in either mode). STMBench7 acquires each lock at most
+    once per operation, in a fixed global order. *)
+
+type t
+
+type mode =
+  | Read
+  | Write
+
+val create : ?name:string -> unit -> t
+
+val name : t -> string
+
+val acquire : t -> mode -> unit
+
+val release : t -> mode -> unit
+
+val acquire_read : t -> unit
+
+val acquire_write : t -> unit
+
+val release_read : t -> unit
+
+val release_write : t -> unit
+
+(** [with_lock t mode f] runs [f ()] with the lock held in [mode],
+    releasing it whether [f] returns or raises. *)
+val with_lock : t -> mode -> (unit -> 'a) -> 'a
+
+(** Current number of threads holding the lock in read mode (for tests
+    and introspection; inherently racy outside the lock). *)
+val readers : t -> int
+
+(** Whether a writer currently holds the lock. *)
+val writer_active : t -> bool
+
+(** Number of writers blocked waiting for the lock. *)
+val waiting_writers : t -> int

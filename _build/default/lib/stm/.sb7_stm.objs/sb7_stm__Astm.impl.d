@@ -1,0 +1,1 @@
+lib/stm/astm.ml: Atomic Backoff Contention Domain List Stm_intf Stm_stats

@@ -1,0 +1,1 @@
+lib/stm/astm.mli: Contention Stm_intf

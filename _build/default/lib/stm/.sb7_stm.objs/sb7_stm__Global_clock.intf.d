@@ -1,0 +1,1 @@
+lib/stm/global_clock.mli:

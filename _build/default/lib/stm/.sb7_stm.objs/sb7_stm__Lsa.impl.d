@@ -1,0 +1,1 @@
+lib/stm/lsa.ml: Array Atomic Backoff Domain Global_clock Hashtbl List Obj Stm_intf Stm_stats

@@ -1,0 +1,1 @@
+lib/stm/lsa.mli: Stm_intf

@@ -1,0 +1,1 @@
+lib/stm/stm_intf.ml: Stm_stats

@@ -1,0 +1,1 @@
+lib/stm/tl2.ml: Array Atomic Backoff Domain Global_clock Hashtbl Obj Stm_intf Stm_stats

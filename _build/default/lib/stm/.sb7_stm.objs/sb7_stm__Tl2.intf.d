@@ -1,0 +1,1 @@
+lib/stm/tl2.mli: Stm_intf

@@ -1,0 +1,18 @@
+(** A DSTM/ASTM-style object-granularity STM with invisible reads,
+    O(k) read-set validation on every object open (hence O(k²) total
+    validation work per transaction) and object-level copy-on-write
+    acquisition — deliberately reproducing the two design points the
+    STMBench7 paper identifies as the cause of ASTM's collapse on
+    long traversals and large objects.
+
+    Conflicts with active owners are arbitrated by a pluggable
+    contention manager; the default is [Polka], as in the paper's
+    evaluation. *)
+
+include Stm_intf.S
+
+(** Select the contention manager (global; set before running
+    transactions). *)
+val set_policy : Contention.policy -> unit
+
+val get_policy : unit -> Contention.policy

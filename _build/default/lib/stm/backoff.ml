@@ -1,0 +1,42 @@
+type t = {
+  bits_min : int;
+  bits_max : int;
+  mutable bits : int;
+  mutable rng : int;
+  mutable rounds : int;
+}
+
+let create ?(bits_min = 4) ?(bits_max = 16) ~seed () =
+  assert (bits_min >= 0 && bits_min <= bits_max && bits_max < 30);
+  { bits_min; bits_max; bits = bits_min; rng = seed lor 1; rounds = 0 }
+
+(* xorshift step; quality is irrelevant, we only need decorrelation of
+   backoff windows between threads. *)
+let next_random t =
+  let x = t.rng in
+  let x = x lxor (x lsl 13) in
+  let x = x lxor (x lsr 7) in
+  let x = x lxor (x lsl 17) in
+  t.rng <- x;
+  x land max_int
+
+(* Beyond this many spins, sleep instead: on oversubscribed or
+   single-core machines pure spinning starves the lock holder. *)
+let spin_cutoff = 1 lsl 12
+
+let once t =
+  let window = 1 lsl t.bits in
+  let wait = next_random t land (window - 1) in
+  if wait <= spin_cutoff then
+    for _ = 1 to wait do
+      Domain.cpu_relax ()
+    done
+  else Unix.sleepf (float_of_int wait *. 1e-8);
+  if t.bits < t.bits_max then t.bits <- t.bits + 1;
+  t.rounds <- t.rounds + 1
+
+let reset t =
+  t.bits <- t.bits_min;
+  t.rounds <- 0
+
+let attempts t = t.rounds

@@ -1,0 +1,17 @@
+(** Bounded randomized exponential backoff for contention handling. *)
+
+type t
+
+(** [create ?bits_min ?bits_max ~seed ()] — waits are drawn uniformly
+    from [0, 2^bits) where [bits] starts at [bits_min] and doubles the
+    range (up to [bits_max]) on every [once]. *)
+val create : ?bits_min:int -> ?bits_max:int -> seed:int -> unit -> t
+
+(** Spin for the current window, then widen it. *)
+val once : t -> unit
+
+(** Reset the window to its minimum (call after success). *)
+val reset : t -> unit
+
+(** Number of times [once] has run since the last [reset]. *)
+val attempts : t -> int

@@ -1,0 +1,39 @@
+type policy =
+  | Aggressive
+  | Timid
+  | Karma
+  | Polka
+
+type decision =
+  | Abort_other
+  | Wait
+  | Abort_self
+
+let policy_to_string = function
+  | Aggressive -> "aggressive"
+  | Timid -> "timid"
+  | Karma -> "karma"
+  | Polka -> "polka"
+
+let all_policies = [ Aggressive; Timid; Karma; Polka ]
+
+let policy_of_string s =
+  match String.lowercase_ascii s with
+  | "aggressive" -> Ok Aggressive
+  | "timid" -> Ok Timid
+  | "karma" -> Ok Karma
+  | "polka" -> Ok Polka
+  | other -> Error (Printf.sprintf "unknown contention manager %S" other)
+
+let decide policy ~my_opens ~other_opens ~attempts =
+  match policy with
+  | Aggressive -> Abort_other
+  | Timid -> Abort_self
+  | Karma | Polka ->
+    (* Each attempt adds one unit of "karma"; once accumulated karma
+       matches the other's priority, the enemy is killed. *)
+    if my_opens + attempts >= other_opens then Abort_other else Wait
+
+let exponential_wait = function
+  | Polka -> true
+  | Aggressive | Timid | Karma -> false

@@ -1,0 +1,33 @@
+(** Contention-management policies for the obstruction-free (ASTM-style)
+    STM, deciding what a transaction does when it finds an object owned
+    by another active transaction.
+
+    Priorities follow the Karma/Polka line of work: a transaction's
+    priority is the number of objects it has opened so far, so long
+    transactions are favoured over freshly-started ones. *)
+
+type policy =
+  | Aggressive  (** always abort the other transaction *)
+  | Timid  (** always abort self (restart) *)
+  | Karma  (** wait until own opens + attempts exceed the other's opens *)
+  | Polka
+      (** Karma priorities with randomized exponential backoff between
+          attempts — the manager used in the paper's ASTM evaluation *)
+
+type decision =
+  | Abort_other  (** kill the conflicting transaction and retry *)
+  | Wait  (** back off, then re-examine the conflict *)
+  | Abort_self  (** abort and restart this transaction *)
+
+val policy_of_string : string -> (policy, string) result
+val policy_to_string : policy -> string
+val all_policies : policy list
+
+(** [decide p ~my_opens ~other_opens ~attempts] — [attempts] is the
+    number of times this conflict has already been retried. *)
+val decide :
+  policy -> my_opens:int -> other_opens:int -> attempts:int -> decision
+
+(** Whether the policy's [Wait] should use exponential (vs constant)
+    backoff. *)
+val exponential_wait : policy -> bool

@@ -1,0 +1,5 @@
+type t = int Atomic.t
+
+let create () = Atomic.make 0
+let now t = Atomic.get t
+let tick t = Atomic.fetch_and_add t 2 + 2

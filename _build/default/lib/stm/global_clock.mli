@@ -1,0 +1,16 @@
+(** TL2-style global version clock.
+
+    Versions are always even; an odd value in a tvar's versioned lock
+    word means "locked by a committing writer". The clock therefore
+    advances in steps of 2. *)
+
+type t
+
+val create : unit -> t
+
+(** Current clock value (even). *)
+val now : t -> int
+
+(** Atomically advance by 2 and return the new value (a fresh even
+    write-version). *)
+val tick : t -> int

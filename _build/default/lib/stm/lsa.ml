@@ -1,0 +1,321 @@
+(* A multi-version STM in the style of the Lazy Snapshot Algorithm
+   (Riegel, Felber, Fetzer, DISC'06 — reference [11] of the STMBench7
+   paper, one of the "solutions already proposed" for the long-traversal
+   problem).
+
+   Every tvar keeps a short history of (version, value) pairs. Update
+   transactions behave like TL2 (read-version check with extension,
+   lazy writes, commit-time locking, O(k) validation), but commits
+   *prepend* to the history instead of overwriting. Transactions opened
+   in snapshot mode — which the LSA runtime selects for operations with
+   read-only profiles — read the newest version no newer than their
+   start time: they never validate and never conflict with writers, and
+   abort only in the rare case where the needed version has already
+   been evicted from a history.
+
+   This is exactly what the paper's §5 calls for: T1-class traversals
+   run at sequential speed regardless of concurrent updates, where the
+   invisible-read ASTM pays O(k²) validation and the locks serialize. *)
+
+exception Conflict = Stm_intf.Conflict
+
+let name = "lsa"
+
+(* Versions kept per tvar. Snapshot transactions abort if they need
+   something older; STMBench7's long traversals are fast relative to
+   the update rate at realistic scales, so a small constant works. *)
+let history_depth = 8
+
+type 'a tvar = {
+  id : int;
+  vlock : int Atomic.t; (* even = version of the head entry, odd = locked *)
+  mutable history : (int * 'a) list; (* newest first, never [] *)
+}
+
+type wentry =
+  | W : {
+      tv : 'a tvar;
+      value : 'a ref;
+      mutable locked_from : int;
+      mutable locked : bool;
+    }
+      -> wentry
+
+let cast_ref : type a. a tvar -> wentry -> a ref =
+ fun tv (W w) ->
+  assert (w.tv.id = tv.id);
+  (Obj.magic w.value : a ref)
+
+type read_entry = { r_id : int; r_vlock : int Atomic.t; r_version : int }
+
+type mode =
+  | Update
+  | Snapshot
+
+type tx = {
+  mutable mode : mode;
+  mutable rv : int;
+  mutable reads : read_entry array;
+  mutable nreads : int;
+  writes : (int, wentry) Hashtbl.t;
+  backoff : Backoff.t;
+  mutable validation_steps : int;
+}
+
+let clock = Global_clock.create ()
+let global_stats = Stm_stats.create ()
+let tvar_ids = Atomic.make 0
+
+let make v =
+  {
+    id = Atomic.fetch_and_add tvar_ids 1;
+    vlock = Atomic.make 0;
+    history = [ (0, v) ];
+  }
+
+let dummy_read = { r_id = -1; r_vlock = Atomic.make 0; r_version = 0 }
+
+let fresh_tx () =
+  {
+    mode = Update;
+    rv = 0;
+    reads = Array.make 64 dummy_read;
+    nreads = 0;
+    writes = Hashtbl.create 64;
+    backoff = Backoff.create ~seed:((Domain.self () :> int) + 1) ();
+    validation_steps = 0;
+  }
+
+type domain_state = {
+  mutable active : tx option;
+  mutable spare : tx option;
+}
+
+let current_key : domain_state Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> { active = None; spare = None })
+
+let current () = Domain.DLS.get current_key
+
+let in_transaction () =
+  match (current ()).active with
+  | None -> false
+  | Some _ -> true
+
+let head_value tv =
+  match tv.history with
+  | (_, v) :: _ -> v
+  | [] -> assert false
+
+let push_read tx entry =
+  let n = tx.nreads in
+  if n = Array.length tx.reads then begin
+    let bigger = Array.make (2 * n) dummy_read in
+    Array.blit tx.reads 0 bigger 0 n;
+    tx.reads <- bigger
+  end;
+  tx.reads.(n) <- entry;
+  tx.nreads <- n + 1
+
+let read_set_valid tx ~own_locks =
+  let ok = ref true in
+  let i = ref 0 in
+  while !ok && !i < tx.nreads do
+    let e = tx.reads.(!i) in
+    let cur = Atomic.get e.r_vlock in
+    if cur <> e.r_version then
+      if
+        not (own_locks && cur = e.r_version + 1 && Hashtbl.mem tx.writes e.r_id)
+      then ok := false;
+    incr i
+  done;
+  tx.validation_steps <- tx.validation_steps + !i;
+  !ok
+
+let extend tx =
+  let now = Global_clock.now clock in
+  if read_set_valid tx ~own_locks:false then tx.rv <- now else raise Conflict
+
+(* Snapshot read: the newest version no newer than [rv]. The vlock
+   sandwich makes (version, history) capture consistent. *)
+let rec snapshot_read : type a. tx -> a tvar -> a =
+ fun tx tv ->
+  let v1 = Atomic.get tv.vlock in
+  if v1 land 1 = 1 then begin
+    (* A committer holds the lock; its write will carry a version
+       newer than rv, so the pre-lock history suffices — spin briefly
+       for the consistent pair. *)
+    Domain.cpu_relax ();
+    snapshot_read tx tv
+  end
+  else begin
+    let history = tv.history in
+    let v2 = Atomic.get tv.vlock in
+    if v1 <> v2 then snapshot_read tx tv
+    else
+      match List.find_opt (fun (ver, _) -> ver <= tx.rv) history with
+      | Some (_, value) -> value
+      | None -> raise Conflict (* evicted: history too shallow *)
+  end
+
+let rec update_read : type a. tx -> a tvar -> a =
+ fun tx tv ->
+  let v1 = Atomic.get tv.vlock in
+  if v1 land 1 = 1 then raise Conflict
+  else begin
+    let value = head_value tv in
+    let v2 = Atomic.get tv.vlock in
+    if v1 <> v2 then raise Conflict
+    else if v1 > tx.rv then begin
+      extend tx;
+      update_read tx tv
+    end
+    else begin
+      push_read tx { r_id = tv.id; r_vlock = tv.vlock; r_version = v1 };
+      value
+    end
+  end
+
+let read tv =
+  match (current ()).active with
+  | None -> head_value tv
+  | Some tx -> (
+    match tx.mode with
+    | Snapshot -> snapshot_read tx tv
+    | Update -> (
+      if Hashtbl.length tx.writes = 0 then update_read tx tv
+      else
+        match Hashtbl.find_opt tx.writes tv.id with
+        | Some entry -> !(cast_ref tv entry)
+        | None -> update_read tx tv))
+
+let write tv v =
+  match (current ()).active with
+  | None ->
+    let ver = match tv.history with (ver, _) :: _ -> ver | [] -> 0 in
+    tv.history <- [ (ver, v) ]
+  | Some tx -> (
+    match tx.mode with
+    | Snapshot ->
+      invalid_arg
+        "Lsa.write: snapshot transactions are read-only (check the \
+         operation profile)"
+    | Update -> (
+      match Hashtbl.find_opt tx.writes tv.id with
+      | Some entry -> cast_ref tv entry := v
+      | None ->
+        Hashtbl.add tx.writes tv.id
+          (W { tv; value = ref v; locked_from = 0; locked = false })))
+
+let unlock_acquired tx =
+  Hashtbl.iter
+    (fun _ (W w) ->
+      if w.locked then begin
+        Atomic.set w.tv.vlock w.locked_from;
+        w.locked <- false
+      end)
+    tx.writes
+
+let lock_write_set tx =
+  try
+    Hashtbl.iter
+      (fun _ (W w) ->
+        let v = Atomic.get w.tv.vlock in
+        if v land 1 = 1 || not (Atomic.compare_and_set w.tv.vlock v (v + 1))
+        then raise Exit
+        else begin
+          w.locked_from <- v;
+          w.locked <- true
+        end)
+      tx.writes
+  with Exit ->
+    unlock_acquired tx;
+    raise Conflict
+
+let truncate_history h =
+  let rec take n = function
+    | [] -> []
+    | _ when n = 0 -> []
+    | entry :: rest -> entry :: take (n - 1) rest
+  in
+  take history_depth h
+
+let commit tx =
+  if Hashtbl.length tx.writes = 0 then
+    Stm_stats.record_commit global_stats
+      ~read_only:true
+  else begin
+    lock_write_set tx;
+    let wv = Global_clock.tick clock in
+    if wv <> tx.rv + 2 && not (read_set_valid tx ~own_locks:true) then begin
+      unlock_acquired tx;
+      raise Conflict
+    end;
+    Hashtbl.iter
+      (fun _ (W w) ->
+        w.tv.history <- truncate_history ((wv, !(w.value)) :: w.tv.history);
+        w.locked <- false;
+        Atomic.set w.tv.vlock wv)
+      tx.writes;
+    Stm_stats.record_commit global_stats ~read_only:false
+  end
+
+let flush_tx_stats tx =
+  Stm_stats.record_validation global_stats ~steps:tx.validation_steps;
+  Stm_stats.record_read_set global_stats ~size:tx.nreads
+
+let reset_tx tx mode =
+  tx.mode <- mode;
+  tx.rv <- Global_clock.now clock;
+  tx.nreads <- 0;
+  Hashtbl.reset tx.writes;
+  tx.validation_steps <- 0;
+  if Array.length tx.reads > 1 lsl 16 then tx.reads <- Array.make 64 dummy_read
+
+let atomic_in_mode mode f =
+  let state = current () in
+  match state.active with
+  | Some _ -> f () (* nested: flatten *)
+  | None ->
+    let tx =
+      match state.spare with
+      | Some tx -> tx
+      | None ->
+        let tx = fresh_tx () in
+        state.spare <- Some tx;
+        tx
+    in
+    let rec attempt () =
+      reset_tx tx mode;
+      state.active <- Some tx;
+      match
+        let result = f () in
+        commit tx;
+        result
+      with
+      | result ->
+        state.active <- None;
+        flush_tx_stats tx;
+        Backoff.reset tx.backoff;
+        result
+      | exception Conflict ->
+        state.active <- None;
+        flush_tx_stats tx;
+        Stm_stats.record_abort global_stats;
+        Backoff.once tx.backoff;
+        attempt ()
+      | exception exn ->
+        state.active <- None;
+        flush_tx_stats tx;
+        raise exn
+    in
+    attempt ()
+
+let atomic f = atomic_in_mode Update f
+
+(** Run a read-only transaction against a consistent snapshot: no
+    validation, no conflicts with concurrent committers. [f] must not
+    call {!write}. *)
+let atomic_snapshot f = atomic_in_mode Snapshot f
+
+let stats () = Stm_stats.snapshot global_stats
+let reset_stats () = Stm_stats.reset global_stats

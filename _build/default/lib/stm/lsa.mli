@@ -1,0 +1,14 @@
+(** A multi-version STM in the style of the Lazy Snapshot Algorithm
+    [Riegel–Felber–Fetzer, DISC'06] — reference [11] of the STMBench7
+    paper. Update transactions are TL2-like; commits keep a short
+    per-tvar version history, so transactions run in snapshot mode read
+    a consistent past view with no validation and no conflicts — the
+    proposed cure for the benchmark's long read-only traversals. *)
+
+include Stm_intf.S
+
+(** Run a read-only transaction against a consistent snapshot: no
+    validation work, never aborted by concurrent committers (it can
+    only retry if a needed version was evicted from a history). [f]
+    must not call {!write} — doing so raises [Invalid_argument]. *)
+val atomic_snapshot : (unit -> 'a) -> 'a

@@ -1,0 +1,37 @@
+(** Common interface implemented by every STM in this library. *)
+
+(** Raised internally when a transaction detects a conflict and must be
+    retried. [atomic] catches it; user code should never see it escape,
+    and must not catch it. *)
+exception Conflict
+
+module type S = sig
+  val name : string
+
+  (** A transactional variable: the unit of conflict detection. *)
+  type 'a tvar
+
+  val make : 'a -> 'a tvar
+
+  (** [read tv] inside a transaction records the read for conflict
+      detection. Outside any transaction it is an unsynchronized direct
+      read (meant for single-threaded setup and inspection). *)
+  val read : 'a tvar -> 'a
+
+  (** [write tv v] inside a transaction buffers or acquires the write.
+      Outside any transaction it is an unsynchronized direct store. *)
+  val write : 'a tvar -> 'a -> unit
+
+  (** [atomic f] runs [f] as a transaction, retrying on conflict until
+      it commits. Exceptions raised by [f] abort the transaction
+      (rolling back any writes) and propagate, after the read set has
+      been validated — an exception raised from an inconsistent view is
+      treated as a conflict and retried instead. Nested calls flatten
+      into the enclosing transaction. *)
+  val atomic : (unit -> 'a) -> 'a
+
+  val in_transaction : unit -> bool
+
+  val stats : unit -> Stm_stats.snapshot
+  val reset_stats : unit -> unit
+end

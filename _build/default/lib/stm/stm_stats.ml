@@ -1,0 +1,90 @@
+type snapshot = {
+  commits : int;
+  aborts : int;
+  read_only_commits : int;
+  validation_steps : int;
+  max_read_set : int;
+}
+
+(* Counters are atomic; STMs flush per-transaction tallies once at
+   commit/abort time, so contention on these cells is negligible
+   compared to transaction work. *)
+type t = {
+  commits : int Atomic.t;
+  aborts : int Atomic.t;
+  read_only_commits : int Atomic.t;
+  validation_steps : int Atomic.t;
+  max_read_set : int Atomic.t;
+}
+
+let create () =
+  {
+    commits = Atomic.make 0;
+    aborts = Atomic.make 0;
+    read_only_commits = Atomic.make 0;
+    validation_steps = Atomic.make 0;
+    max_read_set = Atomic.make 0;
+  }
+
+let record_commit t ~read_only =
+  ignore (Atomic.fetch_and_add t.commits 1);
+  if read_only then ignore (Atomic.fetch_and_add t.read_only_commits 1)
+
+let record_abort t = ignore (Atomic.fetch_and_add t.aborts 1)
+
+let record_validation t ~steps =
+  ignore (Atomic.fetch_and_add t.validation_steps steps)
+
+let rec record_read_set t ~size =
+  let current = Atomic.get t.max_read_set in
+  if size > current then
+    if not (Atomic.compare_and_set t.max_read_set current size) then
+      record_read_set t ~size
+
+let snapshot t : snapshot =
+  {
+    commits = Atomic.get t.commits;
+    aborts = Atomic.get t.aborts;
+    read_only_commits = Atomic.get t.read_only_commits;
+    validation_steps = Atomic.get t.validation_steps;
+    max_read_set = Atomic.get t.max_read_set;
+  }
+
+let reset t =
+  Atomic.set t.commits 0;
+  Atomic.set t.aborts 0;
+  Atomic.set t.read_only_commits 0;
+  Atomic.set t.validation_steps 0;
+  Atomic.set t.max_read_set 0
+
+let zero : snapshot =
+  {
+    commits = 0;
+    aborts = 0;
+    read_only_commits = 0;
+    validation_steps = 0;
+    max_read_set = 0;
+  }
+
+let add (a : snapshot) (b : snapshot) : snapshot =
+  {
+    commits = a.commits + b.commits;
+    aborts = a.aborts + b.aborts;
+    read_only_commits = a.read_only_commits + b.read_only_commits;
+    validation_steps = a.validation_steps + b.validation_steps;
+    max_read_set = max a.max_read_set b.max_read_set;
+  }
+
+let to_assoc (s : snapshot) =
+  [
+    ("commits", s.commits);
+    ("aborts", s.aborts);
+    ("read_only_commits", s.read_only_commits);
+    ("validation_steps", s.validation_steps);
+    ("max_read_set", s.max_read_set);
+  ]
+
+let pp ppf (s : snapshot) =
+  Format.fprintf ppf
+    "commits=%d aborts=%d ro_commits=%d validation_steps=%d max_read_set=%d"
+    s.commits s.aborts s.read_only_commits s.validation_steps s.max_read_set

@@ -1,0 +1,36 @@
+(** Shared STM statistics: commits, aborts, validation work.
+
+    Counters are per-domain (stored in domain-local storage) and merged
+    on demand, so recording is uncontended during benchmark runs. *)
+
+type snapshot = {
+  commits : int;  (** transactions that committed *)
+  aborts : int;  (** transactions that aborted due to a conflict *)
+  read_only_commits : int;  (** commits with an empty write set *)
+  validation_steps : int;
+      (** total read-set entries checked during validations; under an
+          invisible-read STM this grows as O(k^2) per transaction *)
+  max_read_set : int;  (** largest read set observed *)
+}
+
+type t
+
+val create : unit -> t
+
+val record_commit : t -> read_only:bool -> unit
+val record_abort : t -> unit
+val record_validation : t -> steps:int -> unit
+val record_read_set : t -> size:int -> unit
+
+(** Merge all per-domain counters into a snapshot. *)
+val snapshot : t -> snapshot
+
+val reset : t -> unit
+
+val zero : snapshot
+
+val add : snapshot -> snapshot -> snapshot
+
+val to_assoc : snapshot -> (string * int) list
+
+val pp : Format.formatter -> snapshot -> unit

@@ -1,0 +1,273 @@
+(* A TL2-style software transactional memory (Dice, Shalev, Shavit,
+   DISC'06 — reference [5] of the STMBench7 paper).
+
+   Design points, all of which contrast with {!Astm} and make this the
+   "fixed" STM the paper says was already proposed at the time:
+   - a global version clock gives every read a consistency check in
+     O(1), so transactions never act on inconsistent state (opacity)
+     and read-only transactions commit without any validation pass;
+   - writes are buffered (lazy versioning) and acquire per-tvar
+     versioned locks only at commit;
+   - commit-time read-set validation is a single O(k) pass.
+
+   Timestamp extension (TinySTM-style): when a read observes a version
+   newer than the transaction's read version [rv], the whole read set is
+   revalidated against the current clock and, if intact, [rv] advances
+   instead of aborting.
+
+   Memory-model note: tvar contents are plain mutable fields and are
+   read concurrently with commit-time write-back. The OCaml memory model
+   guarantees such races are memory-safe (no tearing); the sandwich of
+   [Atomic] reads of the versioned lock around each content read, plus
+   release/acquire ordering of [Atomic] operations, ensures a reader
+   either observes a consistent (version, value) pair or aborts. *)
+
+exception Conflict = Stm_intf.Conflict
+
+let name = "tl2"
+
+type 'a tvar = {
+  id : int; (* unique; identity witness for the typed-log coercion *)
+  vlock : int Atomic.t; (* even = version, odd = locked (version+1) *)
+  mutable content : 'a;
+}
+
+(* A buffered write. The payload type is existentially quantified; it is
+   recovered in [cast_ref], justified by the uniqueness of tvar ids:
+   equal ids imply physical equality of the tvars and hence equality of
+   the hidden types. This is the only use of [Obj] in the library. *)
+type wentry =
+  | W : {
+      tv : 'a tvar;
+      value : 'a ref;
+      mutable locked_from : int; (* version the commit lock was taken at *)
+      mutable locked : bool;
+    }
+      -> wentry
+
+let cast_ref : type a. a tvar -> wentry -> a ref =
+ fun tv (W w) ->
+  assert (w.tv.id = tv.id);
+  (Obj.magic w.value : a ref)
+
+type read_entry = { r_id : int; r_vlock : int Atomic.t; r_version : int }
+
+type tx = {
+  mutable rv : int;
+  mutable reads : read_entry array;
+  mutable nreads : int;
+  writes : (int, wentry) Hashtbl.t;
+  backoff : Backoff.t;
+  mutable validation_steps : int;
+}
+
+let clock = Global_clock.create ()
+let global_stats = Stm_stats.create ()
+let tvar_ids = Atomic.make 0
+
+let make v =
+  { id = Atomic.fetch_and_add tvar_ids 1; vlock = Atomic.make 0; content = v }
+
+let dummy_read = { r_id = -1; r_vlock = Atomic.make 0; r_version = 0 }
+
+let fresh_tx () =
+  {
+    rv = 0;
+    reads = Array.make 64 dummy_read;
+    nreads = 0;
+    writes = Hashtbl.create 64;
+    backoff = Backoff.create ~seed:((Domain.self () :> int) + 1) ();
+    validation_steps = 0;
+  }
+
+(* Per-domain state: [active] is the running transaction (if any);
+   [spare] caches the descriptor between transactions so short
+   operations do not reallocate the write-set table. *)
+type domain_state = {
+  mutable active : tx option;
+  mutable spare : tx option;
+}
+
+let current_key : domain_state Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> { active = None; spare = None })
+
+let current () = Domain.DLS.get current_key
+
+let in_transaction () =
+  match (current ()).active with
+  | None -> false
+  | Some _ -> true
+
+let push_read tx entry =
+  let n = tx.nreads in
+  if n = Array.length tx.reads then begin
+    let bigger = Array.make (2 * n) dummy_read in
+    Array.blit tx.reads 0 bigger 0 n;
+    tx.reads <- bigger
+  end;
+  tx.reads.(n) <- entry;
+  tx.nreads <- n + 1
+
+(* Check every read entry is still at its recorded version. Entries we
+   hold the commit lock on appear as [version + 1]. *)
+let read_set_valid tx ~own_locks =
+  let ok = ref true in
+  let i = ref 0 in
+  while !ok && !i < tx.nreads do
+    let e = tx.reads.(!i) in
+    let cur = Atomic.get e.r_vlock in
+    if cur <> e.r_version then
+      if not (own_locks && cur = e.r_version + 1 && Hashtbl.mem tx.writes e.r_id)
+      then ok := false;
+    incr i
+  done;
+  tx.validation_steps <- tx.validation_steps + !i;
+  !ok
+
+(* The read observed a version newer than [rv]: try to extend [rv] to
+   the current clock instead of aborting. *)
+let extend tx =
+  let now = Global_clock.now clock in
+  if read_set_valid tx ~own_locks:false then tx.rv <- now else raise Conflict
+
+let rec tx_read : type a. tx -> a tvar -> a =
+ fun tx tv ->
+  let v1 = Atomic.get tv.vlock in
+  if v1 land 1 = 1 then raise Conflict
+  else begin
+    let value = tv.content in
+    let v2 = Atomic.get tv.vlock in
+    if v1 <> v2 then raise Conflict
+    else if v1 > tx.rv then begin
+      extend tx;
+      tx_read tx tv
+    end
+    else begin
+      push_read tx { r_id = tv.id; r_vlock = tv.vlock; r_version = v1 };
+      value
+    end
+  end
+
+let read tv =
+  match (current ()).active with
+  | None -> tv.content
+  | Some tx -> (
+    if Hashtbl.length tx.writes = 0 then tx_read tx tv
+    else
+      match Hashtbl.find_opt tx.writes tv.id with
+      | Some entry -> !(cast_ref tv entry)
+      | None -> tx_read tx tv)
+
+let write tv v =
+  match (current ()).active with
+  | None -> tv.content <- v
+  | Some tx -> (
+    match Hashtbl.find_opt tx.writes tv.id with
+    | Some entry -> cast_ref tv entry := v
+    | None ->
+      Hashtbl.add tx.writes tv.id
+        (W { tv; value = ref v; locked_from = 0; locked = false }))
+
+let unlock_acquired tx =
+  Hashtbl.iter
+    (fun _ (W w) ->
+      if w.locked then begin
+        Atomic.set w.tv.vlock w.locked_from;
+        w.locked <- false
+      end)
+    tx.writes
+
+let lock_write_set tx =
+  try
+    Hashtbl.iter
+      (fun _ (W w) ->
+        let v = Atomic.get w.tv.vlock in
+        if v land 1 = 1 || not (Atomic.compare_and_set w.tv.vlock v (v + 1))
+        then raise Exit
+        else begin
+          w.locked_from <- v;
+          w.locked <- true
+        end)
+      tx.writes
+  with Exit ->
+    unlock_acquired tx;
+    raise Conflict
+
+let commit tx =
+  if Hashtbl.length tx.writes = 0 then
+    Stm_stats.record_commit global_stats ~read_only:true
+  else begin
+    lock_write_set tx;
+    let wv = Global_clock.tick clock in
+    (* If nothing committed since we started, the read set is trivially
+       intact (standard TL2 optimization). *)
+    if wv <> tx.rv + 2 && not (read_set_valid tx ~own_locks:true) then begin
+      unlock_acquired tx;
+      raise Conflict
+    end;
+    Hashtbl.iter
+      (fun _ (W w) ->
+        w.tv.content <- !(w.value);
+        w.locked <- false;
+        Atomic.set w.tv.vlock wv)
+      tx.writes;
+    Stm_stats.record_commit global_stats ~read_only:false
+  end
+
+let flush_tx_stats tx =
+  Stm_stats.record_validation global_stats ~steps:tx.validation_steps;
+  Stm_stats.record_read_set global_stats ~size:tx.nreads
+
+let reset_tx tx =
+  tx.rv <- Global_clock.now clock;
+  tx.nreads <- 0;
+  Hashtbl.reset tx.writes;
+  tx.validation_steps <- 0;
+  (* Shrink a read set that ballooned in a previous long transaction so
+     per-op memory stays bounded. *)
+  if Array.length tx.reads > 1 lsl 16 then tx.reads <- Array.make 64 dummy_read
+
+let atomic f =
+  let state = current () in
+  match state.active with
+  | Some _ -> f () (* nested: flatten *)
+  | None ->
+    let tx =
+      match state.spare with
+      | Some tx -> tx
+      | None ->
+        let tx = fresh_tx () in
+        state.spare <- Some tx;
+        tx
+    in
+    let rec attempt () =
+      reset_tx tx;
+      state.active <- Some tx;
+      match
+        let result = f () in
+        commit tx;
+        result
+      with
+      | result ->
+        state.active <- None;
+        flush_tx_stats tx;
+        Backoff.reset tx.backoff;
+        result
+      | exception Conflict ->
+        state.active <- None;
+        flush_tx_stats tx;
+        Stm_stats.record_abort global_stats;
+        Backoff.once tx.backoff;
+        attempt ()
+      | exception exn ->
+        (* The rv check on every read gives opacity: the view that
+           produced [exn] was consistent, so roll back (discard the
+           write buffer) and propagate. *)
+        state.active <- None;
+        flush_tx_stats tx;
+        raise exn
+    in
+    attempt ()
+
+let stats () = Stm_stats.snapshot global_stats
+let reset_stats () = Stm_stats.reset global_stats

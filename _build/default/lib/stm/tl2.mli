@@ -1,0 +1,10 @@
+(** A TL2-style software transactional memory: global version clock,
+    invisible-but-validated reads in O(1) per read (opacity), lazy write
+    buffering, commit-time locking with a single O(k) read-set
+    validation pass, and TinySTM-style timestamp extension.
+
+    This is the representative of the "solutions already proposed"
+    [Dice–Shalev–Shavit, DISC'06] the STMBench7 paper points to as the
+    fix for ASTM's pathologies. See {!Astm} for the contrast. *)
+
+include Stm_intf.S

@@ -1,0 +1,1 @@
+test/test_avl.ml: Alcotest Fun Int List Map Printf QCheck QCheck_alcotest Sb7_core String

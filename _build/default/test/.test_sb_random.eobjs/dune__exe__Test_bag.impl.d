@@ -1,0 +1,1 @@
+test/test_bag.ml: Alcotest Int List Printf QCheck QCheck_alcotest Sb7_core Sb7_runtime String

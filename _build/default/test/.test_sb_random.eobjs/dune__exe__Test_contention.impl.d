@@ -1,0 +1,1 @@
+test/test_contention.ml: Alcotest Format List Printf Sb7_stm

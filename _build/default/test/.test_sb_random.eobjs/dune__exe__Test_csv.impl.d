@@ -1,0 +1,1 @@
+test/test_csv.ml: Alcotest Array Buffer Filename Lazy List Sb7_core Sb7_harness String Sys

@@ -1,0 +1,1 @@
+test/test_fine_runtime.ml: Alcotest Atomic Domain List Option Sb7_core Sb7_harness Sb7_runtime String

@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Array Buffer Format Lazy List Sb7_core Sb7_harness String

@@ -1,0 +1,1 @@
+test/test_id_pool.ml: Alcotest List Sb7_core Sb7_runtime Sb7_stm

@@ -1,0 +1,1 @@
+test/test_index_concurrency.ml: Alcotest Atomic Domain Int List Sb7_core Sb7_runtime Sb7_stm

@@ -1,0 +1,1 @@
+test/test_indexes.ml: Alcotest Int List Map Printf QCheck QCheck_alcotest Sb7_core Sb7_runtime String

@@ -1,0 +1,1 @@
+test/test_invariants_checker.ml: Alcotest Option Sb7_core Sb7_runtime

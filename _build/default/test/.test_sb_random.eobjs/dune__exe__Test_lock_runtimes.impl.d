@@ -1,0 +1,1 @@
+test/test_lock_runtimes.ml: Alcotest Array Atomic Domain List Option Sb7_core Sb7_runtime Unix

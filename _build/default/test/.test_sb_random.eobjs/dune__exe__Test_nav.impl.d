@@ -1,0 +1,1 @@
+test/test_nav.ml: Alcotest Hashtbl Lazy List Sb7_core Sb7_runtime

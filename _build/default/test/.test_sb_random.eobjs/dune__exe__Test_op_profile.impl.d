@@ -1,0 +1,1 @@
+test/test_op_profile.ml: Alcotest List Sb7_core Sb7_runtime

@@ -1,0 +1,1 @@
+test/test_operations.ml: Alcotest Hashtbl List Sb7_core Sb7_runtime

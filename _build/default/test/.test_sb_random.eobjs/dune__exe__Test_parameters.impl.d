@@ -1,0 +1,1 @@
+test/test_parameters.ml: Alcotest List Sb7_core

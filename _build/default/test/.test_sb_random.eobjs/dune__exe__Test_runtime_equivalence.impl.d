@@ -1,0 +1,1 @@
+test/test_runtime_equivalence.ml: Alcotest Array Hashtbl List Sb7_core Sb7_harness Sb7_runtime

@@ -1,0 +1,1 @@
+test/test_rwlock.ml: Alcotest Atomic Domain List Sb7_rwlock Unix

@@ -1,0 +1,1 @@
+test/test_sb_random.ml: Alcotest Array Fun List Printf Sb7_core

@@ -1,0 +1,1 @@
+test/test_sb_random.mli:

@@ -1,0 +1,1 @@
+test/test_stm.ml: Alcotest Array Atomic Domain Fun List Printf Sb7_core Sb7_stm

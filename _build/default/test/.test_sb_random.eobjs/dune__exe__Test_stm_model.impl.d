@@ -1,0 +1,1 @@
+test/test_stm_model.ml: Alcotest Array List Printf QCheck QCheck_alcotest Sb7_runtime Sb7_stm String

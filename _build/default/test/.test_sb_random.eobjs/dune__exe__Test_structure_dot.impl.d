@@ -1,0 +1,1 @@
+test/test_structure_dot.ml: Alcotest Buffer Format Option Printf Sb7_core Sb7_runtime String

@@ -1,0 +1,1 @@
+test/test_text.ml: Alcotest List Printf QCheck QCheck_alcotest Sb7_core String

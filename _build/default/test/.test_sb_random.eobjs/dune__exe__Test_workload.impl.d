@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array List Printf Sb7_core Sb7_harness Sb7_runtime

@@ -1,0 +1,165 @@
+(* Tests for the pure AVL map: unit behaviour plus qcheck equivalence
+   with Stdlib.Map as a model. *)
+
+module Avl = Sb7_core.Avl
+module IM = Map.Make (Int)
+
+let cmp = Int.compare
+
+let of_list l = List.fold_left (fun t (k, v) -> Avl.add cmp k v t) Avl.empty l
+
+let test_empty () =
+  Alcotest.(check (option int)) "find in empty" None (Avl.find cmp 1 Avl.empty);
+  Alcotest.(check int) "cardinal" 0 (Avl.cardinal Avl.empty)
+
+let test_add_find () =
+  let t = of_list [ (1, 10); (2, 20); (3, 30) ] in
+  Alcotest.(check (option int)) "find 2" (Some 20) (Avl.find cmp 2 t);
+  Alcotest.(check (option int)) "find 9" None (Avl.find cmp 9 t);
+  Alcotest.(check int) "cardinal" 3 (Avl.cardinal t)
+
+let test_add_replaces () =
+  let t = of_list [ (1, 10); (1, 11) ] in
+  Alcotest.(check (option int)) "replaced" (Some 11) (Avl.find cmp 1 t);
+  Alcotest.(check int) "no duplicate" 1 (Avl.cardinal t)
+
+let test_remove () =
+  let t = of_list [ (1, 10); (2, 20); (3, 30) ] in
+  let t = Avl.remove cmp 2 t in
+  Alcotest.(check (option int)) "removed" None (Avl.find cmp 2 t);
+  Alcotest.(check (option int)) "kept" (Some 30) (Avl.find cmp 3 t);
+  Alcotest.(check int) "cardinal" 2 (Avl.cardinal t)
+
+let test_remove_absent () =
+  let t = of_list [ (1, 10) ] in
+  let t' = Avl.remove cmp 9 t in
+  Alcotest.(check int) "unchanged" (Avl.cardinal t) (Avl.cardinal t')
+
+let test_iter_ascending () =
+  let t = of_list [ (3, 0); (1, 0); (2, 0); (5, 0); (4, 0) ] in
+  let keys = ref [] in
+  Avl.iter (fun k _ -> keys := k :: !keys) t;
+  Alcotest.(check (list int)) "ascending" [ 1; 2; 3; 4; 5 ] (List.rev !keys)
+
+let test_fold () =
+  let t = of_list [ (1, 10); (2, 20) ] in
+  Alcotest.(check int) "sum" 30 (Avl.fold (fun _ v acc -> acc + v) t 0)
+
+let test_range_inclusive () =
+  let t = of_list (List.init 10 (fun i -> (i, i * 10))) in
+  let r = Avl.range cmp 3 6 t in
+  Alcotest.(check (list (pair int int)))
+    "range [3,6]"
+    [ (3, 30); (4, 40); (5, 50); (6, 60) ]
+    r
+
+let test_range_empty () =
+  let t = of_list [ (1, 1); (10, 10) ] in
+  Alcotest.(check (list (pair int int))) "gap" [] (Avl.range cmp 2 9 t)
+
+let test_range_all () =
+  let t = of_list [ (1, 1); (2, 2) ] in
+  Alcotest.(check (list (pair int int)))
+    "everything" [ (1, 1); (2, 2) ]
+    (Avl.range cmp min_int max_int t)
+
+let test_balanced_sequential () =
+  let t = of_list (List.init 1000 (fun i -> (i, i))) in
+  Alcotest.(check bool) "well formed" true (Avl.well_formed cmp t);
+  Alcotest.(check int) "cardinal" 1000 (Avl.cardinal t);
+  (* A balanced tree of 1000 nodes has height <= 1.44 log2(1001) ~ 15. *)
+  Alcotest.(check bool) "height bounded" true (Avl.height t <= 15)
+
+(* qcheck: model-based equivalence against Stdlib.Map. *)
+
+type op =
+  | Add of int * int
+  | Remove of int
+
+let op_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (3, map2 (fun k v -> Add (k, v)) (int_bound 50) (int_bound 1000));
+        (1, map (fun k -> Remove k) (int_bound 50));
+      ])
+
+let op_print = function
+  | Add (k, v) -> Printf.sprintf "Add(%d,%d)" k v
+  | Remove k -> Printf.sprintf "Remove %d" k
+
+let ops_arbitrary =
+  QCheck.make
+    QCheck.Gen.(list_size (int_bound 200) op_gen)
+    ~print:(fun l -> String.concat ";" (List.map op_print l))
+
+let apply_ops ops =
+  List.fold_left
+    (fun (avl, model) -> function
+      | Add (k, v) -> (Avl.add cmp k v avl, IM.add k v model)
+      | Remove k -> (Avl.remove cmp k avl, IM.remove k model))
+    (Avl.empty, IM.empty) ops
+
+let prop_model_find =
+  QCheck.Test.make ~name:"find agrees with Map" ~count:300 ops_arbitrary
+    (fun ops ->
+      let avl, model = apply_ops ops in
+      List.for_all
+        (fun k -> Avl.find cmp k avl = IM.find_opt k model)
+        (List.init 60 Fun.id))
+
+let prop_model_bindings =
+  QCheck.Test.make ~name:"fold agrees with Map.bindings" ~count:300
+    ops_arbitrary (fun ops ->
+      let avl, model = apply_ops ops in
+      Avl.fold (fun k v acc -> (k, v) :: acc) avl [] |> List.rev
+      = IM.bindings model)
+
+let prop_well_formed =
+  QCheck.Test.make ~name:"AVL invariants hold" ~count:300 ops_arbitrary
+    (fun ops ->
+      let avl, _ = apply_ops ops in
+      Avl.well_formed cmp avl)
+
+let prop_range_model =
+  QCheck.Test.make ~name:"range agrees with Map filter" ~count:300
+    QCheck.(pair ops_arbitrary (pair (int_bound 50) (int_bound 50)))
+    (fun (ops, (a, b)) ->
+      let lo = min a b and hi = max a b in
+      let avl, model = apply_ops ops in
+      Avl.range cmp lo hi avl
+      = List.filter (fun (k, _) -> k >= lo && k <= hi) (IM.bindings model))
+
+let prop_cardinal =
+  QCheck.Test.make ~name:"cardinal agrees with Map" ~count:300 ops_arbitrary
+    (fun ops ->
+      let avl, model = apply_ops ops in
+      Avl.cardinal avl = IM.cardinal model)
+
+let qcheck_suite =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_model_find;
+      prop_model_bindings;
+      prop_well_formed;
+      prop_range_model;
+      prop_cardinal;
+    ]
+
+let suite =
+  [
+    Alcotest.test_case "empty" `Quick test_empty;
+    Alcotest.test_case "add/find" `Quick test_add_find;
+    Alcotest.test_case "add replaces" `Quick test_add_replaces;
+    Alcotest.test_case "remove" `Quick test_remove;
+    Alcotest.test_case "remove absent" `Quick test_remove_absent;
+    Alcotest.test_case "iter ascending" `Quick test_iter_ascending;
+    Alcotest.test_case "fold" `Quick test_fold;
+    Alcotest.test_case "range inclusive" `Quick test_range_inclusive;
+    Alcotest.test_case "range empty" `Quick test_range_empty;
+    Alcotest.test_case "range all" `Quick test_range_all;
+    Alcotest.test_case "balance under sequential inserts" `Quick
+      test_balanced_sequential;
+  ]
+
+let () = Alcotest.run "avl" [ ("avl", suite); ("avl-props", qcheck_suite) ]

@@ -1,0 +1,142 @@
+(* Tests for the transactional bag. *)
+
+module Bag = Sb7_core.Bag.Make (Sb7_runtime.Seq_runtime)
+
+let eq = Int.equal
+
+let test_create_empty () =
+  let b = Bag.create () in
+  Alcotest.(check bool) "empty" true (Bag.is_empty b);
+  Alcotest.(check int) "size 0" 0 (Bag.size b);
+  Alcotest.(check (list int)) "contents" [] (Bag.contents b)
+
+let test_add_and_multiplicity () =
+  let b = Bag.create () in
+  Bag.add b 1;
+  Bag.add b 2;
+  Bag.add b 1;
+  Alcotest.(check int) "size 3" 3 (Bag.size b);
+  Alcotest.(check int) "two 1s" 2 (Bag.count ~eq b 1);
+  Alcotest.(check int) "one 2" 1 (Bag.count ~eq b 2);
+  Alcotest.(check bool) "mem" true (Bag.mem ~eq b 2);
+  Alcotest.(check bool) "not mem" false (Bag.mem ~eq b 3)
+
+let test_remove_one () =
+  let b = Bag.of_list [ 1; 2; 1 ] in
+  Alcotest.(check bool) "removed" true (Bag.remove_one ~eq b 1);
+  Alcotest.(check int) "one left" 1 (Bag.count ~eq b 1);
+  Alcotest.(check bool) "removed again" true (Bag.remove_one ~eq b 1);
+  Alcotest.(check bool) "absent now" false (Bag.remove_one ~eq b 1);
+  Alcotest.(check int) "only 2 left" 1 (Bag.size b)
+
+let test_remove_all () =
+  let b = Bag.of_list [ 1; 2; 1; 1 ] in
+  Alcotest.(check int) "three removed" 3 (Bag.remove_all ~eq b 1);
+  Alcotest.(check int) "none left" 0 (Bag.count ~eq b 1);
+  Alcotest.(check int) "2 untouched" 1 (Bag.size b);
+  Alcotest.(check int) "absent removes zero" 0 (Bag.remove_all ~eq b 9)
+
+let test_iter_exists () =
+  let b = Bag.of_list [ 1; 2; 3 ] in
+  let sum = ref 0 in
+  Bag.iter (fun x -> sum := !sum + x) b;
+  Alcotest.(check int) "iter sums" 6 !sum;
+  Alcotest.(check bool) "exists even" true (Bag.exists (fun x -> x mod 2 = 0) b);
+  Alcotest.(check bool) "no negative" false (Bag.exists (fun x -> x < 0) b)
+
+let test_clear () =
+  let b = Bag.of_list [ 1; 2 ] in
+  Bag.clear b;
+  Alcotest.(check bool) "cleared" true (Bag.is_empty b)
+
+let test_random_element () =
+  let rng = Sb7_core.Sb_random.create ~seed:3 in
+  let b = Bag.of_list [ 10; 20; 30 ] in
+  for _ = 1 to 50 do
+    let x = Bag.random_element rng b ~what:"test bag" in
+    Alcotest.(check bool) "member" true (List.mem x (Bag.contents b))
+  done
+
+let test_random_element_empty_fails () =
+  let rng = Sb7_core.Sb_random.create ~seed:3 in
+  let b : int Bag.t = Bag.create () in
+  match Bag.random_element rng b ~what:"empty bag" with
+  | _ -> Alcotest.fail "expected failure"
+  | exception Sb7_core.Common.Operation_failed _ -> ()
+
+(* qcheck: model equivalence against a sorted-multiset (list). *)
+
+type op =
+  | Add of int
+  | Remove_one of int
+  | Remove_all of int
+
+let op_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (3, map (fun x -> Add x) (int_bound 10));
+        (2, map (fun x -> Remove_one x) (int_bound 10));
+        (1, map (fun x -> Remove_all x) (int_bound 10));
+      ])
+
+let ops_arbitrary =
+  QCheck.make
+    QCheck.Gen.(list_size (int_bound 100) op_gen)
+    ~print:(fun l ->
+      String.concat ";"
+        (List.map
+           (function
+             | Add x -> Printf.sprintf "A%d" x
+             | Remove_one x -> Printf.sprintf "R%d" x
+             | Remove_all x -> Printf.sprintf "X%d" x)
+           l))
+
+let model_remove_one x l =
+  let rec go acc = function
+    | [] -> List.rev acc
+    | y :: rest -> if y = x then List.rev_append acc rest else go (y :: acc) rest
+  in
+  go [] l
+
+let prop_model =
+  QCheck.Test.make ~name:"bag agrees with multiset model" ~count:500
+    ops_arbitrary (fun ops ->
+      let bag = Bag.create () in
+      let model = ref [] in
+      List.iter
+        (function
+          | Add x ->
+            Bag.add bag x;
+            model := x :: !model
+          | Remove_one x ->
+            let removed = Bag.remove_one ~eq bag x in
+            let was = List.mem x !model in
+            if removed <> was then failwith "remove_one result mismatch";
+            model := model_remove_one x !model
+          | Remove_all x ->
+            let removed = Bag.remove_all ~eq bag x in
+            let expected = List.length (List.filter (( = ) x) !model) in
+            if removed <> expected then failwith "remove_all count mismatch";
+            model := List.filter (( <> ) x) !model)
+        ops;
+      List.sort compare (Bag.contents bag) = List.sort compare !model
+      && Bag.size bag = List.length !model)
+
+let qcheck_suite = [ QCheck_alcotest.to_alcotest prop_model ]
+
+let suite =
+  [
+    Alcotest.test_case "create empty" `Quick test_create_empty;
+    Alcotest.test_case "add and multiplicity" `Quick
+      test_add_and_multiplicity;
+    Alcotest.test_case "remove_one" `Quick test_remove_one;
+    Alcotest.test_case "remove_all" `Quick test_remove_all;
+    Alcotest.test_case "iter/exists" `Quick test_iter_exists;
+    Alcotest.test_case "clear" `Quick test_clear;
+    Alcotest.test_case "random element" `Quick test_random_element;
+    Alcotest.test_case "random element on empty" `Quick
+      test_random_element_empty_fails;
+  ]
+
+let () = Alcotest.run "bag" [ ("bag", suite); ("bag-props", qcheck_suite) ]

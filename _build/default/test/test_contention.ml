@@ -1,0 +1,99 @@
+(* Tests for the contention-management policies. *)
+
+module C = Sb7_stm.Contention
+
+let decision = Alcotest.testable
+    (fun ppf d ->
+      Format.pp_print_string ppf
+        (match d with
+        | C.Abort_other -> "Abort_other"
+        | C.Wait -> "Wait"
+        | C.Abort_self -> "Abort_self"))
+    ( = )
+
+let test_aggressive () =
+  List.iter
+    (fun (mine, other) ->
+      Alcotest.check decision "always kills" C.Abort_other
+        (C.decide C.Aggressive ~my_opens:mine ~other_opens:other ~attempts:0))
+    [ (0, 100); (100, 0); (5, 5) ]
+
+let test_timid () =
+  List.iter
+    (fun (mine, other) ->
+      Alcotest.check decision "always yields" C.Abort_self
+        (C.decide C.Timid ~my_opens:mine ~other_opens:other ~attempts:0))
+    [ (0, 100); (100, 0); (5, 5) ]
+
+let test_karma_priority () =
+  (* Higher priority kills immediately. *)
+  Alcotest.check decision "rich kills poor" C.Abort_other
+    (C.decide C.Karma ~my_opens:10 ~other_opens:3 ~attempts:0);
+  (* Lower priority waits... *)
+  Alcotest.check decision "poor waits" C.Wait
+    (C.decide C.Karma ~my_opens:3 ~other_opens:10 ~attempts:0);
+  (* ...and accumulates karma with each attempt until it can kill. *)
+  Alcotest.check decision "karma accumulates" C.Abort_other
+    (C.decide C.Karma ~my_opens:3 ~other_opens:10 ~attempts:7)
+
+let test_polka_same_priorities_as_karma () =
+  List.iter
+    (fun (mine, other, attempts) ->
+      Alcotest.check decision "same decision table"
+        (C.decide C.Karma ~my_opens:mine ~other_opens:other ~attempts)
+        (C.decide C.Polka ~my_opens:mine ~other_opens:other ~attempts))
+    [ (0, 5, 0); (5, 0, 0); (3, 10, 4); (3, 10, 8) ]
+
+let test_polka_exponential_wait () =
+  Alcotest.(check bool) "polka backs off exponentially" true
+    (C.exponential_wait C.Polka);
+  Alcotest.(check bool) "karma does not" false (C.exponential_wait C.Karma);
+  Alcotest.(check bool) "aggressive does not" false
+    (C.exponential_wait C.Aggressive)
+
+let test_wait_eventually_resolves () =
+  (* Whatever the opens gap, enough attempts always end the wait. *)
+  List.iter
+    (fun policy ->
+      let rec attempts_until_kill n =
+        if n > 10_000 then None
+        else
+          match C.decide policy ~my_opens:0 ~other_opens:1000 ~attempts:n with
+          | C.Abort_other | C.Abort_self -> Some n
+          | C.Wait -> attempts_until_kill (n + 1)
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s terminates" (C.policy_to_string policy))
+        true
+        (attempts_until_kill 0 <> None))
+    C.all_policies
+
+let test_string_round_trip () =
+  List.iter
+    (fun p ->
+      match C.policy_of_string (C.policy_to_string p) with
+      | Ok p' -> Alcotest.(check bool) "round trip" true (p = p')
+      | Error e -> Alcotest.fail e)
+    C.all_policies
+
+let test_unknown_policy () =
+  match C.policy_of_string "nonsense" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted nonsense"
+
+let suite =
+  [
+    Alcotest.test_case "aggressive" `Quick test_aggressive;
+    Alcotest.test_case "timid" `Quick test_timid;
+    Alcotest.test_case "karma priorities" `Quick test_karma_priority;
+    Alcotest.test_case "polka = karma decisions" `Quick
+      test_polka_same_priorities_as_karma;
+    Alcotest.test_case "polka waits exponentially" `Quick
+      test_polka_exponential_wait;
+    Alcotest.test_case "waits terminate" `Quick test_wait_eventually_resolves;
+    Alcotest.test_case "policy string round trip" `Quick
+      test_string_round_trip;
+    Alcotest.test_case "unknown policy rejected" `Quick test_unknown_policy;
+  ]
+
+let () = Alcotest.run "contention" [ ("contention", suite) ]

@@ -1,0 +1,167 @@
+(* Tests for the fine-grained (per-tvar 2PL, no-wait restart) locking
+   runtime. *)
+
+module F = Sb7_runtime.Fine_runtime
+module Profile = Sb7_runtime.Op_profile
+
+let profile = Profile.make ~name:"test" ~writes:[ Profile.Manual ] ()
+
+let atomic f = F.atomic ~profile f
+
+let test_read_write_outside () =
+  let tv = F.make 1 in
+  Alcotest.(check int) "read" 1 (F.read tv);
+  F.write tv 2;
+  Alcotest.(check int) "write" 2 (F.read tv)
+
+let test_atomic_basic () =
+  let tv = F.make 0 in
+  let r =
+    atomic (fun () ->
+        F.write tv 5;
+        F.read tv)
+  in
+  Alcotest.(check int) "sees own write" 5 r;
+  Alcotest.(check int) "committed" 5 (F.read tv)
+
+let test_rollback_on_exception () =
+  let a = F.make 10 and b = F.make 20 in
+  (try
+     atomic (fun () ->
+         F.write a 11;
+         F.write b 21;
+         failwith "boom")
+   with Failure _ -> ());
+  Alcotest.(check int) "a rolled back" 10 (F.read a);
+  Alcotest.(check int) "b rolled back" 20 (F.read b)
+
+let test_locks_released_after_exception () =
+  let tv = F.make 0 in
+  (try atomic (fun () -> F.write tv 1; failwith "x") with Failure _ -> ());
+  (* If the write lock leaked, this would deadlock/restart forever. *)
+  atomic (fun () -> F.write tv 2);
+  Alcotest.(check int) "reusable" 2 (F.read tv)
+
+let test_nested_flattens () =
+  let tv = F.make 0 in
+  atomic (fun () ->
+      F.write tv 1;
+      let v = atomic (fun () -> F.read tv) in
+      F.write tv (v + 1));
+  Alcotest.(check int) "flattened" 2 (F.read tv)
+
+let test_upgrade_read_to_write () =
+  let tv = F.make 3 in
+  atomic (fun () ->
+      let v = F.read tv in
+      (* Sole reader: the upgrade must succeed rather than restart. *)
+      F.write tv (v * 2));
+  Alcotest.(check int) "upgraded" 6 (F.read tv)
+
+let test_concurrent_counter () =
+  let tv = F.make 0 in
+  let domains = 4 and iterations = 2_000 in
+  let worker () =
+    for _ = 1 to iterations do
+      atomic (fun () -> F.write tv (F.read tv + 1))
+    done
+  in
+  let ds = List.init domains (fun _ -> Domain.spawn worker) in
+  List.iter Domain.join ds;
+  Alcotest.(check int) "no lost updates" (domains * iterations) (F.read tv)
+
+let test_transfer_invariant () =
+  let a = F.make 500 and b = F.make 500 in
+  let stop = Atomic.make false in
+  let transferer seed () =
+    let rng = Sb7_core.Sb_random.create ~seed in
+    for _ = 1 to 3_000 do
+      let x = Sb7_core.Sb_random.in_range rng 1 10 in
+      atomic (fun () ->
+          F.write a (F.read a - x);
+          F.write b (F.read b + x))
+    done
+  in
+  let observer () =
+    let bad = ref 0 in
+    while not (Atomic.get stop) do
+      let total = atomic (fun () -> F.read a + F.read b) in
+      if total <> 1000 then incr bad
+    done;
+    !bad
+  in
+  let obs = Domain.spawn observer in
+  let ts = List.init 2 (fun i -> Domain.spawn (transferer (i + 1))) in
+  List.iter Domain.join ts;
+  Atomic.set stop true;
+  let violations = Domain.join obs in
+  Alcotest.(check int) "2PL keeps snapshots consistent" 0 violations;
+  Alcotest.(check int) "conserved" 1000 (F.read a + F.read b)
+
+let test_restarts_counted () =
+  F.reset_stats ();
+  let tv = F.make 0 in
+  let ds =
+    List.init 4 (fun _ ->
+        Domain.spawn (fun () ->
+            for _ = 1 to 3_000 do
+              atomic (fun () -> F.write tv (F.read tv + 1))
+            done))
+  in
+  List.iter Domain.join ds;
+  let stats = F.stats () in
+  let get k = Option.value (List.assoc_opt k stats) ~default:0 in
+  Alcotest.(check int) "correct total" 12_000 (F.read tv);
+  Alcotest.(check bool) "acquisitions counted" true (get "acquisitions" > 0)
+
+(* The full benchmark under the fine runtime preserves all structural
+   invariants. *)
+module CI = Sb7_core.Instance.Make (F)
+module CB = Sb7_harness.Benchmark.Make (F)
+
+let test_benchmark_invariants () =
+  let config =
+    {
+      Sb7_harness.Benchmark.default_config with
+      threads = 4;
+      max_ops = Some 600;
+      workload = Sb7_harness.Workload.Write_dominated;
+      scale = Sb7_core.Parameters.tiny;
+      scale_name = "tiny";
+      seed = 77;
+      long_traversals = false;
+    }
+  in
+  let setup = CB.build_setup config in
+  let result = CB.run ~setup config in
+  Alcotest.(check bool) "progress" true
+    (Sb7_harness.Stats.total_successes result.Sb7_harness.Run_result.stats > 0);
+  match CI.Invariants.check setup with
+  | [] -> ()
+  | vs -> Alcotest.failf "invariants: %s" (String.concat "; " vs)
+
+let test_registered () =
+  match Sb7_runtime.Registry.find "fine" with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e
+
+let suite =
+  [
+    Alcotest.test_case "read/write outside" `Quick test_read_write_outside;
+    Alcotest.test_case "atomic basic" `Quick test_atomic_basic;
+    Alcotest.test_case "rollback on exception" `Quick
+      test_rollback_on_exception;
+    Alcotest.test_case "locks released after exception" `Quick
+      test_locks_released_after_exception;
+    Alcotest.test_case "nested flattens" `Quick test_nested_flattens;
+    Alcotest.test_case "read->write upgrade" `Quick
+      test_upgrade_read_to_write;
+    Alcotest.test_case "concurrent counter" `Slow test_concurrent_counter;
+    Alcotest.test_case "transfer invariant" `Slow test_transfer_invariant;
+    Alcotest.test_case "restart accounting" `Slow test_restarts_counted;
+    Alcotest.test_case "benchmark keeps invariants" `Slow
+      test_benchmark_invariants;
+    Alcotest.test_case "registered" `Quick test_registered;
+  ]
+
+let () = Alcotest.run "fine_runtime" [ ("fine", suite) ]

@@ -1,0 +1,73 @@
+(* Tests for the transactional ID pool. *)
+
+module Seq = Sb7_runtime.Seq_runtime
+module Pool = Sb7_core.Id_pool.Make (Seq)
+
+let test_initial_state () =
+  let p = Pool.create ~name:"p" ~capacity:5 in
+  Alcotest.(check int) "capacity" 5 (Pool.capacity p);
+  Alcotest.(check int) "all available" 5 (Pool.available p)
+
+let test_get_unique_in_range () =
+  let p = Pool.create ~name:"p" ~capacity:10 in
+  let ids = List.init 10 (fun _ -> Pool.get p) in
+  Alcotest.(check int) "exhausted" 0 (Pool.available p);
+  let sorted = List.sort_uniq compare ids in
+  Alcotest.(check int) "all unique" 10 (List.length sorted);
+  List.iter
+    (fun id ->
+      Alcotest.(check bool) "in range" true (id >= 1 && id <= 10))
+    ids
+
+let test_exhaustion_fails () =
+  let p = Pool.create ~name:"p" ~capacity:2 in
+  ignore (Pool.get p);
+  ignore (Pool.get p);
+  match Pool.get p with
+  | _ -> Alcotest.fail "expected Operation_failed"
+  | exception Sb7_core.Common.Operation_failed _ -> ()
+
+let test_put_back_recycles () =
+  let p = Pool.create ~name:"p" ~capacity:3 in
+  let a = Pool.get p in
+  let _b = Pool.get p in
+  let _c = Pool.get p in
+  Alcotest.(check int) "empty" 0 (Pool.available p);
+  Pool.put_back p a;
+  Alcotest.(check int) "one back" 1 (Pool.available p);
+  Alcotest.(check int) "recycled id" a (Pool.get p)
+
+let test_get_put_cycles () =
+  let p = Pool.create ~name:"p" ~capacity:4 in
+  for _ = 1 to 100 do
+    let id = Pool.get p in
+    Pool.put_back p id
+  done;
+  Alcotest.(check int) "back to full" 4 (Pool.available p)
+
+(* Under an STM runtime, an aborted transaction returns its IDs. *)
+module Tl2 = Sb7_runtime.Tl2_runtime
+module Tl2_pool = Sb7_core.Id_pool.Make (Tl2)
+
+let test_rollback_returns_ids () =
+  let p = Tl2_pool.create ~name:"p" ~capacity:3 in
+  (try
+     Sb7_stm.Tl2.atomic (fun () ->
+         ignore (Tl2_pool.get p);
+         ignore (Tl2_pool.get p);
+         failwith "rollback")
+   with Failure _ -> ());
+  Alcotest.(check int) "ids restored on abort" 3 (Tl2_pool.available p)
+
+let suite =
+  [
+    Alcotest.test_case "initial state" `Quick test_initial_state;
+    Alcotest.test_case "get unique in range" `Quick test_get_unique_in_range;
+    Alcotest.test_case "exhaustion fails" `Quick test_exhaustion_fails;
+    Alcotest.test_case "put_back recycles" `Quick test_put_back_recycles;
+    Alcotest.test_case "get/put cycles" `Quick test_get_put_cycles;
+    Alcotest.test_case "stm rollback returns ids" `Quick
+      test_rollback_returns_ids;
+  ]
+
+let () = Alcotest.run "id_pool" [ ("id_pool", suite) ]

@@ -1,0 +1,211 @@
+(* Tests for the three index implementations, run against a common
+   model (Stdlib.Map), under the sequential runtime. The B+tree also
+   gets its structural invariant checked after every qcheck scenario. *)
+
+module Seq = Sb7_runtime.Seq_runtime
+module Index_intf = Sb7_core.Index_intf
+module Idx = Sb7_core.Index.Make (Seq)
+module Btree = Sb7_core.Btree_index.Make (Seq)
+module IM = Map.Make (Int)
+
+let kinds = Index_intf.all_kinds
+
+let kind_name = Index_intf.kind_to_string
+
+let with_each_kind f =
+  List.iter (fun kind -> f kind (Idx.create kind ~name:"t" ~cmp:Int.compare)) kinds
+
+let test_empty () =
+  with_each_kind (fun kind idx ->
+      let n = kind_name kind in
+      Alcotest.(check (option int)) (n ^ ": get on empty") None (idx.get 1);
+      Alcotest.(check int) (n ^ ": size 0") 0 (idx.size ());
+      Alcotest.(check bool) (n ^ ": remove on empty") false (idx.remove 1);
+      Alcotest.(check (list (pair int int))) (n ^ ": range empty") []
+        (idx.range 0 100))
+
+let test_put_get () =
+  with_each_kind (fun kind idx ->
+      let n = kind_name kind in
+      idx.put 1 10;
+      idx.put 2 20;
+      Alcotest.(check (option int)) (n ^ ": get 1") (Some 10) (idx.get 1);
+      Alcotest.(check (option int)) (n ^ ": get 2") (Some 20) (idx.get 2);
+      Alcotest.(check (option int)) (n ^ ": miss") None (idx.get 3);
+      Alcotest.(check int) (n ^ ": size") 2 (idx.size ()))
+
+let test_put_replaces () =
+  with_each_kind (fun kind idx ->
+      let n = kind_name kind in
+      idx.put 1 10;
+      idx.put 1 11;
+      Alcotest.(check (option int)) (n ^ ": replaced") (Some 11) (idx.get 1);
+      Alcotest.(check int) (n ^ ": no duplicate") 1 (idx.size ()))
+
+let test_remove () =
+  with_each_kind (fun kind idx ->
+      let n = kind_name kind in
+      idx.put 1 10;
+      idx.put 2 20;
+      Alcotest.(check bool) (n ^ ": removed") true (idx.remove 1);
+      Alcotest.(check (option int)) (n ^ ": gone") None (idx.get 1);
+      Alcotest.(check (option int)) (n ^ ": kept") (Some 20) (idx.get 2);
+      Alcotest.(check bool) (n ^ ": re-remove") false (idx.remove 1);
+      Alcotest.(check int) (n ^ ": size") 1 (idx.size ()))
+
+let test_iter_ascending () =
+  with_each_kind (fun kind idx ->
+      let n = kind_name kind in
+      List.iter (fun k -> idx.put k (k * 10)) [ 5; 1; 4; 2; 3 ];
+      let keys = ref [] in
+      idx.iter (fun k _ -> keys := k :: !keys);
+      Alcotest.(check (list int)) (n ^ ": ascending") [ 1; 2; 3; 4; 5 ]
+        (List.rev !keys))
+
+let test_range () =
+  with_each_kind (fun kind idx ->
+      let n = kind_name kind in
+      List.iter (fun k -> idx.put k k) (List.init 20 (fun i -> i * 2));
+      Alcotest.(check (list (pair int int)))
+        (n ^ ": inclusive range")
+        [ (4, 4); (6, 6); (8, 8) ]
+        (idx.range 4 8);
+      Alcotest.(check (list (pair int int)))
+        (n ^ ": range with odd bounds")
+        [ (4, 4); (6, 6); (8, 8) ]
+        (idx.range 3 9))
+
+let test_many_sequential () =
+  with_each_kind (fun kind idx ->
+      let n = kind_name kind in
+      let count = 2_000 in
+      for i = 1 to count do
+        idx.put i i
+      done;
+      Alcotest.(check int) (n ^ ": size") count (idx.size ());
+      for i = 1 to count do
+        if idx.get i <> Some i then
+          Alcotest.failf "%s: missing key %d" n i
+      done;
+      for i = 1 to count / 2 do
+        ignore (idx.remove (i * 2))
+      done;
+      Alcotest.(check int) (n ^ ": size after deletes") (count / 2)
+        (idx.size ());
+      Alcotest.(check (option int)) (n ^ ": odd kept") (Some 3) (idx.get 3);
+      Alcotest.(check (option int)) (n ^ ": even gone") None (idx.get 4))
+
+let test_string_keys () =
+  with_each_kind (fun _ _ -> ());
+  List.iter
+    (fun kind ->
+      let idx = Idx.create kind ~name:"s" ~cmp:String.compare in
+      idx.put "beta" 2;
+      idx.put "alpha" 1;
+      Alcotest.(check (option int))
+        (kind_name kind ^ ": string key") (Some 1) (idx.get "alpha");
+      let keys = ref [] in
+      idx.iter (fun k _ -> keys := k :: !keys);
+      Alcotest.(check (list string))
+        (kind_name kind ^ ": string order") [ "alpha"; "beta" ]
+        (List.rev !keys))
+    kinds
+
+(* --- qcheck model equivalence, per kind --- *)
+
+type op =
+  | Put of int * int
+  | Remove of int
+  | Get of int
+
+let op_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (4, map2 (fun k v -> Put (k, v)) (int_bound 100) (int_bound 10_000));
+        (2, map (fun k -> Remove k) (int_bound 100));
+        (1, map (fun k -> Get k) (int_bound 100));
+      ])
+
+let op_print = function
+  | Put (k, v) -> Printf.sprintf "Put(%d,%d)" k v
+  | Remove k -> Printf.sprintf "Remove %d" k
+  | Get k -> Printf.sprintf "Get %d" k
+
+let ops_arbitrary =
+  QCheck.make
+    QCheck.Gen.(list_size (int_bound 400) op_gen)
+    ~print:(fun l -> String.concat ";" (List.map op_print l))
+
+let model_check kind ops =
+  let idx = Idx.create kind ~name:"m" ~cmp:Int.compare in
+  let model = ref IM.empty in
+  let ok = ref true in
+  List.iter
+    (function
+      | Put (k, v) ->
+        idx.put k v;
+        model := IM.add k v !model
+      | Remove k ->
+        let was = idx.remove k in
+        if was <> IM.mem k !model then ok := false;
+        model := IM.remove k !model
+      | Get k -> if idx.get k <> IM.find_opt k !model then ok := false)
+    ops;
+  (* Final state equivalence. *)
+  let bindings = ref [] in
+  idx.iter (fun k v -> bindings := (k, v) :: !bindings);
+  !ok
+  && List.rev !bindings = IM.bindings !model
+  && idx.size () = IM.cardinal !model
+  && idx.range 10 60
+     = List.filter (fun (k, _) -> k >= 10 && k <= 60) (IM.bindings !model)
+
+let prop_model kind =
+  QCheck.Test.make
+    ~name:(Printf.sprintf "%s agrees with Map" (kind_name kind))
+    ~count:200 ops_arbitrary (model_check kind)
+
+let prop_btree_invariants =
+  QCheck.Test.make ~name:"btree structural invariants" ~count:200
+    ops_arbitrary (fun ops ->
+      let idx, check = Btree.create_with_check ~name:"b" ~cmp:Int.compare in
+      List.iter
+        (function
+          | Put (k, v) -> idx.put k v
+          | Remove k -> ignore (idx.remove k)
+          | Get k -> ignore (idx.get k))
+        ops;
+      check ())
+
+let qcheck_suite =
+  List.map QCheck_alcotest.to_alcotest
+    (List.map prop_model kinds @ [ prop_btree_invariants ])
+
+let test_btree_splits_deep () =
+  (* Push well past several split levels. *)
+  let idx, check = Btree.create_with_check ~name:"deep" ~cmp:Int.compare in
+  let n = 10_000 in
+  for i = n downto 1 do
+    idx.put i i
+  done;
+  Alcotest.(check bool) "well formed after splits" true (check ());
+  Alcotest.(check int) "all present" n (idx.size ());
+  Alcotest.(check (option int)) "spot check" (Some 7_777) (idx.get 7_777)
+
+let suite =
+  [
+    Alcotest.test_case "empty" `Quick test_empty;
+    Alcotest.test_case "put/get" `Quick test_put_get;
+    Alcotest.test_case "put replaces" `Quick test_put_replaces;
+    Alcotest.test_case "remove" `Quick test_remove;
+    Alcotest.test_case "iter ascending" `Quick test_iter_ascending;
+    Alcotest.test_case "range" `Quick test_range;
+    Alcotest.test_case "many sequential" `Quick test_many_sequential;
+    Alcotest.test_case "string keys" `Quick test_string_keys;
+    Alcotest.test_case "btree deep splits" `Quick test_btree_splits_deep;
+  ]
+
+let () =
+  Alcotest.run "indexes"
+    [ ("indexes", suite); ("index-props", qcheck_suite) ]

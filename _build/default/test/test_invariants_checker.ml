@@ -1,0 +1,128 @@
+(* The invariant checker checks the checker: deliberately corrupt a
+   fresh structure in targeted ways and assert each corruption is
+   detected. A checker that silently accepts broken structures would
+   make every other integration test meaningless. *)
+
+module Seq = Sb7_runtime.Seq_runtime
+module I = Sb7_core.Instance.Make (Seq)
+module P = Sb7_core.Parameters
+module T = I.Types
+
+let fresh () = I.Setup.create ~seed:51 P.tiny
+
+let violations setup = I.Invariants.check setup
+
+let expect_violation setup ~about =
+  match violations setup with
+  | [] -> Alcotest.failf "corruption (%s) not detected" about
+  | _ -> ()
+
+let some_cp setup =
+  let found = ref None in
+  setup.I.Setup.cp_id_index.iter (fun _ cp ->
+      if !found = None then found := Some cp);
+  Option.get !found
+
+let some_ba setup =
+  let found = ref None in
+  setup.I.Setup.ba_id_index.iter (fun _ ba ->
+      if !found = None then found := Some ba);
+  Option.get !found
+
+let some_ap setup =
+  let found = ref None in
+  setup.I.Setup.ap_id_index.iter (fun _ p ->
+      if !found = None then found := Some p);
+  Option.get !found
+
+let test_clean_structure_passes () =
+  Alcotest.(check (list string)) "no violations" [] (violations (fresh ()))
+
+let test_detects_missing_index_entry () =
+  let setup = fresh () in
+  let cp = some_cp setup in
+  ignore (setup.I.Setup.cp_id_index.remove cp.T.cp_id);
+  expect_violation setup ~about:"composite part removed from index only"
+
+let test_detects_dangling_ap_index_entry () =
+  let setup = fresh () in
+  let p = some_ap setup in
+  (* Drop the part from the date index but not the ID index. *)
+  I.Setup.date_index_remove setup p (Seq.read p.T.ap_build_date);
+  expect_violation setup ~about:"date index missing a live part"
+
+let test_detects_stale_date_bucket () =
+  let setup = fresh () in
+  let p = some_ap setup in
+  (* Change the date without index maintenance. *)
+  Seq.write p.T.ap_build_date (Seq.read p.T.ap_build_date + 1);
+  expect_violation setup ~about:"build date changed without index update"
+
+let test_detects_asymmetric_link () =
+  let setup = fresh () in
+  let ba = some_ba setup in
+  let cp = some_cp setup in
+  (* One-sided link: bag symmetry broken. *)
+  Seq.write ba.T.ba_components (cp :: Seq.read ba.T.ba_components);
+  expect_violation setup ~about:"one-sided base-assembly link"
+
+let test_detects_orphan_assembly () =
+  let setup = fresh () in
+  let ba = some_ba setup in
+  let parent = Option.get ba.T.ba_super in
+  (* Detach from the tree but leave it in the index. *)
+  I.Setup.detach_assembly parent (T.Base ba);
+  expect_violation setup ~about:"indexed base assembly missing from tree"
+
+let test_detects_pool_leak () =
+  let setup = fresh () in
+  (* Take an ID and drop it on the floor. *)
+  ignore (I.Id_pool.get setup.I.Setup.cp_pool);
+  expect_violation setup ~about:"leaked pool id"
+
+let test_detects_broken_graph () =
+  let setup = fresh () in
+  let cp = some_cp setup in
+  (* Cut all outgoing connections of the root part: DFS can no longer
+     reach the whole graph. *)
+  let root = Seq.read cp.T.cp_root_part in
+  Seq.write root.T.ap_to [];
+  expect_violation setup ~about:"disconnected atomic-part graph"
+
+let test_detects_childless_complex () =
+  let setup = fresh () in
+  let ca =
+    match Seq.read setup.I.Setup.module_.T.mod_design_root.T.ca_sub with
+    | T.Complex c :: _ -> c
+    | _ -> Alcotest.fail "unexpected shape"
+  in
+  Seq.write ca.T.ca_sub [];
+  expect_violation setup ~about:"childless complex assembly"
+
+let test_check_exn_raises () =
+  let setup = fresh () in
+  let cp = some_cp setup in
+  ignore (setup.I.Setup.cp_id_index.remove cp.T.cp_id);
+  match I.Invariants.check_exn setup with
+  | () -> Alcotest.fail "check_exn accepted a broken structure"
+  | exception Failure _ -> ()
+
+let suite =
+  [
+    Alcotest.test_case "clean structure passes" `Quick
+      test_clean_structure_passes;
+    Alcotest.test_case "missing index entry" `Quick
+      test_detects_missing_index_entry;
+    Alcotest.test_case "date index desync" `Quick
+      test_detects_dangling_ap_index_entry;
+    Alcotest.test_case "stale date bucket" `Quick test_detects_stale_date_bucket;
+    Alcotest.test_case "asymmetric link" `Quick test_detects_asymmetric_link;
+    Alcotest.test_case "orphan assembly" `Quick test_detects_orphan_assembly;
+    Alcotest.test_case "pool leak" `Quick test_detects_pool_leak;
+    Alcotest.test_case "broken part graph" `Quick test_detects_broken_graph;
+    Alcotest.test_case "childless complex assembly" `Quick
+      test_detects_childless_complex;
+    Alcotest.test_case "check_exn raises" `Quick test_check_exn_raises;
+  ]
+
+let () = Alcotest.run "invariants_checker" [ ("checker", suite) ]

@@ -1,0 +1,187 @@
+(* Direct tests of the coarse- and medium-grained lock runtimes'
+   semantics (paper §4 and Figure 5): exclusion, read-sharing,
+   profile-driven lock modes, structural isolation, and the
+   concurrency the medium strategy permits that coarse does not. *)
+
+module Coarse = Sb7_runtime.Coarse_runtime
+module Medium = Sb7_runtime.Medium_runtime
+module P = Sb7_runtime.Op_profile
+
+let ro_profile name doms = P.make ~name ~reads:doms ()
+let w_profile name doms = P.make ~name ~writes:doms ()
+let sm_profile name = P.make ~name ~structural:true ()
+
+(* Barrier-ish helper: wait until a flag rises, with a timeout so a
+   deadlock fails the test instead of hanging it. *)
+let wait_for ?(timeout_s = 5.) flag =
+  let t0 = Unix.gettimeofday () in
+  while (not (Atomic.get flag)) && Unix.gettimeofday () -. t0 < timeout_s do
+    Domain.cpu_relax ()
+  done;
+  Atomic.get flag
+
+(* Run [a] and [b] concurrently; returns true iff both were observed
+   inside their critical sections at the same time. *)
+let overlap atomic_a profile_a atomic_b profile_b =
+  let a_in = Atomic.make false and b_in = Atomic.make false in
+  let overlapped = Atomic.make false in
+  let body own other () =
+    Atomic.set own true;
+    (* Give the other operation a moment to enter. *)
+    let t0 = Unix.gettimeofday () in
+    while
+      (not (Atomic.get other)) && Unix.gettimeofday () -. t0 < 0.2
+    do
+      Domain.cpu_relax ()
+    done;
+    if Atomic.get other then Atomic.set overlapped true;
+    Atomic.set own false
+  in
+  let da =
+    Domain.spawn (fun () -> atomic_a ~profile:profile_a (body a_in b_in))
+  in
+  let db =
+    Domain.spawn (fun () -> atomic_b ~profile:profile_b (body b_in a_in))
+  in
+  Domain.join da;
+  Domain.join db;
+  Atomic.get overlapped
+
+let test_coarse_readers_share () =
+  Alcotest.(check bool) "two read-only ops overlap" true
+    (overlap Coarse.atomic
+       (ro_profile "r1" [ P.Manual ])
+       Coarse.atomic
+       (ro_profile "r2" [ P.Atomic_parts ]))
+
+let test_coarse_writer_excludes_all () =
+  Alcotest.(check bool) "writer excludes reader even on disjoint domains"
+    false
+    (overlap Coarse.atomic
+       (w_profile "w" [ P.Manual ])
+       Coarse.atomic
+       (ro_profile "r" [ P.Atomic_parts ]))
+
+let test_medium_disjoint_writers_overlap () =
+  Alcotest.(check bool) "writers on disjoint domains overlap" true
+    (overlap Medium.atomic
+       (w_profile "w1" [ P.Manual ])
+       Medium.atomic
+       (w_profile "w2" [ P.Atomic_parts ]))
+
+let test_medium_same_domain_writers_exclude () =
+  Alcotest.(check bool) "writers on the same domain exclude" false
+    (overlap Medium.atomic
+       (w_profile "w1" [ P.Documents ])
+       Medium.atomic
+       (w_profile "w2" [ P.Documents ]))
+
+let test_medium_reader_writer_same_domain_exclude () =
+  Alcotest.(check bool) "reader and writer on one domain exclude" false
+    (overlap Medium.atomic
+       (ro_profile "r" [ P.Assembly_level 3 ])
+       Medium.atomic
+       (w_profile "w" [ P.Assembly_level 3 ]))
+
+let test_medium_structural_excludes_everything () =
+  Alcotest.(check bool) "SM excludes a disjoint-domain reader" false
+    (overlap Medium.atomic (sm_profile "sm") Medium.atomic
+       (ro_profile "r" [ P.Manual ]));
+  Alcotest.(check bool) "SM excludes another SM" false
+    (overlap Medium.atomic (sm_profile "sm1") Medium.atomic
+       (sm_profile "sm2"))
+
+let test_medium_readers_share_domain () =
+  Alcotest.(check bool) "readers share a domain lock" true
+    (overlap Medium.atomic
+       (ro_profile "r1" [ P.Composite_parts ])
+       Medium.atomic
+       (ro_profile "r2" [ P.Composite_parts ]))
+
+(* Deadlock freedom: many domains, overlapping multi-domain write
+   profiles in every order. The canonical acquisition order must keep
+   this loop running to completion. *)
+let test_medium_no_deadlock_under_crossing_profiles () =
+  let profiles =
+    [|
+      w_profile "a" [ P.Assembly_level 1; P.Documents ];
+      w_profile "b" [ P.Documents; P.Manual ];
+      w_profile "c" [ P.Manual; P.Assembly_level 1 ];
+      w_profile "d" (P.all_assembly_levels @ [ P.Manual ]);
+      sm_profile "e";
+    |]
+  in
+  let done_flag = Atomic.make false in
+  let worker seed () =
+    let rng = Sb7_core.Sb_random.create ~seed in
+    for _ = 1 to 2_000 do
+      let p = profiles.(Sb7_core.Sb_random.int rng (Array.length profiles)) in
+      Medium.atomic ~profile:p (fun () -> ())
+    done
+  in
+  let ds = List.init 4 (fun i -> Domain.spawn (worker (i + 1))) in
+  let watchdog =
+    Domain.spawn (fun () -> ignore (wait_for ~timeout_s:30. done_flag))
+  in
+  List.iter Domain.join ds;
+  Atomic.set done_flag true;
+  Domain.join watchdog;
+  Alcotest.(check pass) "completed without deadlock" () ()
+
+let test_exception_releases_locks () =
+  (try
+     Medium.atomic ~profile:(w_profile "w" [ P.Manual; P.Documents ])
+       (fun () -> failwith "boom")
+   with Failure _ -> ());
+  (* Locks must be free again. *)
+  Medium.atomic ~profile:(w_profile "w2" [ P.Manual; P.Documents ]) (fun () ->
+      ());
+  (try Coarse.atomic ~profile:(sm_profile "sm") (fun () -> failwith "boom")
+   with Failure _ -> ());
+  Coarse.atomic ~profile:(w_profile "w" [ P.Manual ]) (fun () -> ());
+  Alcotest.(check pass) "locks released after exceptions" () ()
+
+let test_stats_count_modes () =
+  Coarse.reset_stats ();
+  Coarse.atomic ~profile:(ro_profile "r" [ P.Manual ]) (fun () -> ());
+  Coarse.atomic ~profile:(w_profile "w" [ P.Manual ]) (fun () -> ());
+  Coarse.atomic ~profile:(sm_profile "sm") (fun () -> ());
+  let get k l = Option.value (List.assoc_opt k l) ~default:(-1) in
+  let s = Coarse.stats () in
+  Alcotest.(check int) "one read acquisition" 1 (get "read_acquisitions" s);
+  Alcotest.(check int) "two write acquisitions (update + SM)" 2
+    (get "write_acquisitions" s);
+  Medium.reset_stats ();
+  Medium.atomic
+    ~profile:(P.make ~name:"rw" ~reads:[ P.Manual ] ~writes:[ P.Documents ] ())
+    (fun () -> ());
+  let s = Medium.stats () in
+  Alcotest.(check int) "medium read locks" 1 (get "read_acquisitions" s);
+  Alcotest.(check int) "medium write locks" 1 (get "write_acquisitions" s);
+  Medium.atomic ~profile:(sm_profile "sm") (fun () -> ());
+  let s = Medium.stats () in
+  Alcotest.(check int) "structural op counted" 1 (get "structural_ops" s)
+
+let suite =
+  [
+    Alcotest.test_case "coarse readers share" `Slow test_coarse_readers_share;
+    Alcotest.test_case "coarse writer excludes all" `Slow
+      test_coarse_writer_excludes_all;
+    Alcotest.test_case "medium disjoint writers overlap" `Slow
+      test_medium_disjoint_writers_overlap;
+    Alcotest.test_case "medium same-domain writers exclude" `Slow
+      test_medium_same_domain_writers_exclude;
+    Alcotest.test_case "medium reader/writer exclude" `Slow
+      test_medium_reader_writer_same_domain_exclude;
+    Alcotest.test_case "medium SM isolation" `Slow
+      test_medium_structural_excludes_everything;
+    Alcotest.test_case "medium readers share" `Slow
+      test_medium_readers_share_domain;
+    Alcotest.test_case "medium deadlock freedom" `Slow
+      test_medium_no_deadlock_under_crossing_profiles;
+    Alcotest.test_case "exceptions release locks" `Quick
+      test_exception_releases_locks;
+    Alcotest.test_case "stats count lock modes" `Quick test_stats_count_modes;
+  ]
+
+let () = Alcotest.run "lock_runtimes" [ ("lock_runtimes", suite) ]

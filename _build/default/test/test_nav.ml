@@ -1,0 +1,152 @@
+(* Tests for the shared traversal helpers. *)
+
+module Seq = Sb7_runtime.Seq_runtime
+module I = Sb7_core.Instance.Make (Seq)
+module P = Sb7_core.Parameters
+module T = I.Types
+module Rand = Sb7_core.Sb_random
+
+let params = P.tiny
+let setup = lazy (I.Setup.create ~seed:31 params)
+
+let test_dfs_visits_each_part_once () =
+  let setup = Lazy.force setup in
+  setup.I.Setup.cp_id_index.iter (fun _ cp ->
+      let seen = Hashtbl.create 16 in
+      let visited =
+        I.Nav.dfs_atomic_graph (Seq.read cp.T.cp_root_part) (fun p ->
+            if Hashtbl.mem seen p.T.ap_id then
+              Alcotest.failf "part %d visited twice" p.T.ap_id;
+            Hashtbl.replace seen p.T.ap_id ())
+      in
+      Alcotest.(check int) "count = distinct parts" (Hashtbl.length seen)
+        visited;
+      Alcotest.(check int) "whole graph" params.P.num_atomic_per_comp visited)
+
+let test_descend_reaches_base_assembly () =
+  let setup = Lazy.force setup in
+  let rng = Rand.create ~seed:5 in
+  for _ = 1 to 50 do
+    let ba = I.Nav.random_base_assembly rng setup in
+    match setup.I.Setup.ba_id_index.get ba.T.ba_id with
+    | Some _ -> ()
+    | None -> Alcotest.fail "descent reached an unindexed base assembly"
+  done
+
+let test_descend_covers_all_leaves () =
+  let setup = Lazy.force setup in
+  let rng = Rand.create ~seed:6 in
+  let seen = Hashtbl.create 16 in
+  for _ = 1 to 2_000 do
+    let ba = I.Nav.random_base_assembly rng setup in
+    Hashtbl.replace seen ba.T.ba_id ()
+  done;
+  Alcotest.(check int) "every leaf eventually reached"
+    (P.initial_base_assemblies params)
+    (Hashtbl.length seen)
+
+let test_random_component_failure () =
+  let setup = Lazy.force setup in
+  let rng = Rand.create ~seed:7 in
+  (* A fresh base assembly with no components triggers the specified
+     failure. *)
+  let parent =
+    match Seq.read setup.I.Setup.module_.T.mod_design_root.T.ca_sub with
+    | T.Complex c :: _ -> c
+    | _ -> Alcotest.fail "unexpected tree shape"
+  in
+  let empty_ba =
+    I.Setup.new_base_assembly setup rng
+      ~id:(I.Id_pool.get setup.I.Setup.ba_pool)
+      ~parent ~components:[]
+  in
+  (match I.Nav.random_component rng empty_ba with
+  | _ -> Alcotest.fail "expected Operation_failed"
+  | exception Sb7_core.Common.Operation_failed _ -> ());
+  (* Clean up so other tests see a consistent structure. *)
+  I.Setup.detach_assembly parent (T.Base empty_ba);
+  I.Setup.dispose_base_assembly setup empty_ba;
+  I.Invariants.check_exn setup
+
+let test_ascend_dedup_and_reaches_root () =
+  let setup = Lazy.force setup in
+  let all_bas = ref [] in
+  setup.I.Setup.ba_id_index.iter (fun _ ba -> all_bas := ba :: !all_bas);
+  let visited = ref [] in
+  let count =
+    I.Nav.ascend_complex_assemblies !all_bas (fun ca ->
+        visited := ca.T.ca_id :: !visited)
+  in
+  (* From every base assembly, the union of ascendants is the whole set
+     of complex assemblies, each exactly once. *)
+  Alcotest.(check int) "all complex assemblies"
+    (P.initial_complex_assemblies params)
+    count;
+  Alcotest.(check int) "no duplicates" count
+    (List.length (List.sort_uniq compare !visited));
+  let root_id = setup.I.Setup.module_.T.mod_design_root.T.ca_id in
+  Alcotest.(check bool) "root included" true (List.mem root_id !visited)
+
+let test_ascend_single_base () =
+  let setup = Lazy.force setup in
+  let some_ba = ref None in
+  setup.I.Setup.ba_id_index.iter (fun _ ba ->
+      if !some_ba = None then some_ba := Some ba);
+  match !some_ba with
+  | None -> Alcotest.fail "no base assembly"
+  | Some ba ->
+    (* One leaf's ascendant chain has exactly (levels - 1) nodes. *)
+    Alcotest.(check int) "chain length"
+      (params.P.num_assm_levels - 1)
+      (I.Nav.ascend_complex_assemblies [ ba ] (fun _ -> ()))
+
+let test_lookup_helpers_hit_and_miss () =
+  let setup = Lazy.force setup in
+  let rng = Rand.create ~seed:11 in
+  let hits = ref 0 and misses = ref 0 in
+  for _ = 1 to 300 do
+    match I.Nav.lookup_atomic_part rng setup with
+    | p ->
+      incr hits;
+      (match setup.I.Setup.ap_id_index.get p.T.ap_id with
+      | Some p' when p' == p -> ()
+      | _ -> Alcotest.fail "lookup returned a part not in the index")
+    | exception Sb7_core.Common.Operation_failed _ -> incr misses
+  done;
+  (* tiny scale has 50% ID slack: both outcomes must occur. *)
+  Alcotest.(check bool) "hits occur" true (!hits > 0);
+  Alcotest.(check bool) "misses occur" true (!misses > 0)
+
+let test_random_ids_span_capacity () =
+  let setup = Lazy.force setup in
+  let rng = Rand.create ~seed:13 in
+  let max_seen = ref 0 in
+  for _ = 1 to 5_000 do
+    let id = I.Nav.random_atomic_part_id rng setup in
+    if id > !max_seen then max_seen := id;
+    if id < 1 then Alcotest.fail "id below 1"
+  done;
+  let capacity = I.Id_pool.capacity setup.I.Setup.ap_pool in
+  Alcotest.(check bool) "draws reach beyond the live range" true
+    (!max_seen > P.initial_atomic_parts params);
+  Alcotest.(check bool) "draws within capacity" true (!max_seen <= capacity)
+
+let suite =
+  [
+    Alcotest.test_case "dfs visits once" `Quick test_dfs_visits_each_part_once;
+    Alcotest.test_case "descend reaches a leaf" `Quick
+      test_descend_reaches_base_assembly;
+    Alcotest.test_case "descend covers all leaves" `Quick
+      test_descend_covers_all_leaves;
+    Alcotest.test_case "random_component failure" `Quick
+      test_random_component_failure;
+    Alcotest.test_case "ascend dedups and reaches root" `Quick
+      test_ascend_dedup_and_reaches_root;
+    Alcotest.test_case "ascend chain length" `Quick test_ascend_single_base;
+    Alcotest.test_case "lookups hit and miss" `Quick
+      test_lookup_helpers_hit_and_miss;
+    Alcotest.test_case "random ids span capacity" `Quick
+      test_random_ids_span_capacity;
+  ]
+
+let () = Alcotest.run "nav" [ ("nav", suite) ]

@@ -1,0 +1,110 @@
+(* Tests for operation lock-domain profiles and the medium-grained
+   locking plan. *)
+
+module P = Sb7_runtime.Op_profile
+
+let test_read_only () =
+  let ro = P.make ~name:"r" ~reads:[ P.Manual ] () in
+  let w = P.make ~name:"w" ~reads:[ P.Manual ] ~writes:[ P.Documents ] () in
+  let sm = P.make ~name:"s" ~structural:true () in
+  Alcotest.(check bool) "reads only" true (P.read_only ro);
+  Alcotest.(check bool) "writes" false (P.read_only w);
+  Alcotest.(check bool) "structural" false (P.read_only sm)
+
+let test_structural_plan_empty () =
+  let sm = P.make ~name:"sm" ~reads:[ P.Manual ] ~structural:true () in
+  Alcotest.(check int) "no domain locks for SMs" 0
+    (List.length (P.locking_plan sm))
+
+let test_plan_write_wins () =
+  let p =
+    P.make ~name:"p" ~reads:[ P.Atomic_parts ] ~writes:[ P.Atomic_parts ] ()
+  in
+  match P.locking_plan p with
+  | [ (P.Atomic_parts, `Write) ] -> ()
+  | plan ->
+    Alcotest.failf "expected single write lock, got %d entries"
+      (List.length plan)
+
+let test_plan_canonical_order () =
+  let p =
+    P.make ~name:"p"
+      ~reads:[ P.Manual; P.Assembly_level 1; P.Composite_parts ]
+      ~writes:[ P.Assembly_level 7 ]
+      ()
+  in
+  let plan = P.locking_plan p in
+  let ranks = List.map (fun (d, _) -> P.domain_rank d) plan in
+  Alcotest.(check (list int)) "sorted by rank" (List.sort compare ranks) ranks;
+  (* Level 7 (the root) ranks before level 1. *)
+  match plan with
+  | (P.Assembly_level 7, `Write) :: _ -> ()
+  | _ -> Alcotest.fail "root level should come first"
+
+let test_plan_no_duplicates () =
+  let p =
+    P.make ~name:"p"
+      ~reads:(P.all_assembly_levels @ P.all_assembly_levels)
+      ()
+  in
+  Alcotest.(check int) "deduplicated" 7 (List.length (P.locking_plan p))
+
+let test_domain_ranks_distinct () =
+  let all =
+    P.all_assembly_levels
+    @ [ P.Composite_parts; P.Atomic_parts; P.Documents; P.Manual ]
+  in
+  let ranks = List.map P.domain_rank all in
+  Alcotest.(check int) "distinct ranks" (List.length all)
+    (List.length (List.sort_uniq compare ranks));
+  Alcotest.(check int) "num_domains covers them" P.num_domains
+    (List.length all);
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) "rank in bounds" true (r >= 0 && r < P.num_domains))
+    ranks
+
+let test_assembly_levels_helper () =
+  Alcotest.(check int) "1..7" 7 (List.length P.all_assembly_levels);
+  Alcotest.(check int) "2..7" 6 (List.length (P.assembly_levels 2 7));
+  match P.assembly_levels 3 3 with
+  | [ P.Assembly_level 3 ] -> ()
+  | _ -> Alcotest.fail "single level"
+
+let test_every_benchmark_op_has_coherent_profile () =
+  let module I = Sb7_core.Instance.Make (Sb7_runtime.Seq_runtime) in
+  List.iter
+    (fun (op : I.Operation.t) ->
+      let p = op.profile in
+      Alcotest.(check string) "profile named after op" op.code
+        p.P.op_name;
+      (* Structural ops have no domain lists; others have some reads. *)
+      if p.P.structural then
+        Alcotest.(check bool)
+          (op.code ^ " SM has no domains")
+          true
+          (p.P.reads = [] && p.P.writes = [])
+      else
+        Alcotest.(check bool)
+          (op.code ^ " touches some domain")
+          true
+          (p.P.reads <> [] || p.P.writes <> []))
+    I.Operation.all
+
+let suite =
+  [
+    Alcotest.test_case "read_only classification" `Quick test_read_only;
+    Alcotest.test_case "structural plan is empty" `Quick
+      test_structural_plan_empty;
+    Alcotest.test_case "write mode wins" `Quick test_plan_write_wins;
+    Alcotest.test_case "canonical order" `Quick test_plan_canonical_order;
+    Alcotest.test_case "no duplicate locks" `Quick test_plan_no_duplicates;
+    Alcotest.test_case "domain ranks distinct" `Quick
+      test_domain_ranks_distinct;
+    Alcotest.test_case "assembly_levels helper" `Quick
+      test_assembly_levels_helper;
+    Alcotest.test_case "all 45 profiles coherent" `Quick
+      test_every_benchmark_op_has_coherent_profile;
+  ]
+
+let () = Alcotest.run "op_profile" [ ("op_profile", suite) ]

@@ -1,0 +1,93 @@
+(* Tests for scale parameters and derived quantities. *)
+
+module P = Sb7_core.Parameters
+
+let test_medium_matches_paper () =
+  (* "six levels of complex assemblies, having three children assemblies
+     each, 500 composite parts altogether, each corresponding to a graph
+     of ... atomic parts and at least three times as many connections". *)
+  Alcotest.(check int) "levels" 7 P.medium.P.num_assm_levels;
+  Alcotest.(check int) "fanout" 3 P.medium.P.num_assm_per_assm;
+  Alcotest.(check int) "composite parts" 500 P.medium.P.num_comp_per_module;
+  Alcotest.(check int) "atomic per composite" 200
+    P.medium.P.num_atomic_per_comp;
+  Alcotest.(check int) "connections per part" 3
+    P.medium.P.num_conn_per_atomic;
+  Alcotest.(check int) "manual 1MB" 1_000_000 P.medium.P.manual_size;
+  Alcotest.(check int) "documents 20kB" 20_000 P.medium.P.document_size
+
+let test_medium_tree_counts () =
+  (* 3^6 = 729 base assemblies; 3^0 + ... + 3^5 = 364 complex. *)
+  Alcotest.(check int) "base assemblies" 729 (P.initial_base_assemblies P.medium);
+  Alcotest.(check int) "complex assemblies" 364
+    (P.initial_complex_assemblies P.medium);
+  Alcotest.(check int) "atomic parts" 100_000 (P.initial_atomic_parts P.medium)
+
+let test_tiny_tree_counts () =
+  (* 3 levels: root + 3 complex + 9 base. *)
+  Alcotest.(check int) "base" 9 (P.initial_base_assemblies P.tiny);
+  Alcotest.(check int) "complex" 4 (P.initial_complex_assemblies P.tiny)
+
+let test_slack () =
+  Alcotest.(check int) "10% slack on 500" 550 (P.max_composite_parts P.medium);
+  Alcotest.(check bool) "slack rounds up" true (P.with_slack P.medium 1 >= 2)
+
+let test_max_counts_cover_initial () =
+  List.iter
+    (fun (_, p) ->
+      Alcotest.(check bool) "cp max > initial" true
+        (P.max_composite_parts p > p.P.num_comp_per_module);
+      Alcotest.(check bool) "ba max > initial" true
+        (P.max_base_assemblies p > P.initial_base_assemblies p);
+      Alcotest.(check bool) "ca max > initial" true
+        (P.max_complex_assemblies p > P.initial_complex_assemblies p);
+      Alcotest.(check bool) "ap max >= initial" true
+        (P.max_atomic_parts p >= P.initial_atomic_parts p))
+    P.presets
+
+let test_of_string () =
+  (match P.of_string "tiny" with
+  | Ok p -> Alcotest.(check bool) "tiny" true (p = P.tiny)
+  | Error e -> Alcotest.fail e);
+  (match P.of_string "MEDIUM" with
+  | Ok p -> Alcotest.(check bool) "case-insensitive" true (p = P.medium)
+  | Error e -> Alcotest.fail e);
+  match P.of_string "gigantic" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted unknown preset"
+
+let test_date_ranges_consistent () =
+  List.iter
+    (fun (name, p) ->
+      Alcotest.(check bool) (name ^ ": atomic dates ordered") true
+        (p.P.min_atomic_date <= p.P.max_atomic_date);
+      Alcotest.(check bool) (name ^ ": young above assemblies") true
+        (p.P.min_young_comp_date > p.P.max_assm_date);
+      Alcotest.(check bool) (name ^ ": old below assemblies") true
+        (p.P.max_old_comp_date < p.P.min_assm_date);
+      (* OP2 (1%) and OP3 (10%) windows fit inside the date range. *)
+      Alcotest.(check bool) (name ^ ": 100-wide window fits") true
+        (p.P.max_atomic_date - p.P.min_atomic_date + 1 >= 100))
+    P.presets
+
+let test_pow () =
+  Alcotest.(check int) "3^0" 1 (P.pow 3 0);
+  Alcotest.(check int) "3^6" 729 (P.pow 3 6);
+  Alcotest.(check int) "2^10" 1024 (P.pow 2 10)
+
+let suite =
+  [
+    Alcotest.test_case "medium matches the paper" `Quick
+      test_medium_matches_paper;
+    Alcotest.test_case "medium tree counts" `Quick test_medium_tree_counts;
+    Alcotest.test_case "tiny tree counts" `Quick test_tiny_tree_counts;
+    Alcotest.test_case "growth slack" `Quick test_slack;
+    Alcotest.test_case "max counts cover initial" `Quick
+      test_max_counts_cover_initial;
+    Alcotest.test_case "of_string" `Quick test_of_string;
+    Alcotest.test_case "date ranges consistent" `Quick
+      test_date_ranges_consistent;
+    Alcotest.test_case "pow" `Quick test_pow;
+  ]
+
+let () = Alcotest.run "parameters" [ ("parameters", suite) ]

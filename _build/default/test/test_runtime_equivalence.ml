@@ -1,0 +1,145 @@
+(* Cross-runtime equivalence: single-threaded, with no contention, no
+   transaction ever retries, so every synchronization strategy must
+   execute an identical operation sequence identically — same results,
+   same failures, same final structure. This pins all six runtimes to
+   the sequential semantics in one sweep. *)
+
+module P = Sb7_core.Parameters
+module W = Sb7_harness.Workload
+module Rand = Sb7_core.Sb_random
+
+type trace_entry =
+  | Ok_result of string * int
+  | Failed of string
+
+type outcome = {
+  trace : trace_entry list;
+  fingerprint : int;
+}
+
+module Probe (R : Sb7_runtime.Runtime_intf.S) = struct
+  module I = Sb7_core.Instance.Make (R)
+
+  (* A structure fingerprint covering ids, dates, attributes, topology
+     and text lengths. *)
+  let fingerprint (setup : I.Setup.t) =
+    let h = ref 0 in
+    let mix v = h := (!h * 31) + v in
+    let module T = I.Types in
+    setup.I.Setup.ap_id_index.iter (fun id p ->
+        mix id;
+        mix (R.read p.T.ap_build_date);
+        mix (R.read p.T.ap_x);
+        mix (R.read p.T.ap_y);
+        mix (List.length (R.read p.T.ap_to)));
+    setup.I.Setup.cp_id_index.iter (fun id cp ->
+        mix id;
+        mix (R.read cp.T.cp_build_date);
+        mix (List.length (R.read cp.T.cp_used_in));
+        mix (Hashtbl.hash (R.read cp.T.cp_document.T.doc_text)));
+    setup.I.Setup.ba_id_index.iter (fun id ba ->
+        mix id;
+        mix (R.read ba.T.ba_build_date);
+        mix (List.length (R.read ba.T.ba_components)));
+    setup.I.Setup.ca_id_index.iter (fun id ca ->
+        mix id;
+        mix (R.read ca.T.ca_build_date);
+        mix (List.length (R.read ca.T.ca_sub)));
+    mix (Hashtbl.hash (R.read setup.I.Setup.module_.T.mod_manual.T.man_text));
+    !h
+
+  let run ~ops_count ~seed : outcome =
+    let setup = I.Setup.create ~seed P.tiny in
+    let all = Array.of_list I.Operation.all in
+    let descs =
+      Array.map
+        (fun (op : I.Operation.t) ->
+          {
+            W.code = op.code;
+            category = op.category;
+            read_only = I.Operation.read_only op;
+          })
+        all
+    in
+    let cdf = W.cdf (W.ratios W.Read_write descs) in
+    let rng = Rand.create ~seed:(seed * 131) in
+    let trace = ref [] in
+    for _ = 1 to ops_count do
+      let u = float_of_int (Rand.int rng 1_000_000) /. 1_000_000. in
+      let op = all.(W.sample cdf u) in
+      let entry =
+        match
+          R.atomic ~profile:op.I.Operation.profile (fun () ->
+              op.I.Operation.run rng setup)
+        with
+        | result -> Ok_result (op.I.Operation.code, result)
+        | exception Sb7_core.Common.Operation_failed _ ->
+          Failed op.I.Operation.code
+      in
+      trace := entry :: !trace
+    done;
+    I.Invariants.check_exn setup;
+    { trace = List.rev !trace; fingerprint = fingerprint setup }
+end
+
+module Probe_seq = Probe (Sb7_runtime.Seq_runtime)
+module Probe_coarse = Probe (Sb7_runtime.Coarse_runtime)
+module Probe_medium = Probe (Sb7_runtime.Medium_runtime)
+module Probe_fine = Probe (Sb7_runtime.Fine_runtime)
+module Probe_tl2 = Probe (Sb7_runtime.Tl2_runtime)
+module Probe_lsa = Probe (Sb7_runtime.Lsa_runtime)
+module Probe_astm = Probe (Sb7_runtime.Astm_runtime)
+
+let all_probes =
+  [
+    ("seq", Probe_seq.run);
+    ("coarse", Probe_coarse.run);
+    ("medium", Probe_medium.run);
+    ("fine", Probe_fine.run);
+    ("tl2", Probe_tl2.run);
+    ("lsa", Probe_lsa.run);
+    ("astm", Probe_astm.run);
+  ]
+
+let trace_stats trace =
+  List.fold_left
+    (fun (ok, failed) -> function
+      | Ok_result _ -> (ok + 1, failed)
+      | Failed _ -> (ok, failed + 1))
+    (0, 0) trace
+
+let test_equivalence () =
+  let ops_count = 1_500 and seed = 19 in
+  let reference = Probe_seq.run ~ops_count ~seed in
+  let ok, failed = trace_stats reference.trace in
+  Alcotest.(check int) "reference executed everything" ops_count (ok + failed);
+  Alcotest.(check bool) "reference did real work" true (ok > 0 && failed > 0);
+  List.iter
+    (fun (name, run) ->
+      let outcome = run ~ops_count ~seed in
+      Alcotest.(check bool)
+        (name ^ " trace identical to seq")
+        true
+        (outcome.trace = reference.trace);
+      Alcotest.(check int)
+        (name ^ " final structure identical")
+        reference.fingerprint outcome.fingerprint)
+    all_probes
+
+let test_different_seed_differs () =
+  let a = Probe_seq.run ~ops_count:500 ~seed:19 in
+  let b = Probe_seq.run ~ops_count:500 ~seed:20 in
+  Alcotest.(check bool) "different seeds diverge" true
+    (a.trace <> b.trace || a.fingerprint <> b.fingerprint)
+
+let () =
+  Alcotest.run "runtime_equivalence"
+    [
+      ( "equivalence",
+        [
+          Alcotest.test_case "all runtimes match seq single-threaded" `Slow
+            test_equivalence;
+          Alcotest.test_case "seeds differentiate" `Quick
+            test_different_seed_differs;
+        ] );
+    ]

@@ -1,0 +1,159 @@
+(* Tests for the writer-preferring read-write lock, including
+   multi-domain mutual-exclusion checks. *)
+
+module Rwlock = Sb7_rwlock.Rwlock
+
+let test_read_reentrant_across_releases () =
+  let l = Rwlock.create () in
+  Rwlock.acquire_read l;
+  Alcotest.(check int) "one reader" 1 (Rwlock.readers l);
+  Rwlock.release_read l;
+  Alcotest.(check int) "no readers" 0 (Rwlock.readers l)
+
+let test_multiple_readers () =
+  let l = Rwlock.create () in
+  Rwlock.acquire_read l;
+  Rwlock.acquire_read l;
+  Alcotest.(check int) "two readers" 2 (Rwlock.readers l);
+  Rwlock.release_read l;
+  Rwlock.release_read l
+
+let test_writer_flag () =
+  let l = Rwlock.create () in
+  Rwlock.acquire_write l;
+  Alcotest.(check bool) "writer active" true (Rwlock.writer_active l);
+  Rwlock.release_write l;
+  Alcotest.(check bool) "writer done" false (Rwlock.writer_active l)
+
+let test_with_lock_releases_on_exception () =
+  let l = Rwlock.create () in
+  (try Rwlock.with_lock l Write (fun () -> failwith "boom")
+   with Failure _ -> ());
+  Alcotest.(check bool) "released after raise" false (Rwlock.writer_active l);
+  Rwlock.with_lock l Read (fun () ->
+      Alcotest.(check int) "can reacquire" 1 (Rwlock.readers l))
+
+let test_with_lock_returns () =
+  let l = Rwlock.create () in
+  Alcotest.(check int) "result" 42 (Rwlock.with_lock l Read (fun () -> 42))
+
+let test_acquire_by_mode () =
+  let l = Rwlock.create () in
+  Rwlock.acquire l Read;
+  Alcotest.(check int) "read mode" 1 (Rwlock.readers l);
+  Rwlock.release l Read;
+  Rwlock.acquire l Write;
+  Alcotest.(check bool) "write mode" true (Rwlock.writer_active l);
+  Rwlock.release l Write
+
+let test_name () =
+  Alcotest.(check string) "named" "foo"
+    (Rwlock.name (Rwlock.create ~name:"foo" ()));
+  Alcotest.(check string) "default" "rwlock" (Rwlock.name (Rwlock.create ()))
+
+(* Mutual exclusion: concurrent writers incrementing a plain counter
+   must not lose updates. *)
+let test_writers_exclusive () =
+  let l = Rwlock.create () in
+  let counter = ref 0 in
+  let iterations = 20_000 and domains = 4 in
+  let worker () =
+    for _ = 1 to iterations do
+      Rwlock.with_lock l Write (fun () -> counter := !counter + 1)
+    done
+  in
+  let ds = List.init domains (fun _ -> Domain.spawn worker) in
+  List.iter Domain.join ds;
+  Alcotest.(check int) "no lost updates" (iterations * domains) !counter
+
+(* Readers never observe a writer's intermediate state: the writer
+   keeps an invariant pair (a, b) with a = b outside the critical
+   section. *)
+let test_readers_see_consistent_state () =
+  let l = Rwlock.create () in
+  let a = ref 0 and b = ref 0 in
+  let stop = Atomic.make false in
+  let violations = ref 0 in
+  let reader () =
+    let v = ref 0 in
+    while not (Atomic.get stop) do
+      Rwlock.with_lock l Read (fun () -> if !a <> !b then incr v)
+    done;
+    !v
+  in
+  let writer () =
+    for i = 1 to 10_000 do
+      Rwlock.with_lock l Write (fun () ->
+          a := i;
+          (* a <> b is visible only inside the critical section *)
+          b := i)
+    done
+  in
+  let readers = List.init 2 (fun _ -> Domain.spawn reader) in
+  let w = Domain.spawn writer in
+  Domain.join w;
+  Atomic.set stop true;
+  List.iter (fun d -> violations := !violations + Domain.join d) readers;
+  Alcotest.(check int) "no torn reads" 0 !violations
+
+(* Writer preference: with a continuous stream of readers, a writer
+   still gets the lock promptly. *)
+let test_writer_not_starved () =
+  let l = Rwlock.create () in
+  let stop = Atomic.make false in
+  let reader () =
+    while not (Atomic.get stop) do
+      Rwlock.with_lock l Read (fun () -> ())
+    done
+  in
+  let readers = List.init 3 (fun _ -> Domain.spawn reader) in
+  let acquired = ref false in
+  let w =
+    Domain.spawn (fun () ->
+        Rwlock.with_lock l Write (fun () -> acquired := true))
+  in
+  Domain.join w;
+  Atomic.set stop true;
+  List.iter Domain.join readers;
+  Alcotest.(check bool) "writer ran" true !acquired
+
+let test_waiting_writers_counter () =
+  let l = Rwlock.create () in
+  Rwlock.acquire_read l;
+  let started = Atomic.make false in
+  let w =
+    Domain.spawn (fun () ->
+        Atomic.set started true;
+        Rwlock.acquire_write l;
+        Rwlock.release_write l)
+  in
+  while not (Atomic.get started) do
+    Domain.cpu_relax ()
+  done;
+  (* Give the writer time to block. *)
+  Unix.sleepf 0.05;
+  Alcotest.(check int) "one writer queued" 1 (Rwlock.waiting_writers l);
+  Rwlock.release_read l;
+  Domain.join w;
+  Alcotest.(check int) "queue drained" 0 (Rwlock.waiting_writers l)
+
+let suite =
+  [
+    Alcotest.test_case "read acquire/release" `Quick
+      test_read_reentrant_across_releases;
+    Alcotest.test_case "multiple readers" `Quick test_multiple_readers;
+    Alcotest.test_case "writer flag" `Quick test_writer_flag;
+    Alcotest.test_case "with_lock releases on exception" `Quick
+      test_with_lock_releases_on_exception;
+    Alcotest.test_case "with_lock returns result" `Quick test_with_lock_returns;
+    Alcotest.test_case "acquire by mode" `Quick test_acquire_by_mode;
+    Alcotest.test_case "names" `Quick test_name;
+    Alcotest.test_case "writers are exclusive" `Slow test_writers_exclusive;
+    Alcotest.test_case "readers see consistent state" `Slow
+      test_readers_see_consistent_state;
+    Alcotest.test_case "writer not starved" `Slow test_writer_not_starved;
+    Alcotest.test_case "waiting writers counter" `Slow
+      test_waiting_writers_counter;
+  ]
+
+let () = Alcotest.run "rwlock" [ ("rwlock", suite) ]

@@ -1,0 +1,168 @@
+(* Tests for initial structure construction, checked at tiny scale
+   against the OO7/STMBench7 construction rules, for every index
+   kind. *)
+
+module Seq = Sb7_runtime.Seq_runtime
+module I = Sb7_core.Instance.Make (Seq)
+module P = Sb7_core.Parameters
+module T = I.Types
+
+let params = P.tiny
+
+let build ?(kind = Sb7_core.Index_intf.Avl) () =
+  I.Setup.create ~index_kind:kind ~seed:7 params
+
+let test_counts () =
+  let setup = build () in
+  let stats = I.Structure_stats.collect setup in
+  Alcotest.(check int) "composite parts" params.P.num_comp_per_module
+    stats.I.Structure_stats.composite_parts;
+  Alcotest.(check int) "atomic parts"
+    (params.P.num_comp_per_module * params.P.num_atomic_per_comp)
+    stats.I.Structure_stats.atomic_parts;
+  Alcotest.(check int) "base assemblies"
+    (P.initial_base_assemblies params)
+    stats.I.Structure_stats.base_assemblies;
+  Alcotest.(check int) "complex assemblies"
+    (P.initial_complex_assemblies params)
+    stats.I.Structure_stats.complex_assemblies;
+  Alcotest.(check int) "documents" params.P.num_comp_per_module
+    stats.I.Structure_stats.documents;
+  Alcotest.(check int) "links"
+    (P.initial_base_assemblies params * params.P.num_comp_per_assm)
+    stats.I.Structure_stats.assembly_links;
+  (* "at least three times as many connections" as atomic parts. *)
+  Alcotest.(check int) "connections"
+    (stats.I.Structure_stats.atomic_parts * params.P.num_conn_per_atomic)
+    stats.I.Structure_stats.connections
+
+let test_invariants_for_every_index_kind () =
+  List.iter
+    (fun kind ->
+      let setup = build ~kind () in
+      match I.Invariants.check setup with
+      | [] -> ()
+      | vs ->
+        Alcotest.failf "%s: %s"
+          (Sb7_core.Index_intf.kind_to_string kind)
+          (String.concat "; " vs))
+    Sb7_core.Index_intf.all_kinds
+
+let test_root_shape () =
+  let setup = build () in
+  let root = setup.I.Setup.module_.T.mod_design_root in
+  Alcotest.(check int) "root at top level" params.P.num_assm_levels
+    root.T.ca_level;
+  Alcotest.(check bool) "root has no parent" true (root.T.ca_super = None);
+  Alcotest.(check int) "root fanout" params.P.num_assm_per_assm
+    (List.length (Seq.read root.T.ca_sub))
+
+let test_manual_and_documents () =
+  let setup = build () in
+  let manual = Seq.read setup.I.Setup.module_.T.mod_manual.T.man_text in
+  Alcotest.(check int) "manual size" params.P.manual_size
+    (String.length manual);
+  Alcotest.(check bool) "manual starts with I" true (manual.[0] = 'I');
+  setup.I.Setup.cp_id_index.iter (fun _ cp ->
+      let text = Seq.read cp.T.cp_document.T.doc_text in
+      Alcotest.(check int) "document size" params.P.document_size
+        (String.length text))
+
+let test_document_titles_indexed () =
+  let setup = build () in
+  setup.I.Setup.cp_id_index.iter (fun id cp ->
+      let title = Sb7_core.Text.document_title ~part_id:id in
+      Alcotest.(check string) "title convention" title
+        cp.T.cp_document.T.doc_title;
+      match setup.I.Setup.doc_title_index.get title with
+      | Some doc ->
+        Alcotest.(check bool) "index points at the document" true
+          (doc == cp.T.cp_document)
+      | None -> Alcotest.failf "document %s not indexed" title)
+
+let test_build_dates_in_range () =
+  let setup = build () in
+  setup.I.Setup.ap_id_index.iter (fun _ p ->
+      let d = Seq.read p.T.ap_build_date in
+      Alcotest.(check bool) "atomic date" true
+        (d >= params.P.min_atomic_date && d <= params.P.max_atomic_date));
+  setup.I.Setup.cp_id_index.iter (fun _ cp ->
+      let d = Seq.read cp.T.cp_build_date in
+      let young =
+        d >= params.P.min_young_comp_date && d <= params.P.max_young_comp_date
+      in
+      let old =
+        d >= params.P.min_old_comp_date && d <= params.P.max_old_comp_date
+      in
+      Alcotest.(check bool) "composite young or old" true (young || old));
+  setup.I.Setup.ba_id_index.iter (fun _ ba ->
+      let d = Seq.read ba.T.ba_build_date in
+      Alcotest.(check bool) "assembly date" true
+        (d >= params.P.min_assm_date && d <= params.P.max_assm_date))
+
+let test_graph_connectivity () =
+  let setup = build () in
+  setup.I.Setup.cp_id_index.iter (fun _ cp ->
+      let visited =
+        I.Nav.dfs_atomic_graph (Seq.read cp.T.cp_root_part) (fun _ -> ())
+      in
+      Alcotest.(check int) "DFS reaches every part"
+        params.P.num_atomic_per_comp visited)
+
+let test_deterministic_for_seed () =
+  let a = I.Setup.create ~seed:11 params in
+  let b = I.Setup.create ~seed:11 params in
+  (* Same seed: identical shapes, dates and links. *)
+  let fingerprint setup =
+    let acc = ref 0 in
+    setup.I.Setup.ap_id_index.iter (fun id p ->
+        acc := !acc + (id * 31) + Seq.read p.T.ap_build_date
+               + Seq.read p.T.ap_x);
+    setup.I.Setup.ba_id_index.iter (fun id ba ->
+        acc :=
+          !acc + (id * 17) + List.length (Seq.read ba.T.ba_components));
+    !acc
+  in
+  Alcotest.(check int) "same fingerprint" (fingerprint a) (fingerprint b);
+  let c = I.Setup.create ~seed:12 params in
+  Alcotest.(check bool) "different seed differs" true
+    (fingerprint a <> fingerprint c)
+
+let test_pools_after_build () =
+  let setup = build () in
+  let module Pool = I.Id_pool in
+  Alcotest.(check int) "cp pool drained to slack"
+    (P.max_composite_parts params - params.P.num_comp_per_module)
+    (Pool.available setup.I.Setup.cp_pool);
+  Alcotest.(check int) "ba pool"
+    (P.max_base_assemblies params - P.initial_base_assemblies params)
+    (Pool.available setup.I.Setup.ba_pool);
+  Alcotest.(check int) "ca pool"
+    (P.max_complex_assemblies params - P.initial_complex_assemblies params)
+    (Pool.available setup.I.Setup.ca_pool)
+
+let test_small_scale_builds () =
+  let setup = I.Setup.create ~seed:3 P.small in
+  I.Invariants.check_exn setup;
+  let stats = I.Structure_stats.collect setup in
+  Alcotest.(check int) "small composite parts"
+    P.small.P.num_comp_per_module stats.I.Structure_stats.composite_parts
+
+let suite =
+  [
+    Alcotest.test_case "object counts" `Quick test_counts;
+    Alcotest.test_case "invariants for every index kind" `Quick
+      test_invariants_for_every_index_kind;
+    Alcotest.test_case "root shape" `Quick test_root_shape;
+    Alcotest.test_case "manual and documents" `Quick test_manual_and_documents;
+    Alcotest.test_case "document titles indexed" `Quick
+      test_document_titles_indexed;
+    Alcotest.test_case "build dates in range" `Quick test_build_dates_in_range;
+    Alcotest.test_case "graph connectivity" `Quick test_graph_connectivity;
+    Alcotest.test_case "deterministic per seed" `Quick
+      test_deterministic_for_seed;
+    Alcotest.test_case "pools after build" `Quick test_pools_after_build;
+    Alcotest.test_case "small scale builds" `Slow test_small_scale_builds;
+  ]
+
+let () = Alcotest.run "setup" [ ("setup", suite) ]

@@ -1,0 +1,392 @@
+(* Tests shared by both STM implementations (TL2 and ASTM), plus
+   implementation-specific checks. The shared functor exercises the
+   sequential semantics, rollback, nesting, and — across multiple
+   domains — lost-update freedom and snapshot consistency. *)
+
+module type STM = Sb7_stm.Stm_intf.S
+
+module Make_stm_tests (Stm : STM) = struct
+  let test_read_outside_tx () =
+    let tv = Stm.make 41 in
+    Alcotest.(check int) "initial value" 41 (Stm.read tv)
+
+  let test_write_outside_tx () =
+    let tv = Stm.make 0 in
+    Stm.write tv 7;
+    Alcotest.(check int) "direct write" 7 (Stm.read tv)
+
+  let test_atomic_returns () =
+    Alcotest.(check int) "result" 5 (Stm.atomic (fun () -> 5))
+
+  let test_read_own_write () =
+    let tv = Stm.make 1 in
+    let seen =
+      Stm.atomic (fun () ->
+          Stm.write tv 2;
+          Stm.read tv)
+    in
+    Alcotest.(check int) "sees own write" 2 seen;
+    Alcotest.(check int) "committed" 2 (Stm.read tv)
+
+  let test_write_twice () =
+    let tv = Stm.make 0 in
+    Stm.atomic (fun () ->
+        Stm.write tv 1;
+        Stm.write tv 2);
+    Alcotest.(check int) "last write wins" 2 (Stm.read tv)
+
+  let test_multiple_tvars () =
+    let a = Stm.make 1 and b = Stm.make 2 in
+    Stm.atomic (fun () ->
+        let va = Stm.read a in
+        Stm.write b (va + 10));
+    Alcotest.(check int) "b updated from a" 11 (Stm.read b)
+
+  let test_empty_transaction () =
+    Alcotest.(check unit) "commits" () (Stm.atomic (fun () -> ()))
+
+  let test_write_only_transaction () =
+    let a = Stm.make 0 and b = Stm.make 0 in
+    Stm.atomic (fun () ->
+        Stm.write a 1;
+        Stm.write b 2);
+    Alcotest.(check int) "a" 1 (Stm.read a);
+    Alcotest.(check int) "b" 2 (Stm.read b)
+
+  let test_large_write_set () =
+    let cells = Array.init 500 Stm.make in
+    Stm.atomic (fun () ->
+        Array.iteri (fun i tv -> Stm.write tv (i * 3)) cells);
+    Array.iteri
+      (fun i tv ->
+        if Stm.read tv <> i * 3 then Alcotest.failf "cell %d wrong" i)
+      cells
+
+  let test_rollback_on_exception () =
+    let tv = Stm.make 10 in
+    (try
+       Stm.atomic (fun () ->
+           Stm.write tv 99;
+           failwith "abort me")
+     with Failure _ -> ());
+    Alcotest.(check int) "rolled back" 10 (Stm.read tv)
+
+  let test_exception_propagates () =
+    Alcotest.check_raises "user exception escapes" (Failure "boom")
+      (fun () -> Stm.atomic (fun () -> failwith "boom"))
+
+  let test_nested_flattens () =
+    let tv = Stm.make 0 in
+    Stm.atomic (fun () ->
+        Stm.write tv 1;
+        let inner =
+          Stm.atomic (fun () ->
+              (* Nested transaction sees the outer's uncommitted write. *)
+              Stm.read tv)
+        in
+        Alcotest.(check int) "inner sees outer write" 1 inner;
+        Stm.write tv (inner + 1));
+    Alcotest.(check int) "flattened commit" 2 (Stm.read tv)
+
+  let test_in_transaction () =
+    Alcotest.(check bool) "outside" false (Stm.in_transaction ());
+    Stm.atomic (fun () ->
+        Alcotest.(check bool) "inside" true (Stm.in_transaction ()));
+    Alcotest.(check bool) "after" false (Stm.in_transaction ())
+
+  let test_stats_counted () =
+    Stm.reset_stats ();
+    let tv = Stm.make 0 in
+    for _ = 1 to 5 do
+      Stm.atomic (fun () -> Stm.write tv (Stm.read tv + 1))
+    done;
+    Stm.atomic (fun () -> ignore (Stm.read tv));
+    let s = Stm.stats () in
+    Alcotest.(check bool) "commits >= 6" true (s.Sb7_stm.Stm_stats.commits >= 6);
+    Alcotest.(check bool) "a read-only commit" true
+      (s.Sb7_stm.Stm_stats.read_only_commits >= 1)
+
+  (* Lost-update freedom: concurrent read-modify-write increments. *)
+  let test_concurrent_counter () =
+    let tv = Stm.make 0 in
+    let domains = 4 and iterations = 2_000 in
+    let worker () =
+      for _ = 1 to iterations do
+        Stm.atomic (fun () -> Stm.write tv (Stm.read tv + 1))
+      done
+    in
+    let ds = List.init domains (fun _ -> Domain.spawn worker) in
+    List.iter Domain.join ds;
+    Alcotest.(check int) "no lost updates" (domains * iterations)
+      (Stm.read tv)
+
+  (* Snapshot consistency: transfers preserve a + b; concurrent
+     read-only transactions must never observe a broken invariant. *)
+  let test_transfer_invariant () =
+    let a = Stm.make 500 and b = Stm.make 500 in
+    let stop = Atomic.make false in
+    let violations = ref 0 in
+    let transferer seed () =
+      let rng = Sb7_core.Sb_random.create ~seed in
+      for _ = 1 to 3_000 do
+        let amount = Sb7_core.Sb_random.in_range rng 1 10 in
+        Stm.atomic (fun () ->
+            Stm.write a (Stm.read a - amount);
+            Stm.write b (Stm.read b + amount))
+      done
+    in
+    let observer () =
+      let bad = ref 0 in
+      while not (Atomic.get stop) do
+        let total = Stm.atomic (fun () -> Stm.read a + Stm.read b) in
+        if total <> 1000 then incr bad
+      done;
+      !bad
+    in
+    let obs = List.init 2 (fun _ -> Domain.spawn observer) in
+    let ts = List.init 2 (fun i -> Domain.spawn (transferer (i + 1))) in
+    List.iter Domain.join ts;
+    Atomic.set stop true;
+    List.iter (fun d -> violations := !violations + Domain.join d) obs;
+    Alcotest.(check int) "snapshots consistent" 0 !violations;
+    Alcotest.(check int) "total conserved" 1000 (Stm.read a + Stm.read b)
+
+  (* Write sets with many tvars commit atomically: permuting an array
+     keeps it a permutation. *)
+  let test_array_permutation () =
+    let n = 32 in
+    let cells = Array.init n Stm.make in
+    let domains = 3 in
+    let worker seed () =
+      let rng = Sb7_core.Sb_random.create ~seed in
+      for _ = 1 to 1_000 do
+        let i = Sb7_core.Sb_random.int rng n
+        and j = Sb7_core.Sb_random.int rng n in
+        Stm.atomic (fun () ->
+            let vi = Stm.read cells.(i) and vj = Stm.read cells.(j) in
+            Stm.write cells.(i) vj;
+            Stm.write cells.(j) vi)
+      done
+    in
+    let ds = List.init domains (fun i -> Domain.spawn (worker (i + 1))) in
+    List.iter Domain.join ds;
+    let final = Array.map Stm.read cells in
+    Array.sort compare final;
+    Alcotest.(check bool) "still a permutation" true
+      (final = Array.init n Fun.id)
+
+  let test_aborts_recorded_under_contention () =
+    Stm.reset_stats ();
+    let tv = Stm.make 0 in
+    let ds =
+      List.init 4 (fun _ ->
+          Domain.spawn (fun () ->
+              for _ = 1 to 2_000 do
+                Stm.atomic (fun () -> Stm.write tv (Stm.read tv + 1))
+              done))
+    in
+    List.iter Domain.join ds;
+    let s = Stm.stats () in
+    Alcotest.(check int) "all committed eventually" 8_000 (Stm.read tv);
+    Alcotest.(check bool) "commits recorded" true
+      (s.Sb7_stm.Stm_stats.commits >= 8_000)
+
+  let suite =
+    [
+      Alcotest.test_case "read outside tx" `Quick test_read_outside_tx;
+      Alcotest.test_case "write outside tx" `Quick test_write_outside_tx;
+      Alcotest.test_case "atomic returns" `Quick test_atomic_returns;
+      Alcotest.test_case "read own write" `Quick test_read_own_write;
+      Alcotest.test_case "last write wins" `Quick test_write_twice;
+      Alcotest.test_case "multiple tvars" `Quick test_multiple_tvars;
+      Alcotest.test_case "empty transaction" `Quick test_empty_transaction;
+      Alcotest.test_case "write-only transaction" `Quick
+        test_write_only_transaction;
+      Alcotest.test_case "large write set" `Quick test_large_write_set;
+      Alcotest.test_case "rollback on exception" `Quick
+        test_rollback_on_exception;
+      Alcotest.test_case "exception propagates" `Quick
+        test_exception_propagates;
+      Alcotest.test_case "nested flattens" `Quick test_nested_flattens;
+      Alcotest.test_case "in_transaction" `Quick test_in_transaction;
+      Alcotest.test_case "stats counted" `Quick test_stats_counted;
+      Alcotest.test_case "concurrent counter" `Slow test_concurrent_counter;
+      Alcotest.test_case "transfer invariant" `Slow test_transfer_invariant;
+      Alcotest.test_case "array permutation" `Slow test_array_permutation;
+      Alcotest.test_case "commits under contention" `Slow
+        test_aborts_recorded_under_contention;
+    ]
+end
+
+module Tl2_tests = Make_stm_tests (Sb7_stm.Tl2)
+module Astm_tests = Make_stm_tests (Sb7_stm.Astm)
+module Lsa_tests = Make_stm_tests (Sb7_stm.Lsa)
+
+(* LSA-specific: snapshot transactions. *)
+
+let test_lsa_snapshot_reads_consistent () =
+  let module L = Sb7_stm.Lsa in
+  let a = L.make 500 and b = L.make 500 in
+  let stop = Atomic.make false in
+  let writer () =
+    let rng = Sb7_core.Sb_random.create ~seed:3 in
+    for _ = 1 to 5_000 do
+      let x = Sb7_core.Sb_random.in_range rng 1 10 in
+      L.atomic (fun () ->
+          L.write a (L.read a - x);
+          L.write b (L.read b + x))
+    done
+  in
+  let reader () =
+    let bad = ref 0 in
+    while not (Atomic.get stop) do
+      let total = L.atomic_snapshot (fun () -> L.read a + L.read b) in
+      if total <> 1000 then incr bad
+    done;
+    !bad
+  in
+  let rs = List.init 2 (fun _ -> Domain.spawn reader) in
+  let w = Domain.spawn writer in
+  Domain.join w;
+  Atomic.set stop true;
+  let violations = List.fold_left (fun acc d -> acc + Domain.join d) 0 rs in
+  Alcotest.(check int) "snapshots always consistent" 0 violations
+
+let test_lsa_snapshot_write_rejected () =
+  let module L = Sb7_stm.Lsa in
+  let tv = L.make 0 in
+  match L.atomic_snapshot (fun () -> L.write tv 1) with
+  | () -> Alcotest.fail "snapshot write accepted"
+  | exception Invalid_argument _ -> ()
+
+let test_lsa_snapshot_needs_no_validation () =
+  let module L = Sb7_stm.Lsa in
+  L.reset_stats ();
+  let cells = Array.init 200 L.make in
+  L.atomic_snapshot (fun () ->
+      Array.iter (fun tv -> ignore (L.read tv)) cells);
+  let s = L.stats () in
+  Alcotest.(check int) "zero validation steps" 0
+    s.Sb7_stm.Stm_stats.validation_steps
+
+let test_lsa_snapshot_reads_old_version () =
+  let module L = Sb7_stm.Lsa in
+  (* A snapshot started before an update still sees the old value even
+     after a writer commits — served from the version history. *)
+  let tv = L.make 1 in
+  let gate_snapshot_started = Atomic.make false in
+  let gate_write_done = Atomic.make false in
+  let reader =
+    Domain.spawn (fun () ->
+        L.atomic_snapshot (fun () ->
+            let first = L.read tv in
+            Atomic.set gate_snapshot_started true;
+            while not (Atomic.get gate_write_done) do
+              Domain.cpu_relax ()
+            done;
+            let second = L.read tv in
+            (first, second)))
+  in
+  while not (Atomic.get gate_snapshot_started) do
+    Domain.cpu_relax ()
+  done;
+  L.atomic (fun () -> L.write tv 2);
+  Atomic.set gate_write_done true;
+  let first, second = Domain.join reader in
+  Alcotest.(check int) "before write" 1 first;
+  Alcotest.(check int) "same snapshot after write" 1 second;
+  Alcotest.(check int) "writer committed" 2 (L.read tv)
+
+let lsa_specific_suite =
+  [
+    Alcotest.test_case "snapshot conservation under writers" `Slow
+      test_lsa_snapshot_reads_consistent;
+    Alcotest.test_case "snapshot rejects writes" `Quick
+      test_lsa_snapshot_write_rejected;
+    Alcotest.test_case "snapshot has zero validation" `Quick
+      test_lsa_snapshot_needs_no_validation;
+    Alcotest.test_case "snapshot serves old versions" `Slow
+      test_lsa_snapshot_reads_old_version;
+  ]
+
+(* ASTM-specific: the quadratic validation accounting and the policy
+   switch. *)
+
+let test_astm_validation_quadratic () =
+  let module A = Sb7_stm.Astm in
+  A.reset_stats ();
+  let n = 100 in
+  let cells = Array.init n A.make in
+  A.atomic (fun () -> Array.iter (fun tv -> ignore (A.read tv)) cells);
+  let s = A.stats () in
+  (* Opening k objects validates ~k^2/2 read entries in total. *)
+  let expected = n * (n - 1) / 2 in
+  Alcotest.(check bool)
+    (Printf.sprintf "validation steps ~ %d (got %d)" expected
+       s.Sb7_stm.Stm_stats.validation_steps)
+    true
+    (s.Sb7_stm.Stm_stats.validation_steps >= expected)
+
+let test_tl2_validation_linear () =
+  let module T = Sb7_stm.Tl2 in
+  T.reset_stats ();
+  let n = 100 in
+  let cells = Array.init n T.make in
+  (* A read-only transaction validates nothing at commit under TL2. *)
+  T.atomic (fun () -> Array.iter (fun tv -> ignore (T.read tv)) cells);
+  let s = T.stats () in
+  Alcotest.(check int) "no validation for read-only tx" 0
+    s.Sb7_stm.Stm_stats.validation_steps
+
+let test_astm_policies_all_work () =
+  let module A = Sb7_stm.Astm in
+  let original = A.get_policy () in
+  List.iter
+    (fun policy ->
+      A.set_policy policy;
+      let tv = A.make 0 in
+      let ds =
+        List.init 3 (fun _ ->
+            Domain.spawn (fun () ->
+                for _ = 1 to 500 do
+                  A.atomic (fun () -> A.write tv (A.read tv + 1))
+                done))
+      in
+      List.iter Domain.join ds;
+      Alcotest.(check int)
+        (Printf.sprintf "policy %s loses no update"
+           (Sb7_stm.Contention.policy_to_string policy))
+        1_500 (A.read tv))
+    Sb7_stm.Contention.all_policies;
+  A.set_policy original
+
+let test_max_read_set_tracked () =
+  let module T = Sb7_stm.Tl2 in
+  T.reset_stats ();
+  let cells = Array.init 50 T.make in
+  T.atomic (fun () -> Array.iter (fun tv -> ignore (T.read tv)) cells);
+  let s = T.stats () in
+  Alcotest.(check bool) "max read set >= 50" true
+    (s.Sb7_stm.Stm_stats.max_read_set >= 50)
+
+let specific_suite =
+  [
+    Alcotest.test_case "astm validation is quadratic" `Quick
+      test_astm_validation_quadratic;
+    Alcotest.test_case "tl2 read-only validation is free" `Quick
+      test_tl2_validation_linear;
+    Alcotest.test_case "astm works under every policy" `Slow
+      test_astm_policies_all_work;
+    Alcotest.test_case "tl2 tracks max read set" `Quick
+      test_max_read_set_tracked;
+  ]
+
+let () =
+  Alcotest.run "stm"
+    [
+      ("tl2", Tl2_tests.suite);
+      ("astm", Astm_tests.suite);
+      ("lsa", Lsa_tests.suite);
+      ("lsa-snapshot", lsa_specific_suite);
+      ("specific", specific_suite);
+    ]

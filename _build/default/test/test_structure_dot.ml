@@ -1,0 +1,78 @@
+(* Tests for the Graphviz export. *)
+
+module Seq = Sb7_runtime.Seq_runtime
+module I = Sb7_core.Instance.Make (Seq)
+module Dot = Sb7_core.Structure_dot.Make (Seq)
+module P = Sb7_core.Parameters
+
+let render f =
+  let buf = Buffer.create 4096 in
+  let ppf = Format.formatter_of_buffer buf in
+  f ppf;
+  Format.pp_print_flush ppf ();
+  Buffer.contents buf
+
+let contains haystack needle =
+  let n = String.length haystack and m = String.length needle in
+  let rec go i = i + m <= n && (String.sub haystack i m = needle || go (i + 1)) in
+  go 0
+
+let count_occurrences haystack needle =
+  let n = String.length haystack and m = String.length needle in
+  let rec go i acc =
+    if i + m > n then acc
+    else if String.sub haystack i m = needle then go (i + 1) (acc + 1)
+    else go (i + 1) acc
+  in
+  go 0 0
+
+let test_assembly_tree_shape () =
+  let setup = I.Setup.create ~seed:3 P.tiny in
+  let dot = render (fun ppf -> Dot.assembly_tree ppf setup) in
+  Alcotest.(check bool) "digraph header" true (contains dot "digraph stmbench7");
+  Alcotest.(check bool) "closes" true (contains dot "}");
+  (* One node per complex assembly, base assembly and composite part. *)
+  Alcotest.(check int) "complex assembly nodes"
+    (P.initial_complex_assemblies P.tiny)
+    (count_occurrences dot "shape=box");
+  Alcotest.(check int) "base assembly nodes"
+    (P.initial_base_assemblies P.tiny)
+    (count_occurrences dot "shape=ellipse");
+  Alcotest.(check int) "composite part nodes" P.tiny.P.num_comp_per_module
+    (count_occurrences dot "shape=component");
+  (* One dashed edge per assembly->part link. *)
+  let stats = I.Structure_stats.collect setup in
+  Alcotest.(check int) "link edges" stats.I.Structure_stats.assembly_links
+    (count_occurrences dot "style=dashed")
+
+let test_unlinked_parts_marked () =
+  let setup = I.Setup.create ~seed:3 P.tiny in
+  let rng = Sb7_core.Sb_random.create ~seed:4 in
+  let cp = I.Setup.create_composite_part setup rng in
+  let dot = render (fun ppf -> Dot.assembly_tree ppf setup) in
+  Alcotest.(check bool) "unlinked part present" true
+    (contains dot (Printf.sprintf "cp%d [label=\"CP %d\\n(unlinked)" cp.I.Types.cp_id cp.I.Types.cp_id))
+
+let test_part_graph () =
+  let setup = I.Setup.create ~seed:3 P.tiny in
+  let cp = ref None in
+  setup.I.Setup.cp_id_index.iter (fun _ c -> if !cp = None then cp := Some c);
+  let cp = Option.get !cp in
+  let dot = render (fun ppf -> Dot.part_graph ppf cp) in
+  Alcotest.(check int) "one node per atomic part" P.tiny.P.num_atomic_per_comp
+    (count_occurrences dot "[label=\"");
+  Alcotest.(check int) "one edge per connection"
+    (P.tiny.P.num_atomic_per_comp * P.tiny.P.num_conn_per_atomic)
+    (count_occurrences dot " -> ");
+  Alcotest.(check int) "root highlighted" 1
+    (count_occurrences dot "style=filled")
+
+let suite =
+  [
+    Alcotest.test_case "assembly tree shape" `Quick test_assembly_tree_shape;
+    Alcotest.test_case "unlinked parts marked" `Quick
+      test_unlinked_parts_marked;
+    Alcotest.test_case "part graph" `Quick test_part_graph;
+  ]
+
+let () = Alcotest.run "structure_dot" [ ("dot", suite) ]

@@ -1,0 +1,143 @@
+(* Tests for text generation and the textual update operations,
+   including qcheck properties. *)
+
+module Text = Sb7_core.Text
+
+let test_generate_size () =
+  List.iter
+    (fun size ->
+      Alcotest.(check int)
+        (Printf.sprintf "size %d" size)
+        size
+        (String.length (Text.generate ~phrase:"I am here. " ~size)))
+    [ 1; 5; 11; 100; 1000; 12345 ]
+
+let test_generate_zero () =
+  Alcotest.(check string) "empty" "" (Text.generate ~phrase:"x" ~size:0)
+
+let test_generate_repeats () =
+  let t = Text.generate ~phrase:"abc" ~size:8 in
+  Alcotest.(check string) "prefix repetition" "abcabcab" t
+
+let test_document_phrase_has_i_am () =
+  let p = Text.document_phrase ~part_id:7 in
+  Alcotest.(check bool) "contains 'I am'" true
+    (fst (Text.replace_all p ~old_s:"I am" ~new_s:"X") <> p)
+
+let test_count_char () =
+  Alcotest.(check int) "count" 3 (Text.count_char "aIbIcI" 'I');
+  Alcotest.(check int) "none" 0 (Text.count_char "abc" 'I');
+  Alcotest.(check int) "empty" 0 (Text.count_char "" 'I')
+
+let test_first_last_equal () =
+  Alcotest.(check bool) "equal" true (Text.first_last_equal "abca");
+  Alcotest.(check bool) "differs" false (Text.first_last_equal "abc");
+  Alcotest.(check bool) "single" true (Text.first_last_equal "x");
+  Alcotest.(check bool) "empty" false (Text.first_last_equal "")
+
+let test_replace_all_basic () =
+  let t, n = Text.replace_all "I am what I am" ~old_s:"I am" ~new_s:"This is" in
+  Alcotest.(check string) "text" "This is what This is" t;
+  Alcotest.(check int) "count" 2 n
+
+let test_replace_all_none () =
+  let t, n = Text.replace_all "nothing here" ~old_s:"I am" ~new_s:"X" in
+  Alcotest.(check string) "unchanged" "nothing here" t;
+  Alcotest.(check int) "count 0" 0 n
+
+let test_replace_all_overlap () =
+  (* Non-overlapping, left to right. *)
+  let t, n = Text.replace_all "aaa" ~old_s:"aa" ~new_s:"b" in
+  Alcotest.(check string) "left to right" "ba" t;
+  Alcotest.(check int) "one replacement" 1 n
+
+let test_toggle_i_am_round_trip () =
+  let original = Text.generate ~phrase:(Text.document_phrase ~part_id:3) ~size:500 in
+  let once, n1 = Text.toggle_i_am original in
+  let twice, n2 = Text.toggle_i_am once in
+  Alcotest.(check bool) "first toggle replaced something" true (n1 > 0);
+  Alcotest.(check int) "second toggle reverses count" n1 n2;
+  Alcotest.(check string) "round trip" original twice
+
+let test_toggle_i_case_round_trip () =
+  let original = Text.generate ~phrase:(Text.manual_phrase ~module_id:1) ~size:500 in
+  let once, n1 = Text.toggle_i_case original in
+  let twice, n2 = Text.toggle_i_case once in
+  Alcotest.(check bool) "changed" true (n1 > 0);
+  Alcotest.(check int) "reversed count" n1 n2;
+  Alcotest.(check string) "round trip" original twice
+
+let test_swap_char () =
+  let t, n = Text.swap_char "IiIi" ~from_c:'I' ~to_c:'i' in
+  Alcotest.(check string) "all lowered" "iiii" t;
+  Alcotest.(check int) "two changes" 2 n
+
+(* qcheck properties *)
+
+let printable_string = QCheck.string_gen_of_size (QCheck.Gen.int_bound 200) QCheck.Gen.printable
+
+let prop_count_char_matches_fold =
+  QCheck.Test.make ~name:"count_char matches naive fold" ~count:500
+    printable_string (fun s ->
+      Text.count_char s 'I'
+      = String.fold_left (fun acc c -> if c = 'I' then acc + 1 else acc) 0 s)
+
+let prop_replace_count_consistent =
+  QCheck.Test.make ~name:"replace_all count = occurrences removed" ~count:500
+    printable_string (fun s ->
+      let replaced, n = Text.replace_all s ~old_s:"ab" ~new_s:"" in
+      String.length replaced = String.length s - (2 * n))
+
+let prop_replace_removes_pattern =
+  QCheck.Test.make ~name:"replace_all leaves no pattern when new avoids it"
+    ~count:500 printable_string (fun s ->
+      let replaced, _ = Text.replace_all s ~old_s:"ab" ~new_s:"_" in
+      let _, again = Text.replace_all replaced ~old_s:"ab" ~new_s:"_" in
+      again = 0)
+
+let prop_generate_size =
+  QCheck.Test.make ~name:"generate length" ~count:200
+    QCheck.(pair (int_range 1 50) (int_range 0 500))
+    (fun (plen, size) ->
+      let phrase = String.make plen 'x' in
+      String.length (Text.generate ~phrase ~size) = size)
+
+let prop_swap_char_involutive_count =
+  QCheck.Test.make ~name:"swap_char back and forth restores" ~count:500
+    printable_string (fun s ->
+      (* Only valid when the target character is absent initially. *)
+      QCheck.assume (not (String.contains s '\001'));
+      let once, n1 = Text.swap_char s ~from_c:'a' ~to_c:'\001' in
+      let back, n2 = Text.swap_char once ~from_c:'\001' ~to_c:'a' in
+      n1 = n2 && String.equal back s)
+
+let qcheck_suite =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_count_char_matches_fold;
+      prop_replace_count_consistent;
+      prop_replace_removes_pattern;
+      prop_generate_size;
+      prop_swap_char_involutive_count;
+    ]
+
+let suite =
+  [
+    Alcotest.test_case "generate size" `Quick test_generate_size;
+    Alcotest.test_case "generate zero" `Quick test_generate_zero;
+    Alcotest.test_case "generate repeats phrase" `Quick test_generate_repeats;
+    Alcotest.test_case "document phrase has 'I am'" `Quick
+      test_document_phrase_has_i_am;
+    Alcotest.test_case "count_char" `Quick test_count_char;
+    Alcotest.test_case "first_last_equal" `Quick test_first_last_equal;
+    Alcotest.test_case "replace_all basic" `Quick test_replace_all_basic;
+    Alcotest.test_case "replace_all none" `Quick test_replace_all_none;
+    Alcotest.test_case "replace_all no overlap" `Quick test_replace_all_overlap;
+    Alcotest.test_case "toggle I am round trip" `Quick
+      test_toggle_i_am_round_trip;
+    Alcotest.test_case "toggle I case round trip" `Quick
+      test_toggle_i_case_round_trip;
+    Alcotest.test_case "swap_char" `Quick test_swap_char;
+  ]
+
+let () = Alcotest.run "text" [ ("text", suite); ("text-props", qcheck_suite) ]

@@ -1,0 +1,223 @@
+(* Tests for workload-ratio computation (paper Table 2) and operation
+   sampling. *)
+
+module W = Sb7_harness.Workload
+module Category = Sb7_core.Category
+
+let mk code category read_only : W.op_desc = { code; category; read_only }
+
+(* A miniature operation set with every (category, kind) combination
+   the real benchmark has. *)
+let ops =
+  [|
+    mk "LT-r" Category.Long_traversal true;
+    mk "LT-w" Category.Long_traversal false;
+    mk "ST-r" Category.Short_traversal true;
+    mk "ST-w" Category.Short_traversal false;
+    mk "OP-r" Category.Short_operation true;
+    mk "OP-w" Category.Short_operation false;
+    mk "SM-w" Category.Structure_modification false;
+  |]
+
+let sum = Array.fold_left ( +. ) 0.
+
+let test_ratios_sum_to_one () =
+  List.iter
+    (fun kind ->
+      let r = W.ratios kind ops in
+      Alcotest.(check (float 1e-9)) (W.kind_to_string kind) 1.0 (sum r))
+    W.all_kinds
+
+let test_read_dominated_prefers_reads () =
+  let r = W.ratios W.Read_dominated ops in
+  (* Same category, read-only vs update: 90/10. *)
+  Alcotest.(check (float 1e-9)) "9x more reads" (9. *. r.(1)) r.(0);
+  let w = W.ratios W.Write_dominated ops in
+  Alcotest.(check (float 1e-9)) "9x more writes" (9. *. w.(0)) w.(1)
+
+let test_category_proportions () =
+  (* With one op per (category, kind) group, category totals follow
+     Table 2 scaled by the read/update split. *)
+  let r = W.ratios W.Read_write ops in
+  let lt = r.(0) +. r.(1)
+  and st = r.(2) +. r.(3)
+  and op = r.(4) +. r.(5)
+  and sm = r.(6) in
+  (* ST : LT should be 40 : 5 = 8, for both kinds scale equally. *)
+  Alcotest.(check (float 1e-9)) "ST/LT = 8" 8.0 (st /. lt);
+  Alcotest.(check (float 1e-9)) "OP/LT = 9" 9.0 (op /. lt);
+  (* SM has only the update share: (10 * 0.4) vs LT (5 * 1.0). *)
+  Alcotest.(check (float 1e-9)) "SM/LT" (10. *. 0.4 /. 5.) (sm /. lt)
+
+let test_group_members_share_equally () =
+  let two_sts =
+    Array.append ops [| mk "ST-r2" Category.Short_traversal true |]
+  in
+  let r = W.ratios W.Read_dominated two_sts in
+  Alcotest.(check (float 1e-9)) "equal within group" r.(2) r.(7)
+
+let test_real_operation_set () =
+  (* Ratios over the full 45-operation set are a distribution and every
+     operation gets a positive share. *)
+  let module I = Sb7_core.Instance.Make (Sb7_runtime.Seq_runtime) in
+  let descs =
+    I.Operation.all
+    |> List.map (fun (op : I.Operation.t) ->
+           mk op.code op.category (I.Operation.read_only op))
+    |> Array.of_list
+  in
+  Alcotest.(check int) "45 operations" 45 (Array.length descs);
+  List.iter
+    (fun kind ->
+      let r = W.ratios kind descs in
+      Alcotest.(check (float 1e-9)) "sums to 1" 1.0 (sum r);
+      Array.iter
+        (fun x -> Alcotest.(check bool) "positive" true (x > 0.))
+        r)
+    W.all_kinds
+
+let test_cdf_monotone_ends_at_one () =
+  let r = W.ratios W.Read_write ops in
+  let cdf = W.cdf r in
+  let monotone = ref true in
+  Array.iteri
+    (fun i v -> if i > 0 && v < cdf.(i - 1) then monotone := false)
+    cdf;
+  Alcotest.(check bool) "monotone" true !monotone;
+  Alcotest.(check (float 1e-9)) "ends at 1" 1.0 cdf.(Array.length cdf - 1)
+
+let test_sample_respects_ratios () =
+  let r = W.ratios W.Read_dominated ops in
+  let cdf = W.cdf r in
+  let rng = Sb7_core.Sb_random.create ~seed:99 in
+  let counts = Array.make (Array.length ops) 0 in
+  let n = 200_000 in
+  for _ = 1 to n do
+    let u = float_of_int (Sb7_core.Sb_random.int rng 1_000_000) /. 1_000_000. in
+    let i = W.sample cdf u in
+    counts.(i) <- counts.(i) + 1
+  done;
+  Array.iteri
+    (fun i c ->
+      let achieved = float_of_int c /. float_of_int n in
+      Alcotest.(check bool)
+        (Printf.sprintf "op %d achieved %.4f expected %.4f" i achieved r.(i))
+        true
+        (abs_float (achieved -. r.(i)) < 0.01))
+    counts
+
+let test_sample_boundaries () =
+  let cdf = [| 0.25; 0.5; 1.0 |] in
+  Alcotest.(check int) "u=0" 0 (W.sample cdf 0.);
+  Alcotest.(check int) "u just below 1" 2 (W.sample cdf 0.999);
+  Alcotest.(check int) "u=0.3" 1 (W.sample cdf 0.3)
+
+let test_kind_strings () =
+  List.iter
+    (fun kind ->
+      match W.kind_of_string (W.kind_to_string kind) with
+      | Ok k -> Alcotest.(check bool) "round trip" true (k = kind)
+      | Error e -> Alcotest.fail e)
+    W.all_kinds;
+  (match W.kind_of_string "rw" with
+  | Ok W.Read_write -> ()
+  | _ -> Alcotest.fail "rw");
+  match W.kind_of_string "bogus" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted bogus"
+
+let test_table2_constants () =
+  Alcotest.(check int) "read-dominated 90%" 90
+    (W.read_only_percent W.Read_dominated);
+  Alcotest.(check int) "read-write 60%" 60 (W.read_only_percent W.Read_write);
+  Alcotest.(check int) "write-dominated 10%" 10
+    (W.read_only_percent W.Write_dominated);
+  Alcotest.(check int) "LT 5%" 5 (W.category_percent Category.Long_traversal);
+  Alcotest.(check int) "ST 40%" 40
+    (W.category_percent Category.Short_traversal);
+  Alcotest.(check int) "OP 45%" 45
+    (W.category_percent Category.Short_operation);
+  Alcotest.(check int) "SM 10%" 10
+    (W.category_percent Category.Structure_modification)
+
+let test_mix_parsing () =
+  (match W.mix_of_string "5:40:45:10" with
+  | Ok m ->
+    Alcotest.(check bool) "default round trip" true (m = W.default_mix)
+  | Error e -> Alcotest.fail e);
+  (match W.mix_of_string "0:50:50:0" with
+  | Ok m ->
+    Alcotest.(check int) "lt 0" 0 m.W.long_traversals;
+    Alcotest.(check int) "st 50" 50 m.W.short_traversals
+  | Error e -> Alcotest.fail e);
+  List.iter
+    (fun bad ->
+      match W.mix_of_string bad with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "accepted %S" bad)
+    [ "1:2:3"; "1:2:3:4:5"; "a:b:c:d"; "-1:2:3:4"; "0:0:0:0"; "" ]
+
+let test_mix_to_string_round_trip () =
+  let m =
+    {
+      W.long_traversals = 1;
+      short_traversals = 2;
+      short_operations = 3;
+      structure_mods = 4;
+    }
+  in
+  match W.mix_of_string (W.mix_to_string m) with
+  | Ok m' -> Alcotest.(check bool) "round trip" true (m = m')
+  | Error e -> Alcotest.fail e
+
+let test_custom_mix_zeroes_category () =
+  let mix =
+    {
+      W.long_traversals = 0;
+      short_traversals = 50;
+      short_operations = 50;
+      structure_mods = 0;
+    }
+  in
+  let r = W.ratios ~mix W.Read_write ops in
+  Alcotest.(check (float 1e-9)) "LT-r zero" 0. r.(0);
+  Alcotest.(check (float 1e-9)) "LT-w zero" 0. r.(1);
+  Alcotest.(check (float 1e-9)) "SM zero" 0. r.(6);
+  Alcotest.(check (float 1e-9)) "still a distribution" 1.0 (sum r);
+  (* Equal mix weights give equal category shares per kind group. *)
+  Alcotest.(check (float 1e-9)) "ST = OP share" (r.(2) +. r.(3))
+    (r.(4) +. r.(5))
+
+let test_default_mix_equals_table2 () =
+  List.iter
+    (fun cat ->
+      Alcotest.(check int)
+        (Sb7_core.Category.to_string cat)
+        (W.category_percent cat)
+        (W.mix_percent W.default_mix cat))
+    Sb7_core.Category.all
+
+let suite =
+  [
+    Alcotest.test_case "ratios sum to one" `Quick test_ratios_sum_to_one;
+    Alcotest.test_case "mix parsing" `Quick test_mix_parsing;
+    Alcotest.test_case "mix round trip" `Quick test_mix_to_string_round_trip;
+    Alcotest.test_case "custom mix zeroes category" `Quick
+      test_custom_mix_zeroes_category;
+    Alcotest.test_case "default mix = Table 2" `Quick
+      test_default_mix_equals_table2;
+    Alcotest.test_case "read/update split" `Quick
+      test_read_dominated_prefers_reads;
+    Alcotest.test_case "category proportions" `Quick test_category_proportions;
+    Alcotest.test_case "groups share equally" `Quick
+      test_group_members_share_equally;
+    Alcotest.test_case "full 45-op set" `Quick test_real_operation_set;
+    Alcotest.test_case "cdf shape" `Quick test_cdf_monotone_ends_at_one;
+    Alcotest.test_case "sampling matches ratios" `Slow
+      test_sample_respects_ratios;
+    Alcotest.test_case "sample boundaries" `Quick test_sample_boundaries;
+    Alcotest.test_case "kind strings" `Quick test_kind_strings;
+    Alcotest.test_case "Table 2 constants" `Quick test_table2_constants;
+  ]
+
+let () = Alcotest.run "workload" [ ("workload", suite) ]
