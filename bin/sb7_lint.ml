@@ -1,0 +1,98 @@
+(** sb7-lint: static STM-discipline checker over dune-generated [.cmt]
+    typed ASTs. See docs/LINT.md for the rule families and suppression
+    syntax. Exit code 1 when any unsuppressed error remains. *)
+
+open Cmdliner
+
+let known_rules = [ "R1"; "R2"; "R3" ]
+
+let run paths json strict_local source_root rules =
+  (match List.filter (fun r -> not (List.mem r known_rules)) rules with
+  | [] -> ()
+  | unknown ->
+    Printf.eprintf "sb7-lint: unknown rule family %s (expected %s)\n"
+      (String.concat ", " unknown)
+      (String.concat ", " known_rules);
+    exit 2);
+  (match List.filter (fun p -> not (Sys.file_exists p)) paths with
+  | [] -> ()
+  | missing ->
+    Printf.eprintf "sb7-lint: no such file or directory: %s\n"
+      (String.concat ", " missing);
+    exit 2);
+  let config =
+    let base = Sb7_analysis.Lint_config.default in
+    let base = { base with Sb7_analysis.Lint_config.strict_local } in
+    match rules with
+    | [] -> base
+    | rules ->
+      let open Sb7_analysis.Lint_config in
+      {
+        base with
+        r1 =
+          (if List.mem "R1" rules then base.r1
+           else { base.r1 with r1_prefixes = [] });
+        r2 =
+          (if List.mem "R2" rules then base.r2
+           else { base.r2 with r2_seeds = [] });
+        r3 = (if List.mem "R3" rules then base.r3 else []);
+      }
+  in
+  let result =
+    Sb7_analysis.Lint_engine.run ~config ~source_root ~paths ()
+  in
+  if json then print_string (Sb7_analysis.Lint_engine.render_json result)
+  else print_string (Sb7_analysis.Lint_engine.render_text result);
+  if result.Sb7_analysis.Lint_engine.findings = [] then 0 else 1
+
+let paths_arg =
+  let doc =
+    "Directories scanned recursively for .cmt files (or .cmt files \
+     directly)."
+  in
+  Arg.(non_empty & pos_all string [] & info [] ~docv:"PATH" ~doc)
+
+let json_arg =
+  Arg.(value & flag & info [ "json" ] ~doc:"Emit a machine-readable JSON report.")
+
+let strict_local_arg =
+  let doc =
+    "Also report provably transaction-local mutable state as notices \
+     (full-purity audit; does not affect the exit code)."
+  in
+  Arg.(value & flag & info [ "strict-local" ] ~doc)
+
+let source_root_arg =
+  let doc =
+    "Directory against which source paths recorded in .cmt files are \
+     resolved (for suppression comments)."
+  in
+  Arg.(value & opt string "." & info [ "source-root" ] ~docv:"DIR" ~doc)
+
+let rules_arg =
+  let doc = "Comma-separated subset of rule families to run (R1,R2,R3)." in
+  Arg.(value & opt (list string) [] & info [ "rules" ] ~docv:"RULES" ~doc)
+
+let cmd =
+  let doc = "enforce STM discipline across the STMBench7 sync-free core" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Walks dune-generated typed ASTs and enforces: (R1) no mutable \
+         state bypassing the Runtime functor in the core; (R2) no \
+         irrevocable effects reachable from abortable operation bodies; \
+         (R3) lock acquire/release pairing, ordering and no-wait \
+         discipline in the lock-based runtimes.";
+      `P
+        "Suppress a finding with a comment on the same or preceding \
+         line: (* sb7-lint: allow <rule> -- reason *).";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "sb7_lint" ~version:"1.0" ~doc ~man)
+    Term.(
+      const run $ paths_arg $ json_arg $ strict_local_arg $ source_root_arg
+      $ rules_arg)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,73 @@
+(** Loading dune-generated [.cmt] files into the shape the rules
+    consume: the typed AST plus enough naming context to resolve
+    references to sibling compilation units behind the library wrapper
+    module (dune compiles [lib/core/text.ml] as [Sb7_core__Text] and
+    references to it appear as [Sb7_core.Text.f]). *)
+
+type t = {
+  name : string;  (** compilation unit name, e.g. [Sb7_core__Text] *)
+  source : string option;  (** source path as recorded by the compiler *)
+  structure : Typedtree.structure;
+}
+
+let load path =
+  match Cmt_format.read_cmt path with
+  | exception _ -> None
+  | cmt -> (
+    match cmt.Cmt_format.cmt_annots with
+    | Cmt_format.Implementation structure ->
+      Some
+        {
+          name = cmt.Cmt_format.cmt_modname;
+          source = cmt.Cmt_format.cmt_sourcefile;
+          structure;
+        }
+    | _ -> None)
+
+(** Recursively collect [*.cmt] files under [paths] (files are taken
+    as-is), skipping duplicate unit names (byte/native variants). *)
+let scan paths =
+  let files = ref [] in
+  let rec walk p =
+    if Sys.is_directory p then
+      Array.iter (fun entry -> walk (Filename.concat p entry)) (Sys.readdir p)
+    else if Filename.check_suffix p ".cmt" then files := p :: !files
+  in
+  List.iter
+    (fun p -> if Sys.file_exists p then walk p)
+    paths;
+  let seen = Hashtbl.create 64 in
+  List.filter_map
+    (fun path ->
+      match load path with
+      | Some u when not (Hashtbl.mem seen u.name) ->
+        Hashtbl.add seen u.name ();
+        Some u
+      | _ -> None)
+    (List.sort String.compare !files)
+
+(** [resolve_ref units path] maps a typedtree [Path.t] to the name of
+    the compilation unit it refers to, if it refers to one of [units]
+    (a set of unit names). Handles both direct references
+    ([Sb7_core__Text.f]) and references through a dune wrapper alias
+    module ([Sb7_core.Text.f] -> [Sb7_core__Text]). *)
+let resolve_ref ~units path =
+  let head = Path.head path in
+  if not (Ident.persistent head) then None
+  else
+    let head_name = Ident.name head in
+    let components =
+      (* Path.flatten is not available for all shapes; walk manually. *)
+      let rec parts acc = function
+        | Path.Pident id -> Ident.name id :: acc
+        | Path.Pdot (p, s) -> parts (s :: acc) p
+        | Path.Papply (p, _) -> parts acc p
+        | Path.Pextra_ty (p, _) -> parts acc p
+      in
+      parts [] path
+    in
+    match components with
+    | _ :: second :: _
+      when Hashtbl.mem units (head_name ^ "__" ^ second) ->
+      Some (head_name ^ "__" ^ second)
+    | _ -> if Hashtbl.mem units head_name then Some head_name else None

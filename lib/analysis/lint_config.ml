@@ -1,0 +1,141 @@
+(** Configuration for the sb7-lint rules.
+
+    The configuration is a plain value so that the test suite can point
+    the same engine at fixture modules; {!default} describes this
+    repository: the sync-free core lives in [Sb7_core__*], operation
+    bodies are registered in [Sb7_core__Operation], and the lock-based
+    runtimes declare their lock classes and ordering here. *)
+
+(** Scope of rule R1 (runtime-bypass): compilation units whose mutable
+    state must flow through the [Runtime] functor. *)
+type r1 = {
+  r1_prefixes : string list;  (** units matching any prefix are checked *)
+  r1_exempt_units : string list;
+      (** units excluded even when a prefix matches (e.g. the library
+          wrapper alias module) *)
+}
+
+(** Scope of rule R2 (irrevocable effects): effects are forbidden in
+    every unit reachable from [r2_seeds] in the module-reference graph,
+    restricted to units matching [r2_universe_prefixes]. *)
+type r2 = {
+  r2_seeds : string list;
+  r2_universe_prefixes : string list;
+}
+
+(** Per-module lock discipline specification for rule R3.
+
+    Lock classes are abstract names ([structure], [domains], ...). A
+    direct [Rwlock.acquire*] call is classified by the head identifier
+    of its lock argument via [r3_classes]; module-local helpers that
+    acquire or release a whole class at once are declared in
+    [r3_acquire_helpers] / [r3_release_helpers]. *)
+type r3_spec = {
+  r3_unit : string;  (** compilation unit this spec applies to *)
+  r3_classes : (string * string) list;
+      (** identifier (lock value or lock-producing function) -> class *)
+  r3_acquire_helpers : (string * string) list;  (** function -> class *)
+  r3_release_helpers : (string * string) list;  (** function -> class *)
+  r3_order : string list;
+      (** lock-order table: classes must be first-acquired in this
+          order within any single function *)
+  r3_deferred_acquires : string list;
+      (** functions that acquire per-object locks and defer the release
+          to a bulk-release function (dynamic 2PL) *)
+  r3_bulk_release : string list;
+      (** functions releasing everything acquired by deferred helpers;
+          some function of the module must call one on both the normal
+          and the exceptional path *)
+  r3_must_restart : (string * string) list;
+      (** (function, exception): the function must contain
+          [raise <exception>] — no-wait acquisition discipline *)
+  r3_forbid_blocking : bool;
+      (** forbid blocking primitives ([Rwlock.acquire*], [Mutex.lock],
+          [Condition.wait]) anywhere in the module *)
+}
+
+type t = {
+  r1 : r1;
+  r2 : r2;
+  r3 : r3_spec list;
+  strict_local : bool;
+      (** when true, R1 also reports provably transaction-local mutable
+          state (notices): useful to audit a module for full purity *)
+}
+
+let spec_for t unit_name =
+  List.find_opt (fun s -> s.r3_unit = unit_name) t.r3
+
+let in_r1_scope t unit_name =
+  List.exists (fun p -> String.starts_with ~prefix:p unit_name) t.r1.r1_prefixes
+  && not (List.mem unit_name t.r1.r1_exempt_units)
+
+let in_r2_universe t unit_name =
+  List.exists
+    (fun p -> String.starts_with ~prefix:p unit_name)
+    t.r2.r2_universe_prefixes
+
+(** The repository configuration enforced by [dune build @lint]. *)
+let default =
+  {
+    r1 =
+      {
+        r1_prefixes = [ "Sb7_core__" ];
+        (* The wrapper module is dune-generated aliases only. *)
+        r1_exempt_units = [ "Sb7_core" ];
+      };
+    r2 =
+      {
+        (* Every benchmark operation body is registered in Operation;
+           anything it reaches may run inside an abortable transaction. *)
+        r2_seeds = [ "Sb7_core__Operation" ];
+        r2_universe_prefixes = [ "Sb7_core__" ];
+      };
+    r3 =
+      [
+        {
+          r3_unit = "Sb7_runtime__Medium_runtime";
+          r3_classes =
+            [ ("structure_lock", "structure"); ("lock_of_domain", "domains") ];
+          r3_acquire_helpers = [ ("acquire_plan", "domains") ];
+          r3_release_helpers = [ ("release_plan", "domains") ];
+          (* Figure 5 of the paper: the structure lock is acquired
+             before any domain lock, domain locks in canonical rank
+             order (enforced dynamically by Op_profile.locking_plan). *)
+          r3_order = [ "structure"; "domains" ];
+          r3_deferred_acquires = [];
+          r3_bulk_release = [];
+          r3_must_restart = [];
+          r3_forbid_blocking = false;
+        };
+        {
+          r3_unit = "Sb7_runtime__Fine_runtime";
+          r3_classes = [];
+          r3_acquire_helpers = [];
+          r3_release_helpers = [ ("release_plan", "domains") ];
+          r3_order = [];
+          (* Strict 2PL: locks are taken on first access and released
+             in bulk at commit/abort by release_all. *)
+          r3_deferred_acquires = [ "lock_for_read"; "lock_for_write" ];
+          r3_bulk_release = [ "release_all" ];
+          (* No-wait deadlock avoidance: a failed acquisition must
+             restart the operation, never block. *)
+          r3_must_restart =
+            [ ("lock_for_read", "Restart"); ("lock_for_write", "Restart") ];
+          r3_forbid_blocking = true;
+        };
+        {
+          r3_unit = "Sb7_runtime__Coarse_runtime";
+          (* Uses the exception-safe Rwlock.with_lock wrapper only. *)
+          r3_classes = [ ("global", "global") ];
+          r3_acquire_helpers = [];
+          r3_release_helpers = [ ("release_plan", "domains") ];
+          r3_order = [ "global" ];
+          r3_deferred_acquires = [];
+          r3_bulk_release = [];
+          r3_must_restart = [];
+          r3_forbid_blocking = false;
+        };
+      ];
+    strict_local = false;
+  }

@@ -1,0 +1,106 @@
+(** Orchestrates a lint run: load every [.cmt] under the given paths,
+    compute R2 reachability, run the three rule families, apply
+    suppression comments, and split the results. *)
+
+type result = {
+  findings : Lint_finding.t list;  (** unsuppressed errors, sorted *)
+  notices : Lint_finding.t list;  (** strict-local notices, sorted *)
+  suppressed : Lint_finding.t list;
+  stale_suppressions : (string * int * string) list;
+      (** (file, line, rule) suppression entries that matched nothing *)
+  units_checked : string list;
+}
+
+let run ~(config : Lint_config.t) ~source_root ~paths () =
+  let units = Cmt_unit.scan paths in
+  let reachable =
+    Mod_graph.reachable units ~seeds:config.Lint_config.r2.r2_seeds
+  in
+  let raw = ref [] in
+  List.iter
+    (fun u ->
+      let name = u.Cmt_unit.name in
+      if Lint_config.in_r1_scope config name then
+        raw :=
+          Rule_r1.check u ~strict_local:config.Lint_config.strict_local
+          @ !raw;
+      if Lint_config.in_r2_universe config name && Hashtbl.mem reachable name
+      then raw := Rule_r2.check u @ !raw;
+      match Lint_config.spec_for config name with
+      | Some spec -> raw := Rule_r3.check spec u @ !raw
+      | None -> ())
+    units;
+  let raw = List.sort Lint_finding.compare !raw in
+  (* Apply suppression comments, reading each source file once. *)
+  let tables = Hashtbl.create 16 in
+  let table_for file =
+    match Hashtbl.find_opt tables file with
+    | Some t -> t
+    | None ->
+      let t = Suppress.load (Filename.concat source_root file) in
+      Hashtbl.add tables file t;
+      t
+  in
+  let notices, errors =
+    List.partition
+      (fun f -> f.Lint_finding.severity = Lint_finding.Notice)
+      raw
+  in
+  let suppressed, findings =
+    List.partition
+      (fun f ->
+        Suppress.suppressed (table_for f.Lint_finding.file)
+          ~line:f.Lint_finding.line ~rule:f.Lint_finding.rule)
+      errors
+  in
+  let stale_suppressions =
+    Hashtbl.fold
+      (fun file t acc ->
+        List.fold_left
+          (fun acc (line, rule) -> (file, line, rule) :: acc)
+          acc (Suppress.unused t))
+      tables []
+  in
+  {
+    findings;
+    notices;
+    suppressed;
+    stale_suppressions;
+    units_checked = List.map (fun u -> u.Cmt_unit.name) units;
+  }
+
+let render_text result =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun f ->
+      Buffer.add_string buf (Lint_finding.to_string f);
+      Buffer.add_char buf '\n')
+    result.findings;
+  List.iter
+    (fun f ->
+      Buffer.add_string buf ("notice: " ^ Lint_finding.to_string f);
+      Buffer.add_char buf '\n')
+    result.notices;
+  List.iter
+    (fun (file, line, rule) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "%s:%d: warning: stale suppression for rule %S matches no finding\n"
+           file line rule))
+    result.stale_suppressions;
+  Buffer.add_string buf
+    (Printf.sprintf
+       "sb7-lint: %d unit(s), %d error(s), %d suppressed, %d notice(s)\n"
+       (List.length result.units_checked)
+       (List.length result.findings)
+       (List.length result.suppressed)
+       (List.length result.notices));
+  Buffer.contents buf
+
+let render_json result =
+  let arr fs = String.concat "," (List.map Lint_finding.to_json fs) in
+  Printf.sprintf
+    {|{"findings":[%s],"notices":[%s],"suppressed":[%s],"units_checked":%d,"errors":%d}|}
+    (arr result.findings) (arr result.notices) (arr result.suppressed)
+    (List.length result.units_checked)
+    (List.length result.findings)

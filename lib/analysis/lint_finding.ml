@@ -1,0 +1,72 @@
+(** A single diagnostic produced by one of the sb7-lint rules.
+
+    Findings are keyed by the short rule id that suppression comments
+    use ([raw-mut], [raw-mut-global], [irrevocable], [lock-order],
+    [lock-release], [lock-wait], [lock-table]). *)
+
+type severity =
+  | Error  (** fails the build when unsuppressed *)
+  | Notice  (** informational (e.g. [--strict-local] mode) *)
+
+type t = {
+  rule : string;  (** short rule id, as used by suppression comments *)
+  file : string;  (** source path as recorded in the .cmt *)
+  line : int;
+  col : int;
+  unit_name : string;  (** compilation unit the finding belongs to *)
+  message : string;
+  severity : severity;
+}
+
+let make ?(severity = Error) ~rule ~loc ~unit_name message =
+  let pos = loc.Location.loc_start in
+  {
+    rule;
+    file = pos.Lexing.pos_fname;
+    line = pos.Lexing.pos_lnum;
+    col = pos.Lexing.pos_cnum - pos.Lexing.pos_bol;
+    unit_name;
+    message;
+    severity;
+  }
+
+(** Finding with no meaningful source position (module-level checks). *)
+let module_level ?(severity = Error) ~rule ~file ~unit_name message =
+  { rule; file; line = 0; col = 0; unit_name; message; severity }
+
+let compare a b =
+  match String.compare a.file b.file with
+  | 0 -> (
+    match Int.compare a.line b.line with
+    | 0 -> (
+      match Int.compare a.col b.col with
+      | 0 -> String.compare a.rule b.rule
+      | c -> c)
+    | c -> c)
+  | c -> c
+
+let to_string t =
+  Printf.sprintf "%s:%d:%d: [%s] %s" t.file t.line t.col t.rule t.message
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json t =
+  Printf.sprintf
+    {|{"rule":"%s","file":"%s","line":%d,"col":%d,"unit":"%s","severity":"%s","message":"%s"}|}
+    (json_escape t.rule) (json_escape t.file) t.line t.col
+    (json_escape t.unit_name)
+    (match t.severity with Error -> "error" | Notice -> "notice")
+    (json_escape t.message)

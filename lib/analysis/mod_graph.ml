@@ -1,0 +1,58 @@
+(** Module-granularity reference graph over a set of loaded units, used
+    by rule R2 to approximate "reachable from an operation body".
+
+    Edges are collected from every value reference ([Texp_ident]) and
+    every module reference ([Tmod_ident] — this is what functor
+    applications like [Setup.Make (R)] and local aliases like
+    [module P = Sb7_runtime.Op_profile] produce). The approximation is
+    deliberately coarse (module-level, not function-level): a false
+    edge can only make the lint stricter, never miss a real one. *)
+
+open Typedtree
+
+let references (units : (string, unit) Hashtbl.t) (u : Cmt_unit.t) =
+  let refs = Hashtbl.create 16 in
+  let note path =
+    match Cmt_unit.resolve_ref ~units path with
+    | Some target when target <> u.Cmt_unit.name ->
+      Hashtbl.replace refs target ()
+    | _ -> ()
+  in
+  let iter =
+    {
+      Tast_iterator.default_iterator with
+      expr =
+        (fun sub e ->
+          (match e.exp_desc with
+          | Texp_ident (p, _, _) -> note p
+          | _ -> ());
+          Tast_iterator.default_iterator.expr sub e);
+      module_expr =
+        (fun sub m ->
+          (match m.mod_desc with
+          | Tmod_ident (p, _) -> note p
+          | _ -> ());
+          Tast_iterator.default_iterator.module_expr sub m);
+    }
+  in
+  iter.structure iter u.Cmt_unit.structure;
+  Hashtbl.fold (fun k () acc -> k :: acc) refs []
+
+(** [reachable units ~seeds] is the set of unit names reachable from
+    [seeds] (inclusive) following references between loaded units. *)
+let reachable (units : Cmt_unit.t list) ~seeds =
+  let unit_names = Hashtbl.create 64 in
+  List.iter (fun u -> Hashtbl.replace unit_names u.Cmt_unit.name ()) units;
+  let edges = Hashtbl.create 64 in
+  List.iter
+    (fun u -> Hashtbl.replace edges u.Cmt_unit.name (references unit_names u))
+    units;
+  let reached = Hashtbl.create 64 in
+  let rec visit name =
+    if not (Hashtbl.mem reached name) then begin
+      Hashtbl.replace reached name ();
+      List.iter visit (try Hashtbl.find edges name with Not_found -> [])
+    end
+  in
+  List.iter visit seeds;
+  reached

@@ -1,0 +1,334 @@
+(** R3 — lock discipline in the lock-based runtimes.
+
+    Three properties, all config-driven ({!Lint_config.r3_spec}):
+
+    - {b lock-release}: a function that acquires a lock class must
+      release it on the normal path {i and} on the exceptional path
+      (an [exception] match case, a [try] handler, or a
+      [Fun.protect ~finally]); declared acquire/release helpers are the
+      trusted primitives and are exempt inside their own bodies.
+      Dynamic-2PL modules instead declare deferred acquires plus a bulk
+      release, and some function of the module must call the bulk
+      release on both paths.
+    - {b lock-order}: within any function, distinct lock classes must
+      be first-acquired in the declared table order (deadlock freedom).
+      An acquisition whose lock cannot be classified is itself an error
+      ([lock-table]): every lock must be in the declared table.
+    - {b lock-wait}: no-wait functions must contain [raise <Restart>],
+      and modules declared non-blocking must not use blocking
+      acquisition primitives at all.
+
+    [Rwlock.with_lock] is recognized as inherently exception-safe and
+    produces no events. *)
+
+open Typedtree
+
+type ctx =
+  | Normal
+  | Handler  (** exception-handler continuation *)
+  | Finally  (** [Fun.protect ~finally] body: runs on both paths *)
+
+type event =
+  | Acquire of string * Location.t
+  | Release of string * ctx
+  | Bulk_release of string * ctx
+  | Raise of string * Location.t
+  | Blocking of string * Location.t
+
+let path_components p =
+  let rec parts acc = function
+    | Path.Pident id -> Ident.name id :: acc
+    | Path.Pdot (p, s) -> parts (s :: acc) p
+    | Path.Papply (p, _) -> parts acc p
+    | Path.Pextra_ty (p, _) -> parts acc p
+  in
+  parts [] p
+
+(* Rwlock operations are matched structurally — the runtimes alias the
+   library ([module Rwlock = Sb7_rwlock.Rwlock]), so the path head is
+   not stable but the [Rwlock.<op>] suffix is. *)
+let rwlock_op p =
+  match List.rev (path_components p) with
+  | op :: "Rwlock" :: _ -> Some op
+  | _ -> None
+
+let acquire_ops = [ "acquire"; "acquire_read"; "acquire_write" ]
+let release_ops = [ "release"; "release_read"; "release_write" ]
+let blocking_ops = [ "Mutex.lock"; "Condition.wait" ]
+
+let last_component p =
+  match List.rev (path_components p) with c :: _ -> c | [] -> ""
+
+(* Class of the lock denoted by the first positional argument of an
+   Rwlock call: either a declared lock value or a declared
+   lock-producing function. *)
+let classify_lock (spec : Lint_config.r3_spec) arg =
+  let by_name n = List.assoc_opt n spec.Lint_config.r3_classes in
+  match arg.exp_desc with
+  | Texp_ident (p, _, _) -> by_name (last_component p)
+  | Texp_apply ({ exp_desc = Texp_ident (p, _, _); _ }, _) ->
+    by_name (last_component p)
+  | _ -> None
+
+let first_positional args =
+  List.find_map
+    (function Asttypes.Nolabel, Some e -> Some e | _ -> None)
+    args
+
+(* Collect lock events from one function body, tracking whether the
+   current position runs on the exceptional path. *)
+let collect (spec : Lint_config.r3_spec) ~unit_name ~add_finding body =
+  let events = ref [] in
+  let emit ev = events := ev :: !events in
+  let rec walk ctx e =
+    let sub_iter current_ctx =
+      {
+        Tast_iterator.default_iterator with
+        expr = (fun _ e -> walk current_ctx e);
+      }
+    in
+    match e.exp_desc with
+    | Texp_match (scrut, cases, _) ->
+      walk ctx scrut;
+      List.iter
+        (fun case ->
+          let case_ctx =
+            if Rule_r3_patterns.has_exception_pattern case.c_lhs then Handler
+            else ctx
+          in
+          Option.iter (walk case_ctx) case.c_guard;
+          walk case_ctx case.c_rhs)
+        cases
+    | Texp_try (body_e, handlers) ->
+      walk ctx body_e;
+      List.iter
+        (fun case ->
+          Option.iter (walk Handler) case.c_guard;
+          walk Handler case.c_rhs)
+        handlers
+    | Texp_apply (({ exp_desc = Texp_ident (p, _, _); _ } as fn), args) -> (
+      let name = Path.name p in
+      (* Fun.protect ~finally: the finally closure runs on both paths. *)
+      if name = "Stdlib.Fun.protect" then begin
+        List.iter
+          (fun (label, arg) ->
+            match (label, arg) with
+            | Asttypes.Labelled "finally", Some a -> walk Finally a
+            | _, Some a -> walk ctx a
+            | _, None -> ())
+          args
+      end
+      else begin
+        (match rwlock_op p with
+        | Some op when List.mem op acquire_ops -> (
+          (match first_positional args with
+          | Some lock_arg -> (
+            match classify_lock spec lock_arg with
+            | Some cls -> emit (Acquire (cls, e.exp_loc))
+            | None ->
+              add_finding
+                (Lint_finding.make ~rule:"lock-table" ~loc:e.exp_loc
+                   ~unit_name
+                   "lock acquisition on a lock absent from the declared \
+                    lock-order table"))
+          | None -> ());
+          if spec.Lint_config.r3_forbid_blocking then
+            emit (Blocking (Path.name p, e.exp_loc)))
+        | Some op when List.mem op release_ops -> (
+          match first_positional args with
+          | Some lock_arg -> (
+            match classify_lock spec lock_arg with
+            | Some cls -> emit (Release (cls, ctx))
+            | None -> ())
+          | None -> ())
+        | Some "with_lock" -> () (* inherently exception-safe wrapper *)
+        | _ ->
+          let last = last_component p in
+          (match List.assoc_opt last spec.Lint_config.r3_acquire_helpers with
+          | Some cls -> emit (Acquire (cls, e.exp_loc))
+          | None -> ());
+          (match List.assoc_opt last spec.Lint_config.r3_release_helpers with
+          | Some cls -> emit (Release (cls, ctx))
+          | None -> ());
+          if List.mem last spec.Lint_config.r3_bulk_release then
+            emit (Bulk_release (last, ctx));
+          if
+            List.exists
+              (fun b -> String.ends_with ~suffix:b name)
+              blocking_ops
+          then emit (Blocking (name, e.exp_loc));
+          if name = "Stdlib.raise" then
+            match first_positional args with
+            | Some { exp_desc = Texp_construct (_, cd, _); exp_loc; _ } ->
+              emit (Raise (cd.Types.cstr_name, exp_loc))
+            | _ -> ());
+        walk ctx fn;
+        List.iter (fun (_, arg) -> Option.iter (walk ctx) arg) args
+      end)
+    | _ ->
+      let it = sub_iter ctx in
+      Tast_iterator.default_iterator.expr it e
+  in
+  walk Normal body;
+  List.rev !events
+
+let check_function (spec : Lint_config.r3_spec) ~unit_name ~add_finding
+    ~fn_name ~fn_loc body =
+  let exempt =
+    List.mem_assoc fn_name spec.Lint_config.r3_acquire_helpers
+    || List.mem_assoc fn_name spec.Lint_config.r3_release_helpers
+    || List.mem fn_name spec.Lint_config.r3_bulk_release
+    || List.mem fn_name spec.Lint_config.r3_deferred_acquires
+  in
+  let events = collect spec ~unit_name ~add_finding body in
+  (* lock-wait: no-wait functions must restart instead of blocking. *)
+  (match List.assoc_opt fn_name spec.Lint_config.r3_must_restart with
+  | Some exc ->
+    if
+      not
+        (List.exists (function Raise (n, _) -> n = exc | _ -> false) events)
+    then
+      add_finding
+        (Lint_finding.make ~rule:"lock-wait" ~loc:fn_loc ~unit_name
+           (Printf.sprintf
+              "no-wait acquire function %S must raise %s on contention \
+               instead of blocking"
+              fn_name exc))
+  | None -> ());
+  if spec.Lint_config.r3_forbid_blocking then
+    List.iter
+      (function
+        | Blocking (name, loc) ->
+          add_finding
+            (Lint_finding.make ~rule:"lock-wait" ~loc ~unit_name
+               (Printf.sprintf
+                  "%s: blocking acquisition in a module declared no-wait \
+                   (deadlock avoidance relies on restart, not waiting)"
+                  name))
+        | _ -> ())
+      events;
+  if exempt then []
+  else begin
+    (* lock-order: distinct classes first-acquired in table order. *)
+    let first_acquires =
+      List.fold_left
+        (fun acc ev ->
+          match ev with
+          | Acquire (cls, loc) when not (List.mem_assoc cls acc) ->
+            (cls, loc) :: acc
+          | _ -> acc)
+        [] events
+      |> List.rev
+    in
+    let rank cls =
+      let rec go i = function
+        | [] -> -1
+        | c :: _ when c = cls -> i
+        | _ :: rest -> go (i + 1) rest
+      in
+      go 0 spec.Lint_config.r3_order
+    in
+    let rec check_order = function
+      | (c1, _) :: ((c2, loc2) :: _ as rest) ->
+        if rank c1 > rank c2 && rank c1 >= 0 && rank c2 >= 0 then
+          add_finding
+            (Lint_finding.make ~rule:"lock-order" ~loc:loc2 ~unit_name
+               (Printf.sprintf
+                  "lock class %S acquired after %S, violating the declared \
+                   order [%s]"
+                  c2 c1
+                  (String.concat " < " spec.Lint_config.r3_order)));
+        check_order rest
+      | _ -> ()
+    in
+    check_order first_acquires;
+    (* lock-release: every acquired class released on both paths. *)
+    List.iter
+      (fun (cls, loc) ->
+        let released_on target_ctx =
+          List.exists
+            (function
+              | Release (c, ctx) ->
+                c = cls && (ctx = target_ctx || ctx = Finally)
+              | _ -> false)
+            events
+        in
+        if not (released_on Normal) then
+          add_finding
+            (Lint_finding.make ~rule:"lock-release" ~loc ~unit_name
+               (Printf.sprintf
+                  "lock class %S acquired in %S but never released on the \
+                   normal path"
+                  cls fn_name))
+        else if not (released_on Handler) then
+          add_finding
+            (Lint_finding.make ~rule:"lock-release" ~loc ~unit_name
+               (Printf.sprintf
+                  "lock class %S acquired in %S is not released when the \
+                   operation raises (add an exception case or \
+                   Fun.protect ~finally)"
+                  cls fn_name)))
+      first_acquires;
+    events
+  end
+
+let check (spec : Lint_config.r3_spec) (u : Cmt_unit.t) =
+  let findings = ref [] in
+  let add_finding f = findings := f :: !findings in
+  let unit_name = u.Cmt_unit.name in
+  let rec do_structure str = List.iter do_item str.str_items
+  and do_item item =
+    match item.str_desc with
+    | Tstr_value (_, vbs) ->
+      List.iter
+        (fun vb ->
+          match vb.vb_pat.pat_desc with
+          | Tpat_var (id, _) ->
+            ignore
+              (check_function spec ~unit_name ~add_finding
+                 ~fn_name:(Ident.name id) ~fn_loc:vb.vb_pat.pat_loc vb.vb_expr)
+          | _ -> ())
+        vbs
+    | Tstr_module { mb_expr = { mod_desc = Tmod_structure s; _ }; _ } ->
+      do_structure s
+    | _ -> ()
+  in
+  do_structure u.Cmt_unit.structure;
+  (* Dynamic 2PL: deferred acquires require a bulk release on both
+     paths somewhere in the module. *)
+  if spec.Lint_config.r3_deferred_acquires <> [] then begin
+    let module_events = ref [] in
+    let rec gather str = List.iter gather_item str.str_items
+    and gather_item item =
+      match item.str_desc with
+      | Tstr_value (_, vbs) ->
+        List.iter
+          (fun vb ->
+            module_events :=
+              collect spec ~unit_name ~add_finding:(fun _ -> ()) vb.vb_expr
+              @ !module_events)
+          vbs
+      | Tstr_module { mb_expr = { mod_desc = Tmod_structure s; _ }; _ } ->
+        gather s
+      | _ -> ()
+    in
+    gather u.Cmt_unit.structure;
+    let bulk_on target_ctx =
+      List.exists
+        (function
+          | Bulk_release (_, ctx) -> ctx = target_ctx || ctx = Finally
+          | _ -> false)
+        !module_events
+    in
+    if not (bulk_on Normal && bulk_on Handler) then
+      add_finding
+        (Lint_finding.module_level ~rule:"lock-release"
+           ~file:(Option.value u.Cmt_unit.source ~default:unit_name)
+           ~unit_name
+           (Printf.sprintf
+              "deferred lock acquisition (%s) requires a bulk release (%s) \
+               on both the normal and the exceptional path"
+              (String.concat ", " spec.Lint_config.r3_deferred_acquires)
+              (String.concat ", " spec.Lint_config.r3_bulk_release)))
+  end;
+  List.rev !findings

@@ -1,0 +1,15 @@
+(** Does a match-case pattern bind the exceptional continuation?
+    Handles [| exception e ->] and or-patterns combining values with
+    exceptions. Isolated here because computation patterns are a GADT
+    in the typedtree. *)
+
+open Typedtree
+
+let rec has_exception_pattern : type k. k general_pattern -> bool =
+ fun pat ->
+  match pat.pat_desc with
+  | Tpat_exception _ -> true
+  | Tpat_or (a, b, _) -> has_exception_pattern a || has_exception_pattern b
+  | Tpat_alias (p, _, _) -> has_exception_pattern p
+  | Tpat_value v -> has_exception_pattern (v :> value general_pattern)
+  | _ -> false

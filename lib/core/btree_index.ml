@@ -25,13 +25,16 @@ module Make (R : Sb7_runtime.Runtime_intf.S) = struct
     let rec scan i = if i < n && cmp k seps.(i) >= 0 then scan (i + 1) else i in
     scan 0
 
+  (* First index with key >= k. Pure binary search, clean under
+     sb7-lint --strict-local. *)
   let leaf_search cmp arr k =
-    let lo = ref 0 and hi = ref (Array.length arr) in
-    while !lo < !hi do
-      let mid = (!lo + !hi) / 2 in
-      if cmp (fst arr.(mid)) k < 0 then lo := mid + 1 else hi := mid
-    done;
-    !lo
+    let rec go lo hi =
+      if lo >= hi then lo
+      else
+        let mid = (lo + hi) / 2 in
+        if cmp (fst arr.(mid)) k < 0 then go (mid + 1) hi else go lo mid
+    in
+    go 0 (Array.length arr)
 
   let rec find cmp nref k =
     match R.read nref with
@@ -162,12 +165,15 @@ module Make (R : Sb7_runtime.Runtime_intf.S) = struct
   (** Structural invariants, for property tests: key ordering within and
       across nodes, and node occupancy. *)
   let well_formed cmp root_ref =
-    let sorted_within arr =
-      let ok = ref true in
-      for i = 0 to Array.length arr - 2 do
-        if cmp (fst arr.(i)) (fst arr.(i + 1)) >= 0 then ok := false
-      done;
-      !ok
+    (* [all_indices n p] = p holds for every index in [0, n). *)
+    let all_indices n p =
+      let rec go i = i >= n || (p i && go (i + 1)) in
+      go 0
+    in
+    let strictly_sorted key arr =
+      all_indices
+        (Array.length arr - 1)
+        (fun i -> cmp (key arr.(i)) (key arr.(i + 1)) < 0)
     in
     let rec check nref lo hi =
       let in_bounds k =
@@ -175,28 +181,19 @@ module Make (R : Sb7_runtime.Runtime_intf.S) = struct
         && match hi with None -> true | Some h -> cmp k h < 0
       in
       match R.read nref with
-      | Leaf arr -> sorted_within arr && Array.for_all (fun (k, _) -> in_bounds k) arr
+      | Leaf arr ->
+        strictly_sorted fst arr
+        && Array.for_all (fun (k, _) -> in_bounds k) arr
       | Internal (seps, children) ->
-        Array.length children = Array.length seps + 1
+        let n = Array.length children in
+        n = Array.length seps + 1
         && Array.length seps <= max_keys
         && Array.for_all in_bounds seps
-        && begin
-             let ok = ref true in
-             for i = 0 to Array.length seps - 2 do
-               if cmp seps.(i) seps.(i + 1) >= 0 then ok := false
-             done;
-             !ok
-           end
-        && begin
-             let n = Array.length children in
-             let ok = ref true in
-             for i = 0 to n - 1 do
+        && strictly_sorted Fun.id seps
+        && all_indices n (fun i ->
                let lo' = if i = 0 then lo else Some seps.(i - 1) in
                let hi' = if i = n - 1 then hi else Some seps.(i) in
-               if not (check children.(i) lo' hi') then ok := false
-             done;
-             !ok
-           end
+               check children.(i) lo' hi')
     in
     check root_ref None None
 

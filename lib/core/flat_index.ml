@@ -6,14 +6,15 @@
 
 module Make (R : Sb7_runtime.Runtime_intf.S) = struct
   (* Binary search for the insertion point of [k] (first index with
-     key >= k). *)
+     key >= k). Pure, so it stays clean under sb7-lint --strict-local. *)
   let search cmp (arr : ('k * 'v) array) k =
-    let lo = ref 0 and hi = ref (Array.length arr) in
-    while !lo < !hi do
-      let mid = (!lo + !hi) / 2 in
-      if cmp (fst arr.(mid)) k < 0 then lo := mid + 1 else hi := mid
-    done;
-    !lo
+    let rec go lo hi =
+      if lo >= hi then lo
+      else
+        let mid = (lo + hi) / 2 in
+        if cmp (fst arr.(mid)) k < 0 then go (mid + 1) hi else go lo mid
+    in
+    go 0 (Array.length arr)
 
   let found cmp arr k i = i < Array.length arr && cmp (fst arr.(i)) k = 0
 
@@ -62,11 +63,12 @@ module Make (R : Sb7_runtime.Runtime_intf.S) = struct
           let rec collect i acc =
             if i >= start then collect (i - 1) (arr.(i) :: acc) else acc
           in
-          let stop = ref start in
-          while !stop < Array.length arr && cmp (fst arr.(!stop)) hi <= 0 do
-            incr stop
-          done;
-          collect (!stop - 1) []);
+          let rec past_hi i =
+            if i < Array.length arr && cmp (fst arr.(i)) hi <= 0 then
+              past_hi (i + 1)
+            else i
+          in
+          collect (past_hi start - 1) []);
       iter =
         (fun f ->
           let arr = R.read cells in

@@ -115,6 +115,9 @@ let max_base_assemblies t = with_slack t (initial_base_assemblies t)
 let max_complex_assemblies t = with_slack t (initial_complex_assemblies t)
 
 let pp ppf t =
+  (* sb7-lint: allow irrevocable -- report-time pretty-printer; it is
+     module-reachable from Setup but never called inside an operation
+     body (operations return ints, they never receive a formatter). *)
   Format.fprintf ppf
     "composite parts: %d (x%d atomic parts) | assembly levels: %d (fanout \
      %d) | document: %dB | manual: %dB"

@@ -163,7 +163,11 @@ module Make (R : Sb7_runtime.Runtime_intf.S) = struct
         cp_parts = R.make (Array.to_list parts);
       }
     in
+    (* sb7-lint: allow raw-mut -- set-once back-pointer closing the
+       document/part cycle while the objects are still thread-private
+       (published only by the index puts below, under the runtime). *)
     document.doc_part <- Some cp;
+    (* sb7-lint: allow raw-mut -- same: pre-publication back-pointer. *)
     Array.iter (fun (p : T.atomic_part) -> p.T.ap_part_of <- Some cp) parts;
     setup.cp_id_index.put cp_id cp;
     setup.doc_title_index.put document.doc_title document;

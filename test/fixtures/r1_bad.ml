@@ -1,0 +1,17 @@
+(* Deliberate R1 (runtime-bypass) violations. *)
+
+(* Module-level mutable cell: shared by every thread. *)
+let hits = ref 0
+
+let bump () = hits := !hits + 1
+
+(* Mutation of a caller-supplied array: not provably transaction-local. *)
+let set_first (a : int array) = a.(0) <- 1
+
+type cell = { mutable value : int }
+
+(* Mutable field set on a non-local record. *)
+let poke (c : cell) = c.value <- 3
+
+(* Atomic is forbidden outright in R1 scope. *)
+let shared_counter = Atomic.make 0

@@ -1,0 +1,30 @@
+(* A clean module: all mutable state is provably transaction-local
+   (created inside the function), so R1 reports nothing. *)
+
+let sum_squares n =
+  let total = ref 0 in
+  for i = 1 to n do
+    total := !total + (i * i)
+  done;
+  !total
+
+let distinct xs =
+  let seen = Hashtbl.create 16 in
+  List.filter
+    (fun x ->
+      if Hashtbl.mem seen x then false
+      else begin
+        Hashtbl.add seen x ();
+        true
+      end)
+    xs
+
+let reversed_copy arr =
+  let copy = Array.copy arr in
+  let n = Array.length copy in
+  for i = 0 to (n / 2) - 1 do
+    let tmp = copy.(i) in
+    copy.(i) <- copy.(n - 1 - i);
+    copy.(n - 1 - i) <- tmp
+  done;
+  copy

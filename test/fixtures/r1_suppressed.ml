@@ -1,0 +1,9 @@
+(* The same violations as r1_bad, but annotated: the findings must land
+   in the suppressed list, not the error list. *)
+
+(* sb7-lint: allow raw-mut-global -- fixture: exercising suppression *)
+let annotated_cell = ref 0
+
+let read_param (r : int ref) =
+  (* sb7-lint: allow raw-mut -- fixture: exercising suppression *)
+  !r

@@ -1,0 +1,8 @@
+(* Deliberate R2 (irrevocable-effect) violations, reachable from the
+   seed module R2_entry. *)
+
+let log n = Printf.printf "op ran: %d\n" n
+
+let roll () = Random.int 6
+
+let now () = Unix.gettimeofday ()

@@ -1,0 +1,4 @@
+(* R2 seed module: stands in for the operation registry. Effect-free
+   itself, but reaches R2_bad through the module-reference graph. *)
+
+let run n = R2_bad.log (n + 1)

@@ -1,0 +1,4 @@
+(* Performs I/O but is referenced by no seed module: reachability must
+   keep R2 from firing here. *)
+
+let shout () = print_endline "nobody calls me from an operation body"

@@ -1,0 +1,44 @@
+(* Deliberate R3 (lock-discipline) violations, plus two clean functions
+   that must not be flagged. The test config declares lock_a as class
+   "alpha", lock_b as class "beta", order [alpha < beta]. *)
+
+module Rwlock = Sb7_rwlock.Rwlock
+
+let lock_a = Rwlock.create ~name:"a" ()
+let lock_b = Rwlock.create ~name:"b" ()
+
+(* Violates the declared order (beta before alpha) and releases only on
+   the normal path. *)
+let wrong_order f =
+  Rwlock.acquire_write lock_b;
+  Rwlock.acquire_read lock_a;
+  let r = f () in
+  Rwlock.release_read lock_a;
+  Rwlock.release_write lock_b;
+  r
+
+(* Never releases at all. *)
+let leak f =
+  Rwlock.acquire_read lock_a;
+  f ()
+
+(* Acquires a lock absent from the declared lock-order table. *)
+let undeclared = Rwlock.create ~name:"x" ()
+
+let use_undeclared () = Rwlock.acquire_read undeclared
+
+(* Clean: released on both the normal and the exceptional path. *)
+let ok f =
+  Rwlock.acquire_read lock_a;
+  match f () with
+  | r ->
+    Rwlock.release_read lock_a;
+    r
+  | exception e ->
+    Rwlock.release_read lock_a;
+    raise e
+
+(* Clean: Fun.protect ~finally covers both paths. *)
+let ok_protect f =
+  Rwlock.acquire_write lock_b;
+  Fun.protect ~finally:(fun () -> Rwlock.release_write lock_b) f

@@ -1,0 +1,22 @@
+(* R3 no-wait / dynamic-2PL violations. The test config declares
+   [lock_deferred] as a deferred acquire that must raise [Retry] on
+   contention, [unlock_all] (which does not exist) as the bulk release,
+   and forbids blocking primitives in this module. *)
+
+exception Retry
+
+type t = {
+  lock : int Atomic.t;
+  guard : Mutex.t;
+}
+
+let try_lock t = Atomic.compare_and_set t.lock 0 1
+
+(* Must raise Retry when try_lock fails; silently returning is the
+   violation (the operation would proceed without the lock). *)
+let lock_deferred t = if try_lock t then () else ()
+
+(* Blocking acquisition in a module declared no-wait. *)
+let blockingly t = Mutex.lock t.guard
+
+let _ = ignore Retry
