@@ -69,6 +69,10 @@ let point ?(long_traversals = true) ?(structure_mods = true)
    whole session as CSV (--csv FILE). *)
 let collected : RR.t list ref = ref []
 
+(* Set by main's [--json] flag: the [quick] experiment then writes its
+   per-strategy snapshot to BENCH_quick.json. *)
+let write_json = ref false
+
 (* Run one benchmark point on a fresh structure. *)
 let run_point (s : settings) (pt : point_config) : RR.t =
   Sb7_stm.Astm.set_policy pt.cm;

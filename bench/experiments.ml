@@ -235,6 +235,93 @@ let t1_astm (s : settings) =
         visited ratio)
     [ "seq"; "coarse"; "medium"; "tl2"; "lsa"; "astm" ]
 
+(* --- Quick perf snapshot: the repo's trajectory file --- *)
+
+(* A deterministic, seconds-long point per strategy: fixed seed, one
+   thread, bounded op count, tiny scale. With main's [--json] flag the
+   numbers land in BENCH_quick.json, so successive PRs accumulate a
+   perf trajectory (`BENCH_*.json`) that is cheap enough for CI. *)
+let quick (s : settings) =
+  print_header
+    "Quick perf snapshot — fixed-seed, single-thread, bounded op count \
+     (tiny scale, no long traversals)";
+  let max_ops = 400 in
+  let runtimes = [ "seq"; "coarse"; "medium"; "fine"; "tl2"; "lsa"; "astm" ] in
+  let s = { s with scale = Sb7_core.Parameters.tiny; scale_name = "tiny" } in
+  let counter_keys =
+    [
+      "commits";
+      "aborts";
+      "validation_steps";
+      "max_read_set";
+      "read_set_entries";
+      "dedup_hits";
+      "bloom_skips";
+      "extensions";
+      "clock_reuses";
+    ]
+  in
+  let results =
+    List.map
+      (fun runtime ->
+        let r =
+          run_point s
+            (point ~runtime ~workload:W.Read_write ~threads:1
+               ~long_traversals:false ~max_ops ())
+        in
+        (runtime, r))
+      runtimes
+  in
+  Printf.printf "%-8s %12s %10s %8s %12s %12s %12s %12s %12s\n" "runtime"
+    "ops/s" "commits" "aborts" "valid.steps" "rs.entries" "dedup.hits"
+    "bloom.skips" "clk.reuses";
+  List.iter
+    (fun (runtime, r) ->
+      let c k = RR.counter r k in
+      Printf.printf "%-8s %12.1f %10d %8d %12d %12d %12d %12d %12d\n" runtime
+        (RR.throughput r) (c "commits") (c "aborts") (c "validation_steps")
+        (c "read_set_entries") (c "dedup_hits") (c "bloom_skips")
+        (c "clock_reuses"))
+    results;
+  if !Bench_common.write_json then begin
+    let path = "BENCH_quick.json" in
+    let oc = open_out path in
+    let b = Buffer.create 2048 in
+    Buffer.add_string b "{\n";
+    Buffer.add_string b "  \"schema\": \"sb7-bench-quick/1\",\n";
+    Buffer.add_string b
+      (Printf.sprintf
+         "  \"scale\": %S,\n  \"workload\": %S,\n  \"threads\": 1,\n\
+         \  \"max_ops\": %d,\n  \"seed\": %d,\n  \"long_traversals\": false,\n"
+         s.scale_name
+         (W.kind_to_string W.Read_write)
+         max_ops s.seed);
+    Buffer.add_string b "  \"strategies\": [\n";
+    List.iteri
+      (fun i (runtime, r) ->
+        let c k = RR.counter r k in
+        let abort_rate =
+          let commits = c "commits" and aborts = c "aborts" in
+          if commits + aborts = 0 then 0.
+          else float_of_int aborts /. float_of_int (commits + aborts)
+        in
+        Buffer.add_string b
+          (Printf.sprintf
+             "    {\"runtime\": %S, \"ops_per_s\": %.1f, \"elapsed_s\": \
+              %.3f, \"abort_rate\": %.4f%s}%s\n"
+             runtime (RR.throughput r) r.RR.elapsed_s abort_rate
+             (String.concat ""
+                (List.map
+                   (fun k -> Printf.sprintf ", %S: %d" k (c k))
+                   counter_keys))
+             (if i = List.length results - 1 then "" else ",")))
+      results;
+    Buffer.add_string b "  ]\n}\n";
+    Buffer.output_buffer oc b;
+    close_out oc;
+    Printf.printf "\nwrote %s\n" path
+  end
+
 (* --- Per-operation latency, OO7-style isolated measurement --- *)
 
 let oplat (s : settings) =

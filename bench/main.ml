@@ -18,6 +18,7 @@ let experiments : (string * (settings -> unit)) list =
     ("table3", Experiments.table3);
     ("fig6", Experiments.fig6);
     ("t1-astm", Experiments.t1_astm);
+    ("quick", Experiments.quick);
     ("baseline", Experiments.baseline);
     ("oplat", Experiments.oplat);
     ("scaling", Experiments.scaling);
@@ -29,7 +30,7 @@ let experiments : (string * (settings -> unit)) list =
 
 let usage () =
   Printf.eprintf
-    "usage: main.exe [--full] [--duration SECONDS] [--csv FILE] \
+    "usage: main.exe [--full] [--duration SECONDS] [--csv FILE] [--json] \
      [EXPERIMENT...]\n\
      experiments: %s all\n"
     (String.concat " " (List.map fst experiments));
@@ -49,6 +50,9 @@ let () =
       | None -> usage ())
     | "--csv" :: path :: rest ->
       csv_path := Some path;
+      parse settings selected rest
+    | "--json" :: rest ->
+      Bench_common.write_json := true;
       parse settings selected rest
     | "all" :: rest ->
       parse settings (List.rev_map fst experiments @ selected) rest

@@ -34,17 +34,44 @@ let text_tests =
   ]
 
 let stm_tests =
-  let tv = Sb7_stm.Tl2.make 0 in
+  let module T = Sb7_stm.Tl2 in
+  let module L = Sb7_stm.Lsa in
+  let tv = T.make 0 in
   let atv = Sb7_stm.Astm.make 0 in
+  let ltv = L.make 0 in
+  let tl2_cells = Array.init 64 T.make in
+  let lsa_cells = Array.init 64 L.make in
   [
     Test.make ~name:"tl2-rw-txn"
       (Staged.stage (fun () ->
-           Sb7_stm.Tl2.atomic (fun () ->
-               Sb7_stm.Tl2.write tv (Sb7_stm.Tl2.read tv + 1))));
+           T.atomic (fun () -> T.write tv (T.read tv + 1))));
     Test.make ~name:"astm-rw-txn"
       (Staged.stage (fun () ->
            Sb7_stm.Astm.atomic (fun () ->
                Sb7_stm.Astm.write atv (Sb7_stm.Astm.read atv + 1))));
+    (* Read-set dedup fast path: 100 reads of one tvar log one entry. *)
+    Test.make ~name:"tl2-reread-100"
+      (Staged.stage (fun () ->
+           T.atomic (fun () ->
+               for _ = 1 to 100 do
+                 ignore (T.read tv)
+               done)));
+    (* Bloom-filtered write-set lookup: one buffered write, then 64
+       reads of other tvars that must skip the hash probe. *)
+    Test.make ~name:"tl2-read-64-after-write"
+      (Staged.stage (fun () ->
+           T.atomic (fun () ->
+               T.write tv 1;
+               Array.iter (fun c -> ignore (T.read c)) tl2_cells)));
+    (* Array-backed history append (plus the GV4 commit clock). *)
+    Test.make ~name:"lsa-rw-txn"
+      (Staged.stage (fun () ->
+           L.atomic (fun () -> L.write ltv (L.read ltv + 1))));
+    (* Circular-buffer version search on the snapshot path. *)
+    Test.make ~name:"lsa-snapshot-scan-64"
+      (Staged.stage (fun () ->
+           L.atomic_snapshot (fun () ->
+               Array.iter (fun c -> ignore (L.read c)) lsa_cells)));
   ]
 
 let tests () =

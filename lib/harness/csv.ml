@@ -9,7 +9,23 @@
 
 let header_summary =
   "runtime,workload,threads,scale,index,long_traversals,structure_mods,\
-   reduced,elapsed_s,successes,failures,throughput_ops,started_ops"
+   reduced,elapsed_s,successes,failures,throughput_ops,started_ops,\
+   commits,aborts,validation_steps,max_read_set,read_set_entries,\
+   dedup_hits,bloom_skips,extensions,clock_reuses"
+
+(* The STM counters exported per summary row; 0 for lock runtimes. *)
+let summary_counters =
+  [
+    "commits";
+    "aborts";
+    "validation_steps";
+    "max_read_set";
+    "read_set_entries";
+    "dedup_hits";
+    "bloom_skips";
+    "extensions";
+    "clock_reuses";
+  ]
 
 let escape field =
   if String.exists (fun c -> c = ',' || c = '"' || c = '\n') field then
@@ -17,7 +33,7 @@ let escape field =
   else field
 
 let summary_row (r : Run_result.t) =
-  Printf.sprintf "%s,%s,%d,%s,%s,%b,%b,%b,%.3f,%d,%d,%.2f,%.2f"
+  Printf.sprintf "%s,%s,%d,%s,%s,%b,%b,%b,%.3f,%d,%d,%.2f,%.2f,%s"
     (escape r.runtime_name)
     (Workload.kind_to_string r.workload)
     r.threads (escape r.scale_name)
@@ -27,6 +43,10 @@ let summary_row (r : Run_result.t) =
     (Stats.total_failures r.stats)
     (Run_result.throughput r)
     (Run_result.attempts_throughput r)
+    (String.concat ","
+       (List.map
+          (fun k -> string_of_int (Run_result.counter r k))
+          summary_counters))
 
 let header_per_op =
   "runtime,workload,threads,op,category,read_only,successes,failures,\

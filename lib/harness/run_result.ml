@@ -20,6 +20,11 @@ type t = {
   reduced_ops : bool;
 }
 
+(** Value of a named runtime counter, 0 when the runtime does not
+    report it (lock runtimes report no STM counters). *)
+let counter t name =
+  Option.value (List.assoc_opt name t.runtime_counters) ~default:0
+
 let op_index t code =
   let found = ref None in
   Array.iteri (fun i (o : Workload.op_desc) -> if String.equal o.code code then found := Some i) t.ops;

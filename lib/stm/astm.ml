@@ -20,6 +20,14 @@
    Conflicts between an opener and an active owner are arbitrated by a
    pluggable contention manager (default: Polka, as in the paper).
 
+   NOTE: this STM must stay pathological by design. The transaction-log
+   optimizations applied to Tl2 and Lsa (read-set deduplication,
+   bloom-filtered write-set lookups, low-contention commit clock) are
+   deliberately NOT applied here: deduplicating the invisible-read list
+   or short-circuiting validation would erase the O(k^2) blow-up the
+   STMBench7 paper measures, and with it the point of the benchmark.
+   Keep it slow. See docs/PERF.md.
+
    As in the published DSTM/ASTM algorithms, the commit sequence is
    "validate read list, then CAS status to Committed". The two steps are
    not atomic together, so a doomed interleaving can in principle

@@ -7,7 +7,14 @@
 
     Conflicts with active owners are arbitrated by a pluggable
     contention manager; the default is [Polka], as in the paper's
-    evaluation. *)
+    evaluation.
+
+    This module is deliberately {e excluded} from the transaction-log
+    optimizations applied to {!Tl2} and {!Lsa} (read-set dedup,
+    bloom-filtered write-set lookups, commit-clock reuse): its O(k²)
+    validation and copy-on-write acquisition {e are} the measured
+    pathology, and optimizing them away would destroy the benchmark's
+    headline reproduction. See docs/PERF.md. *)
 
 include Stm_intf.S
 

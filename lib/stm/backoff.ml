@@ -40,3 +40,4 @@ let reset t =
   t.rounds <- 0
 
 let attempts t = t.rounds
+let window_bits t = t.bits

@@ -15,3 +15,8 @@ val reset : t -> unit
 
 (** Number of times [once] has run since the last [reset]. *)
 val attempts : t -> int
+
+(** Current window exponent (waits are drawn from [0, 2^bits)); starts
+    at [bits_min], grows by one per [once] up to [bits_max]. Exposed
+    for tests. *)
+val window_bits : t -> int

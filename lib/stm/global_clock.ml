@@ -3,3 +3,16 @@ type t = int Atomic.t
 let create () = Atomic.make 0
 let now t = Atomic.get t
 let tick t = Atomic.fetch_and_add t 2 + 2
+
+type tick_outcome =
+  | Ticked of int
+  | Reused of int
+
+(* One CAS attempt, no retry loop. [fetch_and_add] never fails but
+   serializes every committer on the clock cache line; here a committer
+   that loses the race simply adopts the winner's (fresh) value as its
+   own write version instead of fighting for a unique one. *)
+let tick_or_reuse t =
+  let seen = Atomic.get t in
+  if Atomic.compare_and_set t seen (seen + 2) then Ticked (seen + 2)
+  else Reused (Atomic.get t)

@@ -12,5 +12,27 @@ val create : unit -> t
 val now : t -> int
 
 (** Atomically advance by 2 and return the new value (a fresh even
-    write-version). *)
+    write-version, unique to the caller). *)
 val tick : t -> int
+
+type tick_outcome =
+  | Ticked of int  (** our CAS installed this value; it is unique to us *)
+  | Reused of int
+      (** a concurrent ticker advanced the clock first; this is its
+          (freshly re-read) value, possibly shared with other committers *)
+
+(** [tick_or_reuse t] is the reduced-contention commit advance (the
+    "pass on failure" GV4 variant of TL2): one CAS attempt, and on
+    failure the freshly observed clock value is adopted instead of
+    retrying.
+
+    Safety contract for callers committing a write set:
+    - the call must happen {e after} the commit locks are acquired, so
+      a [Reused] value is guaranteed to have been installed after our
+      locks were taken (concurrent committers hold disjoint lock sets,
+      and any reader that starts at [rv >= wv] afterwards finds our
+      tvars locked until write-back completes);
+    - a [Reused wv] means another transaction committed between our
+      read version and [wv], so the "clock did not move since [rv]"
+      validation shortcut must not be applied. *)
+val tick_or_reuse : t -> tick_outcome

@@ -6,7 +6,7 @@
    Every tvar keeps a short history of (version, value) pairs. Update
    transactions behave like TL2 (read-version check with extension,
    lazy writes, commit-time locking, O(k) validation), but commits
-   *prepend* to the history instead of overwriting. Transactions opened
+   *append* to the history instead of overwriting. Transactions opened
    in snapshot mode — which the LSA runtime selects for operations with
    read-only profiles — read the newest version no newer than their
    start time: they never validate and never conflict with writers, and
@@ -15,7 +15,17 @@
 
    This is exactly what the paper's §5 calls for: T1-class traversals
    run at sequential speed regardless of concurrent updates, where the
-   invisible-read ASTM pays O(k²) validation and the locks serialize. *)
+   invisible-read ASTM pays O(k²) validation and the locks serialize.
+
+   Version histories are fixed-size circular arrays (two flat parallel
+   buffers plus a head index) rather than cons lists: a commit appends
+   by overwriting the oldest slot with no allocation and no recursive
+   truncation, and a snapshot read is a short linear scan newest-to-
+   oldest over a cache-friendly int array ([history_depth] is small
+   enough that binary search would not pay for itself). The update
+   path shares TL2's log fast paths — read-set dedup, a word-sized
+   write-set bloom filter, and the GV4-style commit clock; see
+   docs/PERF.md. *)
 
 exception Conflict = Stm_intf.Conflict
 
@@ -23,13 +33,18 @@ let name = "lsa"
 
 (* Versions kept per tvar. Snapshot transactions abort if they need
    something older; STMBench7's long traversals are fast relative to
-   the update rate at realistic scales, so a small constant works. *)
-let history_depth = 8
+   the update rate at realistic scales, so a small constant works.
+   Keep it small: every live slot of every [values] ring is a pointer
+   the GC must mark, so depth is a direct tax on traversal-heavy
+   workloads (depth 8 measurably slowed single-threaded T1). *)
+let history_depth = 4
 
 type 'a tvar = {
   id : int;
   vlock : int Atomic.t; (* even = version of the head entry, odd = locked *)
-  mutable history : (int * 'a) list; (* newest first, never [] *)
+  versions : int array; (* circular ring, parallel to [values] *)
+  values : 'a array;
+  mutable head : int; (* index of the newest entry *)
 }
 
 type wentry =
@@ -57,9 +72,17 @@ type tx = {
   mutable rv : int;
   mutable reads : read_entry array;
   mutable nreads : int;
+  (* Read-set dedup cache; see the twin comment in Tl2. *)
+  mutable dedup_ids : int array;
+  mutable dedup_epochs : int array;
+  mutable epoch : int;
   writes : (int, wentry) Hashtbl.t;
+  mutable wbloom : int;
   backoff : Backoff.t;
   mutable validation_steps : int;
+  mutable dedup_hits : int;
+  mutable bloom_skips : int;
+  mutable extensions : int;
 }
 
 let clock = Global_clock.create ()
@@ -70,21 +93,39 @@ let make v =
   {
     id = Atomic.fetch_and_add tvar_ids 1;
     vlock = Atomic.make 0;
-    history = [ (0, v) ];
+    (* Every slot starts as (0, v): logically "v since version 0"
+       repeated, which any snapshot resolves correctly. *)
+    versions = Array.make history_depth 0;
+    values = Array.make history_depth v;
+    head = 0;
   }
 
 let dummy_read = { r_id = -1; r_vlock = Atomic.make 0; r_version = 0 }
+
+let initial_reads = 64
+let initial_dedup = 2 * initial_reads
 
 let fresh_tx () =
   {
     mode = Update;
     rv = 0;
-    reads = Array.make 64 dummy_read;
+    reads = Array.make initial_reads dummy_read;
     nreads = 0;
+    dedup_ids = Array.make initial_dedup (-1);
+    dedup_epochs = Array.make initial_dedup 0;
+    epoch = 0;
     writes = Hashtbl.create 64;
+    wbloom = 0;
     backoff = Backoff.create ~seed:((Domain.self () :> int) + 1) ();
     validation_steps = 0;
+    dedup_hits = 0;
+    bloom_skips = 0;
+    extensions = 0;
   }
+
+let bloom_bit id =
+  let h = id * 0x9E3779B9 in
+  (1 lsl (h land 31)) lor (1 lsl (31 + ((h lsr 5) land 31)))
 
 type domain_state = {
   mutable active : tx option;
@@ -101,17 +142,42 @@ let in_transaction () =
   | None -> false
   | Some _ -> true
 
-let head_value tv =
-  match tv.history with
-  | (_, v) :: _ -> v
-  | [] -> assert false
+let head_value tv = tv.values.(tv.head)
+
+let next_slot h = if h + 1 = history_depth then 0 else h + 1
+
+(* Append (wv, v) over the oldest slot. Caller must hold the vlock. *)
+let append_version : type a. a tvar -> int -> a -> unit =
+ fun tv wv v ->
+  let h = next_slot tv.head in
+  tv.versions.(h) <- wv;
+  tv.values.(h) <- v;
+  tv.head <- h
+
+let dedup_seen tx id =
+  let slot = id land (Array.length tx.dedup_ids - 1) in
+  if tx.dedup_epochs.(slot) = tx.epoch && tx.dedup_ids.(slot) = id then true
+  else begin
+    tx.dedup_ids.(slot) <- id;
+    tx.dedup_epochs.(slot) <- tx.epoch;
+    false
+  end
 
 let push_read tx entry =
   let n = tx.nreads in
   if n = Array.length tx.reads then begin
     let bigger = Array.make (2 * n) dummy_read in
     Array.blit tx.reads 0 bigger 0 n;
-    tx.reads <- bigger
+    tx.reads <- bigger;
+    let size = 2 * Array.length tx.dedup_ids in
+    let ids = Array.make size (-1) and epochs = Array.make size tx.epoch in
+    for i = 0 to n - 1 do
+      let id = tx.reads.(i).r_id in
+      ids.(id land (size - 1)) <- id
+    done;
+    ids.(entry.r_id land (size - 1)) <- entry.r_id;
+    tx.dedup_ids <- ids;
+    tx.dedup_epochs <- epochs
   end;
   tx.reads.(n) <- entry;
   tx.nreads <- n + 1
@@ -133,10 +199,19 @@ let read_set_valid tx ~own_locks =
 
 let extend tx =
   let now = Global_clock.now clock in
-  if read_set_valid tx ~own_locks:false then tx.rv <- now else raise Conflict
+  if read_set_valid tx ~own_locks:false then begin
+    tx.rv <- now;
+    tx.extensions <- tx.extensions + 1
+  end
+  else raise Conflict
 
 (* Snapshot read: the newest version no newer than [rv]. The vlock
-   sandwich makes (version, history) capture consistent. *)
+   sandwich makes the ring access consistent: a committer holds the
+   lock (odd) while it mutates the ring, so equal even vlock values
+   around the access mean nothing moved. An unlocked vlock IS the
+   version of the head slot, so the overwhelmingly common case
+   (newest version old enough) needs no ring scan at all: one head
+   load, one value load, re-check the vlock. *)
 let rec snapshot_read : type a. tx -> a tvar -> a =
  fun tx tv ->
   let v1 = Atomic.get tv.vlock in
@@ -147,15 +222,31 @@ let rec snapshot_read : type a. tx -> a tvar -> a =
     Domain.cpu_relax ();
     snapshot_read tx tv
   end
-  else begin
-    let history = tv.history in
+  else if v1 <= tx.rv then begin
+    let value = tv.values.(tv.head) in
     let v2 = Atomic.get tv.vlock in
-    if v1 <> v2 then snapshot_read tx tv
-    else
-      match List.find_opt (fun (ver, _) -> ver <= tx.rv) history with
-      | Some (_, value) -> value
-      | None -> raise Conflict (* evicted: history too shallow *)
+    if v1 = v2 then value else snapshot_read tx tv
   end
+  else snapshot_scan tx tv v1
+
+(* Slow path: the newest version is too new — scan the ring
+   newest-to-oldest for one no newer than [rv]. *)
+and snapshot_scan : type a. tx -> a tvar -> int -> a =
+ fun tx tv v1 ->
+  let rec find i =
+    if i = history_depth then -1
+    else begin
+      let idx = tv.head - i in
+      let idx = if idx < 0 then idx + history_depth else idx in
+      if tv.versions.(idx) <= tx.rv then idx else find (i + 1)
+    end
+  in
+  let idx = find 0 in
+  let value = tv.values.(if idx >= 0 then idx else 0) in
+  let v2 = Atomic.get tv.vlock in
+  if v1 <> v2 then snapshot_read tx tv
+  else if idx >= 0 then value
+  else raise Conflict (* evicted: every live version is newer than rv *)
 
 let rec update_read : type a. tx -> a tvar -> a =
  fun tx tv ->
@@ -170,7 +261,9 @@ let rec update_read : type a. tx -> a tvar -> a =
       update_read tx tv
     end
     else begin
-      push_read tx { r_id = tv.id; r_vlock = tv.vlock; r_version = v1 };
+      (* Dedup-hit soundness: identical argument to Tl2.tx_read. *)
+      if dedup_seen tx tv.id then tx.dedup_hits <- tx.dedup_hits + 1
+      else push_read tx { r_id = tv.id; r_vlock = tv.vlock; r_version = v1 };
       value
     end
   end
@@ -181,18 +274,41 @@ let read tv =
   | Some tx -> (
     match tx.mode with
     | Snapshot -> snapshot_read tx tv
-    | Update -> (
-      if Hashtbl.length tx.writes = 0 then update_read tx tv
-      else
-        match Hashtbl.find_opt tx.writes tv.id with
-        | Some entry -> !(cast_ref tv entry)
-        | None -> update_read tx tv))
+    | Update ->
+      if tx.wbloom = 0 then update_read tx tv
+      else begin
+        let bits = bloom_bit tv.id in
+        if tx.wbloom land bits <> bits then begin
+          tx.bloom_skips <- tx.bloom_skips + 1;
+          update_read tx tv
+        end
+        else
+          match Hashtbl.find_opt tx.writes tv.id with
+          | Some entry -> !(cast_ref tv entry)
+          | None -> update_read tx tv
+      end)
 
 let write tv v =
   match (current ()).active with
   | None ->
-    let ver = match tv.history with (ver, _) :: _ -> ver | [] -> 0 in
-    tv.history <- [ (ver, v) ]
+    (* A non-transactional store must still look like a committed
+       version: overwriting the head slot in place would let a
+       concurrent snapshot reader at [rv >= head version] observe the
+       new value under the old timestamp. Take the vlock like a
+       committer, draw a fresh write version from the clock, and
+       append. *)
+    let rec acquire () =
+      let cur = Atomic.get tv.vlock in
+      if cur land 1 = 1 || not (Atomic.compare_and_set tv.vlock cur (cur + 1))
+      then begin
+        Domain.cpu_relax ();
+        acquire ()
+      end
+    in
+    acquire ();
+    let wv = Global_clock.tick clock in
+    append_version tv wv v;
+    Atomic.set tv.vlock wv
   | Some tx -> (
     match tx.mode with
     | Snapshot ->
@@ -203,6 +319,7 @@ let write tv v =
       match Hashtbl.find_opt tx.writes tv.id with
       | Some entry -> cast_ref tv entry := v
       | None ->
+        tx.wbloom <- tx.wbloom lor bloom_bit tv.id;
         Hashtbl.add tx.writes tv.id
           (W { tv; value = ref v; locked_from = 0; locked = false })))
 
@@ -231,28 +348,30 @@ let lock_write_set tx =
     unlock_acquired tx;
     raise Conflict
 
-let truncate_history h =
-  let rec take n = function
-    | [] -> []
-    | _ when n = 0 -> []
-    | entry :: rest -> entry :: take (n - 1) rest
-  in
-  take history_depth h
-
 let commit tx =
   if Hashtbl.length tx.writes = 0 then
-    Stm_stats.record_commit global_stats
-      ~read_only:true
+    Stm_stats.record_commit global_stats ~read_only:true
   else begin
     lock_write_set tx;
-    let wv = Global_clock.tick clock in
-    if wv <> tx.rv + 2 && not (read_set_valid tx ~own_locks:true) then begin
+    (* Same GV4-style advance as Tl2.commit: single CAS attempt after
+       the locks; a reused value always validates. *)
+    let wv, unique =
+      match Global_clock.tick_or_reuse clock with
+      | Ticked wv -> (wv, true)
+      | Reused wv ->
+        Stm_stats.record_clock_reuse global_stats;
+        (wv, false)
+    in
+    if
+      not (unique && wv = tx.rv + 2)
+      && not (read_set_valid tx ~own_locks:true)
+    then begin
       unlock_acquired tx;
       raise Conflict
     end;
     Hashtbl.iter
       (fun _ (W w) ->
-        w.tv.history <- truncate_history ((wv, !(w.value)) :: w.tv.history);
+        append_version w.tv wv !(w.value);
         w.locked <- false;
         Atomic.set w.tv.vlock wv)
       tx.writes;
@@ -261,15 +380,28 @@ let commit tx =
 
 let flush_tx_stats tx =
   Stm_stats.record_validation global_stats ~steps:tx.validation_steps;
-  Stm_stats.record_read_set global_stats ~size:tx.nreads
+  Stm_stats.record_read_set global_stats ~size:tx.nreads;
+  Stm_stats.record_tx_log global_stats ~dedup_hits:tx.dedup_hits
+    ~bloom_skips:tx.bloom_skips ~extensions:tx.extensions
 
 let reset_tx tx mode =
   tx.mode <- mode;
   tx.rv <- Global_clock.now clock;
   tx.nreads <- 0;
   Hashtbl.reset tx.writes;
+  tx.wbloom <- 0;
+  tx.epoch <- tx.epoch + 1;
   tx.validation_steps <- 0;
-  if Array.length tx.reads > 1 lsl 16 then tx.reads <- Array.make 64 dummy_read
+  tx.dedup_hits <- 0;
+  tx.bloom_skips <- 0;
+  tx.extensions <- 0;
+  (* Same shrink guard as Tl2.reset_tx (64-entry floor, 2^16 ceiling),
+     dedup cache shrinking symmetrically. *)
+  if Array.length tx.reads > 1 lsl 16 then begin
+    tx.reads <- Array.make initial_reads dummy_read;
+    tx.dedup_ids <- Array.make initial_dedup (-1);
+    tx.dedup_epochs <- Array.make initial_dedup 0
+  end
 
 let atomic_in_mode mode f =
   let state = current () in

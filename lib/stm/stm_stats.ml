@@ -4,6 +4,11 @@ type snapshot = {
   read_only_commits : int;
   validation_steps : int;
   max_read_set : int;
+  read_set_entries : int;
+  dedup_hits : int;
+  bloom_skips : int;
+  extensions : int;
+  clock_reuses : int;
 }
 
 (* Counters are atomic; STMs flush per-transaction tallies once at
@@ -15,6 +20,11 @@ type t = {
   read_only_commits : int Atomic.t;
   validation_steps : int Atomic.t;
   max_read_set : int Atomic.t;
+  read_set_entries : int Atomic.t;
+  dedup_hits : int Atomic.t;
+  bloom_skips : int Atomic.t;
+  extensions : int Atomic.t;
+  clock_reuses : int Atomic.t;
 }
 
 let create () =
@@ -24,6 +34,11 @@ let create () =
     read_only_commits = Atomic.make 0;
     validation_steps = Atomic.make 0;
     max_read_set = Atomic.make 0;
+    read_set_entries = Atomic.make 0;
+    dedup_hits = Atomic.make 0;
+    bloom_skips = Atomic.make 0;
+    extensions = Atomic.make 0;
+    clock_reuses = Atomic.make 0;
   }
 
 let record_commit t ~read_only =
@@ -35,11 +50,23 @@ let record_abort t = ignore (Atomic.fetch_and_add t.aborts 1)
 let record_validation t ~steps =
   ignore (Atomic.fetch_and_add t.validation_steps steps)
 
-let rec record_read_set t ~size =
+let rec record_max_read_set t ~size =
   let current = Atomic.get t.max_read_set in
   if size > current then
     if not (Atomic.compare_and_set t.max_read_set current size) then
-      record_read_set t ~size
+      record_max_read_set t ~size
+
+let record_read_set t ~size =
+  if size > 0 then ignore (Atomic.fetch_and_add t.read_set_entries size);
+  record_max_read_set t ~size
+
+let record_tx_log t ~dedup_hits ~bloom_skips ~extensions =
+  if dedup_hits > 0 then ignore (Atomic.fetch_and_add t.dedup_hits dedup_hits);
+  if bloom_skips > 0 then
+    ignore (Atomic.fetch_and_add t.bloom_skips bloom_skips);
+  if extensions > 0 then ignore (Atomic.fetch_and_add t.extensions extensions)
+
+let record_clock_reuse t = ignore (Atomic.fetch_and_add t.clock_reuses 1)
 
 let snapshot t : snapshot =
   {
@@ -48,6 +75,11 @@ let snapshot t : snapshot =
     read_only_commits = Atomic.get t.read_only_commits;
     validation_steps = Atomic.get t.validation_steps;
     max_read_set = Atomic.get t.max_read_set;
+    read_set_entries = Atomic.get t.read_set_entries;
+    dedup_hits = Atomic.get t.dedup_hits;
+    bloom_skips = Atomic.get t.bloom_skips;
+    extensions = Atomic.get t.extensions;
+    clock_reuses = Atomic.get t.clock_reuses;
   }
 
 let reset t =
@@ -55,7 +87,12 @@ let reset t =
   Atomic.set t.aborts 0;
   Atomic.set t.read_only_commits 0;
   Atomic.set t.validation_steps 0;
-  Atomic.set t.max_read_set 0
+  Atomic.set t.max_read_set 0;
+  Atomic.set t.read_set_entries 0;
+  Atomic.set t.dedup_hits 0;
+  Atomic.set t.bloom_skips 0;
+  Atomic.set t.extensions 0;
+  Atomic.set t.clock_reuses 0
 
 let zero : snapshot =
   {
@@ -64,6 +101,11 @@ let zero : snapshot =
     read_only_commits = 0;
     validation_steps = 0;
     max_read_set = 0;
+    read_set_entries = 0;
+    dedup_hits = 0;
+    bloom_skips = 0;
+    extensions = 0;
+    clock_reuses = 0;
   }
 
 let add (a : snapshot) (b : snapshot) : snapshot =
@@ -73,6 +115,11 @@ let add (a : snapshot) (b : snapshot) : snapshot =
     read_only_commits = a.read_only_commits + b.read_only_commits;
     validation_steps = a.validation_steps + b.validation_steps;
     max_read_set = max a.max_read_set b.max_read_set;
+    read_set_entries = a.read_set_entries + b.read_set_entries;
+    dedup_hits = a.dedup_hits + b.dedup_hits;
+    bloom_skips = a.bloom_skips + b.bloom_skips;
+    extensions = a.extensions + b.extensions;
+    clock_reuses = a.clock_reuses + b.clock_reuses;
   }
 
 let to_assoc (s : snapshot) =
@@ -82,9 +129,17 @@ let to_assoc (s : snapshot) =
     ("read_only_commits", s.read_only_commits);
     ("validation_steps", s.validation_steps);
     ("max_read_set", s.max_read_set);
+    ("read_set_entries", s.read_set_entries);
+    ("dedup_hits", s.dedup_hits);
+    ("bloom_skips", s.bloom_skips);
+    ("extensions", s.extensions);
+    ("clock_reuses", s.clock_reuses);
   ]
 
 let pp ppf (s : snapshot) =
   Format.fprintf ppf
-    "commits=%d aborts=%d ro_commits=%d validation_steps=%d max_read_set=%d"
+    "commits=%d aborts=%d ro_commits=%d validation_steps=%d max_read_set=%d \
+     read_set_entries=%d dedup_hits=%d bloom_skips=%d extensions=%d \
+     clock_reuses=%d"
     s.commits s.aborts s.read_only_commits s.validation_steps s.max_read_set
+    s.read_set_entries s.dedup_hits s.bloom_skips s.extensions s.clock_reuses

@@ -1,7 +1,10 @@
-(** Shared STM statistics: commits, aborts, validation work.
+(** Shared STM statistics: commits, aborts, validation work, and the
+    transaction-log instrumentation (read-set dedup hits, write-set
+    bloom skips, timestamp extensions, commit-clock reuses).
 
-    Counters are per-domain (stored in domain-local storage) and merged
-    on demand, so recording is uncontended during benchmark runs. *)
+    Counters are atomic cells; STMs flush per-transaction tallies once
+    at commit/abort time, so recording is effectively uncontended
+    during benchmark runs. *)
 
 type snapshot = {
   commits : int;  (** transactions that committed *)
@@ -11,6 +14,21 @@ type snapshot = {
       (** total read-set entries checked during validations; under an
           invisible-read STM this grows as O(k^2) per transaction *)
   max_read_set : int;  (** largest read set observed *)
+  read_set_entries : int;
+      (** total read entries logged across all transactions; with
+          read-set dedup this counts distinct-tvar entries (modulo
+          dedup-cache evictions), not raw reads *)
+  dedup_hits : int;
+      (** reads that found their tvar already logged and pushed no
+          duplicate entry *)
+  bloom_skips : int;
+      (** reads that skipped the write-set hash probe because the
+          bloom filter proved the tvar was never buffered (only counted
+          while the write set is non-empty) *)
+  extensions : int;  (** successful timestamp (read-version) extensions *)
+  clock_reuses : int;
+      (** commits that reused a concurrent committer's clock value
+          instead of retrying the tick CAS (GV4-style) *)
 }
 
 type t
@@ -20,9 +38,18 @@ val create : unit -> t
 val record_commit : t -> read_only:bool -> unit
 val record_abort : t -> unit
 val record_validation : t -> steps:int -> unit
+
+(** Account one transaction's read set: adds [size] to
+    [read_set_entries] and raises [max_read_set] if needed. *)
 val record_read_set : t -> size:int -> unit
 
-(** Merge all per-domain counters into a snapshot. *)
+(** Flush one transaction's log-management tallies. *)
+val record_tx_log :
+  t -> dedup_hits:int -> bloom_skips:int -> extensions:int -> unit
+
+val record_clock_reuse : t -> unit
+
+(** Read all counters into a consistent-enough snapshot. *)
 val snapshot : t -> snapshot
 
 val reset : t -> unit

@@ -15,6 +15,21 @@
    revalidated against the current clock and, if intact, [rv] advances
    instead of aborting.
 
+   Log-management fast paths (see docs/PERF.md; the paper's §5 thesis is
+   that exactly this bookkeeping decides whether an STM "behaves like
+   medium-grained locking" on long traversals):
+   - read-set dedup: a per-transaction direct-mapped (id -> seen) cache
+     makes re-reading an already-logged tvar O(1) with no duplicate
+     entry, so validation and extension stay O(distinct tvars) instead
+     of O(raw reads);
+   - write-set bloom: a word-sized bloom filter over buffered tvar ids
+     is consulted before the write-set hash probe in [read], so
+     read-mostly transactions that buffered one write stop paying a
+     [Hashtbl] lookup per read;
+   - commit clock: a single CAS attempt (GV4 "pass on failure") instead
+     of a fetch-and-add, reusing a concurrent committer's clock value
+     when the race is lost.
+
    Memory-model note: tvar contents are plain mutable fields and are
    read concurrently with commit-time write-back. The OCaml memory model
    guarantees such races are memory-safe (no tearing); the sandwich of
@@ -56,9 +71,20 @@ type tx = {
   mutable rv : int;
   mutable reads : read_entry array;
   mutable nreads : int;
+  (* Read-set dedup: direct-mapped cache over tvar ids, epoch-tagged so
+     reset is O(1). A slot holds the id it last admitted; collisions
+     evict, which only costs a duplicate entry later, never
+     correctness. Kept at 2x the read-array capacity. *)
+  mutable dedup_ids : int array;
+  mutable dedup_epochs : int array;
+  mutable epoch : int;
   writes : (int, wentry) Hashtbl.t;
+  mutable wbloom : int; (* word-sized bloom over buffered tvar ids *)
   backoff : Backoff.t;
   mutable validation_steps : int;
+  mutable dedup_hits : int;
+  mutable bloom_skips : int;
+  mutable extensions : int;
 }
 
 let clock = Global_clock.create ()
@@ -70,15 +96,32 @@ let make v =
 
 let dummy_read = { r_id = -1; r_vlock = Atomic.make 0; r_version = 0 }
 
+let initial_reads = 64
+let initial_dedup = 2 * initial_reads
+
 let fresh_tx () =
   {
     rv = 0;
-    reads = Array.make 64 dummy_read;
+    reads = Array.make initial_reads dummy_read;
     nreads = 0;
+    dedup_ids = Array.make initial_dedup (-1);
+    dedup_epochs = Array.make initial_dedup 0;
+    epoch = 0;
     writes = Hashtbl.create 64;
+    wbloom = 0;
     backoff = Backoff.create ~seed:((Domain.self () :> int) + 1) ();
     validation_steps = 0;
+    dedup_hits = 0;
+    bloom_skips = 0;
+    extensions = 0;
   }
+
+(* Two bit positions in a 63-bit word, derived from a multiplicative
+   hash so the sequential tvar ids spread; membership test is
+   [wbloom land bits = bits]. *)
+let bloom_bit id =
+  let h = id * 0x9E3779B9 in
+  (1 lsl (h land 31)) lor (1 lsl (31 + ((h lsr 5) land 31)))
 
 (* Per-domain state: [active] is the running transaction (if any);
    [spare] caches the descriptor between transactions so short
@@ -98,12 +141,37 @@ let in_transaction () =
   | None -> false
   | Some _ -> true
 
+(* Probe-and-claim in the dedup cache: [true] means [id] is already in
+   the read set (skip the duplicate push). Sequential ids index
+   directly, so a traversal narrower than the cache never collides. *)
+let dedup_seen tx id =
+  let slot = id land (Array.length tx.dedup_ids - 1) in
+  if tx.dedup_epochs.(slot) = tx.epoch && tx.dedup_ids.(slot) = id then true
+  else begin
+    tx.dedup_ids.(slot) <- id;
+    tx.dedup_epochs.(slot) <- tx.epoch;
+    false
+  end
+
 let push_read tx entry =
   let n = tx.nreads in
   if n = Array.length tx.reads then begin
     let bigger = Array.make (2 * n) dummy_read in
     Array.blit tx.reads 0 bigger 0 n;
-    tx.reads <- bigger
+    tx.reads <- bigger;
+    (* Grow the dedup cache with the read set and re-mark the logged
+       ids, so dedup stays effective on long traversals. *)
+    let size = 2 * Array.length tx.dedup_ids in
+    let ids = Array.make size (-1) and epochs = Array.make size tx.epoch in
+    for i = 0 to n - 1 do
+      let id = tx.reads.(i).r_id in
+      ids.(id land (size - 1)) <- id
+    done;
+    (* The incoming entry claimed its slot in the old cache; re-claim in
+       the new one so its next re-read still dedups. *)
+    ids.(entry.r_id land (size - 1)) <- entry.r_id;
+    tx.dedup_ids <- ids;
+    tx.dedup_epochs <- epochs
   end;
   tx.reads.(n) <- entry;
   tx.nreads <- n + 1
@@ -128,7 +196,11 @@ let read_set_valid tx ~own_locks =
    the current clock instead of aborting. *)
 let extend tx =
   let now = Global_clock.now clock in
-  if read_set_valid tx ~own_locks:false then tx.rv <- now else raise Conflict
+  if read_set_valid tx ~own_locks:false then begin
+    tx.rv <- now;
+    tx.extensions <- tx.extensions + 1
+  end
+  else raise Conflict
 
 let rec tx_read : type a. tx -> a tvar -> a =
  fun tx tv ->
@@ -143,7 +215,14 @@ let rec tx_read : type a. tx -> a tvar -> a =
       tx_read tx tv
     end
     else begin
-      push_read tx { r_id = tv.id; r_vlock = tv.vlock; r_version = v1 };
+      (* A dedup hit is sound: a logged tvar cannot have changed while
+         the transaction is still viable — a change either shows up as
+         [v1 > rv] (the extension then revalidates the logged entry and
+         conflicts) or is caught by the same entry at commit. Skipping
+         the duplicate push therefore preserves the exact conflict
+         set. *)
+      if dedup_seen tx tv.id then tx.dedup_hits <- tx.dedup_hits + 1
+      else push_read tx { r_id = tv.id; r_vlock = tv.vlock; r_version = v1 };
       value
     end
   end
@@ -151,12 +230,20 @@ let rec tx_read : type a. tx -> a tvar -> a =
 let read tv =
   match (current ()).active with
   | None -> tv.content
-  | Some tx -> (
-    if Hashtbl.length tx.writes = 0 then tx_read tx tv
-    else
-      match Hashtbl.find_opt tx.writes tv.id with
-      | Some entry -> !(cast_ref tv entry)
-      | None -> tx_read tx tv)
+  | Some tx ->
+    if tx.wbloom = 0 then tx_read tx tv
+    else begin
+      let bits = bloom_bit tv.id in
+      if tx.wbloom land bits <> bits then begin
+        (* Definitely never buffered: skip the hash probe. *)
+        tx.bloom_skips <- tx.bloom_skips + 1;
+        tx_read tx tv
+      end
+      else
+        match Hashtbl.find_opt tx.writes tv.id with
+        | Some entry -> !(cast_ref tv entry)
+        | None -> tx_read tx tv (* bloom false positive *)
+    end
 
 let write tv v =
   match (current ()).active with
@@ -165,6 +252,7 @@ let write tv v =
     match Hashtbl.find_opt tx.writes tv.id with
     | Some entry -> cast_ref tv entry := v
     | None ->
+      tx.wbloom <- tx.wbloom lor bloom_bit tv.id;
       Hashtbl.add tx.writes tv.id
         (W { tv; value = ref v; locked_from = 0; locked = false }))
 
@@ -198,10 +286,24 @@ let commit tx =
     Stm_stats.record_commit global_stats ~read_only:true
   else begin
     lock_write_set tx;
-    let wv = Global_clock.tick clock in
+    (* Clock advance after the locks (required by [tick_or_reuse]'s
+       contract): one CAS attempt; on failure adopt the concurrent
+       committer's value. A reused value forfeits the "nothing
+       committed since rv" shortcut below — the interleaved tick WAS a
+       commit. *)
+    let wv, unique =
+      match Global_clock.tick_or_reuse clock with
+      | Ticked wv -> (wv, true)
+      | Reused wv ->
+        Stm_stats.record_clock_reuse global_stats;
+        (wv, false)
+    in
     (* If nothing committed since we started, the read set is trivially
        intact (standard TL2 optimization). *)
-    if wv <> tx.rv + 2 && not (read_set_valid tx ~own_locks:true) then begin
+    if
+      not (unique && wv = tx.rv + 2)
+      && not (read_set_valid tx ~own_locks:true)
+    then begin
       unlock_acquired tx;
       raise Conflict
     end;
@@ -216,16 +318,27 @@ let commit tx =
 
 let flush_tx_stats tx =
   Stm_stats.record_validation global_stats ~steps:tx.validation_steps;
-  Stm_stats.record_read_set global_stats ~size:tx.nreads
+  Stm_stats.record_read_set global_stats ~size:tx.nreads;
+  Stm_stats.record_tx_log global_stats ~dedup_hits:tx.dedup_hits
+    ~bloom_skips:tx.bloom_skips ~extensions:tx.extensions
 
 let reset_tx tx =
   tx.rv <- Global_clock.now clock;
   tx.nreads <- 0;
   Hashtbl.reset tx.writes;
+  tx.wbloom <- 0;
+  tx.epoch <- tx.epoch + 1; (* invalidates the whole dedup cache in O(1) *)
   tx.validation_steps <- 0;
+  tx.dedup_hits <- 0;
+  tx.bloom_skips <- 0;
+  tx.extensions <- 0;
   (* Shrink a read set that ballooned in a previous long transaction so
-     per-op memory stays bounded. *)
-  if Array.length tx.reads > 1 lsl 16 then tx.reads <- Array.make 64 dummy_read
+     per-op memory stays bounded; the dedup cache shrinks with it. *)
+  if Array.length tx.reads > 1 lsl 16 then begin
+    tx.reads <- Array.make initial_reads dummy_read;
+    tx.dedup_ids <- Array.make initial_dedup (-1);
+    tx.dedup_epochs <- Array.make initial_dedup 0
+  end
 
 let atomic f =
   let state = current () in

@@ -3,6 +3,14 @@
     buffering, commit-time locking with a single O(k) read-set
     validation pass, and TinySTM-style timestamp extension.
 
+    Log management is tuned for STMBench7's long traversals: re-reading
+    an already-logged tvar is deduplicated in O(1) (so k counts
+    {e distinct} tvars, not raw reads), a word-sized bloom filter
+    screens the write-set lookup on every read, and the commit clock
+    uses a single CAS attempt with GV4-style value reuse instead of a
+    fetch-and-add. See docs/PERF.md for the rationale and the
+    {!Stm_stats} counters that expose each path.
+
     This is the representative of the "solutions already proposed"
     [Dice–Shalev–Shavit, DISC'06] the STMBench7 paper points to as the
     fix for ASTM's pathologies. See {!Astm} for the contrast. *)

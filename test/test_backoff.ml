@@ -1,0 +1,74 @@
+(* Unit tests for the randomized exponential backoff: window doubling
+   up to the cap, the spin-vs-sleep cutoff branch, and reset. *)
+
+module Backoff = Sb7_stm.Backoff
+
+let test_window_doubles_to_cap () =
+  let b = Backoff.create ~bits_min:4 ~bits_max:8 ~seed:7 () in
+  Alcotest.(check int) "starts at bits_min" 4 (Backoff.window_bits b);
+  Backoff.once b;
+  Alcotest.(check int) "one round doubles" 5 (Backoff.window_bits b);
+  Backoff.once b;
+  Alcotest.(check int) "two rounds" 6 (Backoff.window_bits b);
+  for _ = 1 to 10 do
+    Backoff.once b
+  done;
+  Alcotest.(check int) "capped at bits_max" 8 (Backoff.window_bits b);
+  Alcotest.(check int) "all rounds counted" 12 (Backoff.attempts b)
+
+let test_reset () =
+  let b = Backoff.create ~bits_min:5 ~bits_max:12 ~seed:3 () in
+  for _ = 1 to 4 do
+    Backoff.once b
+  done;
+  Alcotest.(check int) "widened" 9 (Backoff.window_bits b);
+  Alcotest.(check int) "attempts" 4 (Backoff.attempts b);
+  Backoff.reset b;
+  Alcotest.(check int) "window back to min" 5 (Backoff.window_bits b);
+  Alcotest.(check int) "attempts back to 0" 0 (Backoff.attempts b)
+
+(* Exercise the cutoff-to-sleep branch: with a 2^20 window nearly every
+   draw exceeds the 2^12 spin cutoff, so [once] must take the
+   [Unix.sleepf] path — and the scaled sleep (wait * 1e-8 s) must stay
+   far below a second. *)
+let test_sleep_branch_bounded () =
+  let b = Backoff.create ~bits_min:20 ~bits_max:20 ~seed:11 () in
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to 10 do
+    Backoff.once b
+  done;
+  let dt = Unix.gettimeofday () -. t0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "10 max-window rounds stay under 1s (took %.3fs)" dt)
+    true (dt < 1.);
+  Alcotest.(check int) "rounds counted" 10 (Backoff.attempts b)
+
+(* The spin branch: a tiny window never exceeds the cutoff. *)
+let test_spin_branch_fast () =
+  let b = Backoff.create ~bits_min:4 ~bits_max:6 ~seed:5 () in
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to 100 do
+    Backoff.once b;
+    Backoff.reset b
+  done;
+  let dt = Unix.gettimeofday () -. t0 in
+  Alcotest.(check bool) "spinning is sub-millisecond-ish" true (dt < 0.5)
+
+let test_attempts_monotone () =
+  let b = Backoff.create ~seed:1 () in
+  Alcotest.(check int) "fresh" 0 (Backoff.attempts b);
+  Backoff.once b;
+  Backoff.once b;
+  Alcotest.(check int) "two" 2 (Backoff.attempts b)
+
+let suite =
+  [
+    Alcotest.test_case "window doubles to cap" `Quick
+      test_window_doubles_to_cap;
+    Alcotest.test_case "reset restores window and count" `Quick test_reset;
+    Alcotest.test_case "sleep branch bounded" `Quick test_sleep_branch_bounded;
+    Alcotest.test_case "spin branch fast" `Quick test_spin_branch_fast;
+    Alcotest.test_case "attempts monotone" `Quick test_attempts_monotone;
+  ]
+
+let () = Alcotest.run "backoff" [ ("backoff", suite) ]

@@ -1,0 +1,93 @@
+(* Unit tests for the global version clock: even-version invariant,
+   tick uniqueness and monotonicity under concurrent tickers, and the
+   GV4-style [tick_or_reuse] contract. *)
+
+module Clock = Sb7_stm.Global_clock
+
+let test_fresh_clock () =
+  let c = Clock.create () in
+  Alcotest.(check int) "starts at 0" 0 (Clock.now c)
+
+let test_tick_sequence () =
+  let c = Clock.create () in
+  Alcotest.(check int) "first tick" 2 (Clock.tick c);
+  Alcotest.(check int) "second tick" 4 (Clock.tick c);
+  Alcotest.(check int) "now follows" 4 (Clock.now c);
+  Alcotest.(check int) "always even" 0 (Clock.now c land 1)
+
+let test_tick_or_reuse_uncontended () =
+  let c = Clock.create () in
+  (match Clock.tick_or_reuse c with
+  | Clock.Ticked wv -> Alcotest.(check int) "uncontended CAS wins" 2 wv
+  | Clock.Reused _ -> Alcotest.fail "no contention, must tick");
+  Alcotest.(check int) "clock advanced" 2 (Clock.now c)
+
+(* Concurrent [tick]: every returned value even, all distinct, and the
+   final clock equals 2 * total ticks. *)
+let test_concurrent_ticks_unique () =
+  let c = Clock.create () in
+  let domains = 4 and per_domain = 2_000 in
+  let ds =
+    List.init domains (fun _ ->
+        Domain.spawn (fun () -> Array.init per_domain (fun _ -> Clock.tick c)))
+  in
+  let all = List.concat_map (fun d -> Array.to_list (Domain.join d)) ds in
+  List.iter
+    (fun v -> if v land 1 = 1 then Alcotest.failf "odd version %d" v)
+    all;
+  let sorted = List.sort_uniq compare all in
+  Alcotest.(check int) "all ticks distinct" (domains * per_domain)
+    (List.length sorted);
+  Alcotest.(check int) "final value accounts for every tick"
+    (2 * domains * per_domain)
+    (Clock.now c)
+
+(* Concurrent [tick_or_reuse]: values stay even and non-decreasing per
+   domain, Ticked values are globally unique, and the final clock is
+   2 * (number of successful CASes). *)
+let test_concurrent_tick_or_reuse () =
+  let c = Clock.create () in
+  let domains = 4 and per_domain = 2_000 in
+  let ds =
+    List.init domains (fun _ ->
+        Domain.spawn (fun () ->
+            let ticked = ref [] in
+            let last = ref 0 in
+            for _ = 1 to per_domain do
+              let v =
+                match Clock.tick_or_reuse c with
+                | Clock.Ticked v ->
+                  ticked := v :: !ticked;
+                  v
+                | Clock.Reused v -> v
+              in
+              if v land 1 = 1 then Alcotest.failf "odd version %d" v;
+              if v < !last then
+                Alcotest.failf "non-monotonic: %d after %d" v !last;
+              if v = 0 then Alcotest.fail "write version 0";
+              last := v
+            done;
+            !ticked))
+  in
+  let ticked = List.concat_map Domain.join ds in
+  let unique = List.sort_uniq compare ticked in
+  Alcotest.(check int) "Ticked values globally unique"
+    (List.length ticked) (List.length unique);
+  Alcotest.(check int) "final clock = 2 * successful CASes"
+    (2 * List.length ticked)
+    (Clock.now c)
+
+let suite =
+  [
+    Alcotest.test_case "fresh clock" `Quick test_fresh_clock;
+    Alcotest.test_case "tick sequence, even invariant" `Quick
+      test_tick_sequence;
+    Alcotest.test_case "tick_or_reuse uncontended" `Quick
+      test_tick_or_reuse_uncontended;
+    Alcotest.test_case "concurrent ticks unique+monotone" `Slow
+      test_concurrent_ticks_unique;
+    Alcotest.test_case "concurrent tick_or_reuse contract" `Slow
+      test_concurrent_tick_or_reuse;
+  ]
+
+let () = Alcotest.run "global_clock" [ ("global_clock", suite) ]

@@ -297,6 +297,70 @@ let test_lsa_snapshot_reads_old_version () =
   Alcotest.(check int) "same snapshot after write" 1 second;
   Alcotest.(check int) "writer committed" 2 (L.read tv)
 
+(* History eviction: a snapshot that outlives [history_depth] commits
+   to a tvar must retry (Conflict inside atomic_snapshot) and then see
+   a consistent, newer snapshot — never a mix. *)
+let test_lsa_snapshot_eviction_retries () =
+  let module L = Sb7_stm.Lsa in
+  let tv = L.make 0 in
+  let gate_snapshot_started = Atomic.make false in
+  let gate_writes_done = Atomic.make false in
+  let runs = Atomic.make 0 in
+  let reader =
+    Domain.spawn (fun () ->
+        L.atomic_snapshot (fun () ->
+            Atomic.incr runs;
+            let first = L.read tv in
+            Atomic.set gate_snapshot_started true;
+            while not (Atomic.get gate_writes_done) do
+              Domain.cpu_relax ()
+            done;
+            let second = L.read tv in
+            (first, second)))
+  in
+  while not (Atomic.get gate_snapshot_started) do
+    Domain.cpu_relax ()
+  done;
+  (* Push far more versions than the history keeps. *)
+  for i = 1 to 20 do
+    L.atomic (fun () -> L.write tv i)
+  done;
+  Atomic.set gate_writes_done true;
+  let first, second = Domain.join reader in
+  Alcotest.(check bool) "snapshot retried after eviction" true
+    (Atomic.get runs >= 2);
+  Alcotest.(check int) "retried snapshot is consistent" first second;
+  Alcotest.(check int) "and sees the final value" 20 second
+
+(* The Lsa.write-outside-a-transaction fix: the store must appear as a
+   NEW version, so a snapshot opened before it keeps reading the old
+   value instead of observing the new one under the old timestamp. *)
+let test_lsa_nontx_write_versioned () =
+  let module L = Sb7_stm.Lsa in
+  let tv = L.make 1 in
+  let gate_snapshot_started = Atomic.make false in
+  let gate_write_done = Atomic.make false in
+  let reader =
+    Domain.spawn (fun () ->
+        L.atomic_snapshot (fun () ->
+            let first = L.read tv in
+            Atomic.set gate_snapshot_started true;
+            while not (Atomic.get gate_write_done) do
+              Domain.cpu_relax ()
+            done;
+            let second = L.read tv in
+            (first, second)))
+  in
+  while not (Atomic.get gate_snapshot_started) do
+    Domain.cpu_relax ()
+  done;
+  L.write tv 3 (* non-transactional store *);
+  Atomic.set gate_write_done true;
+  let first, second = Domain.join reader in
+  Alcotest.(check int) "before the store" 1 first;
+  Alcotest.(check int) "same snapshot after the store" 1 second;
+  Alcotest.(check int) "store visible to fresh reads" 3 (L.read tv)
+
 let lsa_specific_suite =
   [
     Alcotest.test_case "snapshot conservation under writers" `Slow
@@ -307,6 +371,10 @@ let lsa_specific_suite =
       test_lsa_snapshot_needs_no_validation;
     Alcotest.test_case "snapshot serves old versions" `Slow
       test_lsa_snapshot_reads_old_version;
+    Alcotest.test_case "snapshot retries on history eviction" `Slow
+      test_lsa_snapshot_eviction_retries;
+    Alcotest.test_case "non-tx write creates a new version" `Slow
+      test_lsa_nontx_write_versioned;
   ]
 
 (* ASTM-specific: the quadratic validation accounting and the policy
@@ -369,6 +437,71 @@ let test_max_read_set_tracked () =
   Alcotest.(check bool) "max read set >= 50" true
     (s.Sb7_stm.Stm_stats.max_read_set >= 50)
 
+(* Read-set dedup: re-reading a logged tvar pushes no duplicate entry,
+   so both the logged-entry count and commit-time validation scale with
+   DISTINCT tvars, not raw reads. Shared by TL2 and LSA update mode. *)
+let test_dedup_no_duplicate_entries (module S : STM) () =
+  S.reset_stats ();
+  let cells = Array.init 5 S.make in
+  let sink = S.make 0 in
+  S.atomic (fun () ->
+      (* An update transaction (one write) that re-reads heavily. *)
+      S.write sink 1;
+      for _ = 1 to 100 do
+        Array.iter (fun tv -> ignore (S.read tv)) cells
+      done);
+  let s = S.stats () in
+  let open Sb7_stm.Stm_stats in
+  Alcotest.(check bool)
+    (Printf.sprintf "entries bounded by distinct tvars (got %d)"
+       s.read_set_entries)
+    true (s.read_set_entries <= 5);
+  Alcotest.(check bool)
+    (Printf.sprintf "dedup hits recorded (got %d)" s.dedup_hits)
+    true
+    (s.dedup_hits >= 495);
+  Alcotest.(check bool)
+    (Printf.sprintf "validation O(distinct) at commit (got %d)"
+       s.validation_steps)
+    true
+    (s.validation_steps <= 5)
+
+(* Bloom filter: with one buffered write, reads of never-written tvars
+   skip the write-set hash probe — and read-own-write still works. *)
+let test_bloom_skips_and_correctness (module S : STM) () =
+  S.reset_stats ();
+  let cells = Array.init 50 S.make in
+  let written = S.make 0 in
+  let seen =
+    S.atomic (fun () ->
+        S.write written 42;
+        Array.iter (fun tv -> ignore (S.read tv)) cells;
+        S.read written)
+  in
+  Alcotest.(check int) "reads own buffered write through the bloom" 42 seen;
+  let s = S.stats () in
+  Alcotest.(check bool)
+    (Printf.sprintf "most probes skipped (got %d)"
+       s.Sb7_stm.Stm_stats.bloom_skips)
+    true
+    (s.Sb7_stm.Stm_stats.bloom_skips >= 40)
+
+(* The new counters flow through the generic assoc export (the harness
+   reads them from there into reports and CSV). *)
+let test_counters_exported () =
+  let module T = Sb7_stm.Tl2 in
+  let assoc = Sb7_stm.Stm_stats.to_assoc (T.stats ()) in
+  List.iter
+    (fun key ->
+      Alcotest.(check bool) (key ^ " exported") true (List.mem_assoc key assoc))
+    [
+      "read_set_entries";
+      "dedup_hits";
+      "bloom_skips";
+      "extensions";
+      "clock_reuses";
+    ]
+
 let specific_suite =
   [
     Alcotest.test_case "astm validation is quadratic" `Quick
@@ -379,6 +512,15 @@ let specific_suite =
       test_astm_policies_all_work;
     Alcotest.test_case "tl2 tracks max read set" `Quick
       test_max_read_set_tracked;
+    Alcotest.test_case "tl2 read-set dedup" `Quick
+      (test_dedup_no_duplicate_entries (module Sb7_stm.Tl2));
+    Alcotest.test_case "lsa read-set dedup" `Quick
+      (test_dedup_no_duplicate_entries (module Sb7_stm.Lsa));
+    Alcotest.test_case "tl2 bloom-filtered write-set lookup" `Quick
+      (test_bloom_skips_and_correctness (module Sb7_stm.Tl2));
+    Alcotest.test_case "lsa bloom-filtered write-set lookup" `Quick
+      (test_bloom_skips_and_correctness (module Sb7_stm.Lsa));
+    Alcotest.test_case "new counters exported" `Quick test_counters_exported;
   ]
 
 let () =
