@@ -259,6 +259,9 @@ let quick (s : settings) =
       "bloom_skips";
       "extensions";
       "clock_reuses";
+      "ro_zero_log_commits";
+      "ro_inline_revalidations";
+      "ro_demotions";
     ]
   in
   let results =
@@ -272,6 +275,20 @@ let quick (s : settings) =
         (runtime, r))
       runtimes
   in
+  (* Read-dominated, 2 threads, STM runtimes with a read-only fast
+     path: the configuration the zero-log/snapshot modes target (and
+     the CI guard that [ro_zero_log_commits] stays > 0 for tl2). *)
+  let ro_results =
+    List.map
+      (fun runtime ->
+        let r =
+          run_point s
+            (point ~runtime ~workload:W.Read_dominated ~threads:2
+               ~long_traversals:false ~max_ops ())
+        in
+        (runtime, r))
+      [ "tl2"; "lsa" ]
+  in
   Printf.printf "%-8s %12s %10s %8s %12s %12s %12s %12s %12s\n" "runtime"
     "ops/s" "commits" "aborts" "valid.steps" "rs.entries" "dedup.hits"
     "bloom.skips" "clk.reuses";
@@ -283,12 +300,25 @@ let quick (s : settings) =
         (c "read_set_entries") (c "dedup_hits") (c "bloom_skips")
         (c "clock_reuses"))
     results;
+  Printf.printf
+    "\nread-dominated, 2 threads (read-only fast paths; see docs/PERF.md):\n";
+  Printf.printf "%-8s %12s %10s %8s %12s %12s %12s %12s\n" "runtime" "ops/s"
+    "commits" "aborts" "ro.zerolog" "ro.revals" "ro.demoted" "max.rs";
+  List.iter
+    (fun (runtime, r) ->
+      let c k = RR.counter r k in
+      Printf.printf "%-8s %12.1f %10d %8d %12d %12d %12d %12d\n" runtime
+        (RR.throughput r) (c "commits") (c "aborts")
+        (c "ro_zero_log_commits")
+        (c "ro_inline_revalidations")
+        (c "ro_demotions") (c "max_read_set"))
+    ro_results;
   if !Bench_common.write_json then begin
     let path = "BENCH_quick.json" in
     let oc = open_out path in
     let b = Buffer.create 2048 in
     Buffer.add_string b "{\n";
-    Buffer.add_string b "  \"schema\": \"sb7-bench-quick/1\",\n";
+    Buffer.add_string b "  \"schema\": \"sb7-bench-quick/2\",\n";
     Buffer.add_string b
       (Printf.sprintf
          "  \"scale\": %S,\n  \"workload\": %S,\n  \"threads\": 1,\n\
@@ -316,7 +346,30 @@ let quick (s : settings) =
                    counter_keys))
              (if i = List.length results - 1 then "" else ",")))
       results;
-    Buffer.add_string b "  ]\n}\n";
+    Buffer.add_string b "  ],\n";
+    Buffer.add_string b
+      "  \"ro_read_dominated\": {\"workload\": \"r\", \"threads\": 2, \
+       \"strategies\": [\n";
+    List.iteri
+      (fun i (runtime, r) ->
+        let c k = RR.counter r k in
+        let abort_rate =
+          let commits = c "commits" and aborts = c "aborts" in
+          if commits + aborts = 0 then 0.
+          else float_of_int aborts /. float_of_int (commits + aborts)
+        in
+        Buffer.add_string b
+          (Printf.sprintf
+             "    {\"runtime\": %S, \"ops_per_s\": %.1f, \"elapsed_s\": \
+              %.3f, \"abort_rate\": %.4f%s}%s\n"
+             runtime (RR.throughput r) r.RR.elapsed_s abort_rate
+             (String.concat ""
+                (List.map
+                   (fun k -> Printf.sprintf ", %S: %d" k (c k))
+                   counter_keys))
+             (if i = List.length ro_results - 1 then "" else ",")))
+      ro_results;
+    Buffer.add_string b "  ]}\n}\n";
     Buffer.output_buffer oc b;
     close_out oc;
     Printf.printf "\nwrote %s\n" path

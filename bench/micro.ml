@@ -72,6 +72,20 @@ let stm_tests =
       (Staged.stage (fun () ->
            L.atomic_snapshot (fun () ->
                Array.iter (fun c -> ignore (L.read c)) lsa_cells)));
+    (* Zero-log read-only mode vs the logging update path: the same 64
+       reads, no read-set append / dedup probe / commit validation. *)
+    Test.make ~name:"tl2-ro-read-64"
+      (Staged.stage (fun () ->
+           T.atomic_ro (fun () ->
+               Array.iter (fun c -> ignore (T.read c)) tl2_cells)));
+    Test.make ~name:"tl2-update-read-64"
+      (Staged.stage (fun () ->
+           T.atomic (fun () ->
+               Array.iter (fun c -> ignore (T.read c)) tl2_cells)));
+    Test.make ~name:"lsa-ro-read-64"
+      (Staged.stage (fun () ->
+           L.atomic_ro (fun () ->
+               Array.iter (fun c -> ignore (L.read c)) lsa_cells)));
   ]
 
 let tests () =

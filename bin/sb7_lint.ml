@@ -4,7 +4,7 @@
 
 open Cmdliner
 
-let known_rules = [ "R1"; "R2"; "R3" ]
+let known_rules = [ "R1"; "R2"; "R3"; "R4" ]
 
 let run paths json strict_local source_root rules =
   (match List.filter (fun r -> not (List.mem r known_rules)) rules with
@@ -36,6 +36,9 @@ let run paths json strict_local source_root rules =
           (if List.mem "R2" rules then base.r2
            else { base.r2 with r2_seeds = [] });
         r3 = (if List.mem "R3" rules then base.r3 else []);
+        r4 =
+          (if List.mem "R4" rules then base.r4
+           else { base.r4 with r4_registry_units = [] });
       }
   in
   let result =
@@ -70,7 +73,7 @@ let source_root_arg =
   Arg.(value & opt string "." & info [ "source-root" ] ~docv:"DIR" ~doc)
 
 let rules_arg =
-  let doc = "Comma-separated subset of rule families to run (R1,R2,R3)." in
+  let doc = "Comma-separated subset of rule families to run (R1,R2,R3,R4)." in
   Arg.(value & opt (list string) [] & info [ "rules" ] ~docv:"RULES" ~doc)
 
 let cmd =
@@ -83,7 +86,10 @@ let cmd =
          state bypassing the Runtime functor in the core; (R2) no \
          irrevocable effects reachable from abortable operation bodies; \
          (R3) lock acquire/release pairing, ordering and no-wait \
-         discipline in the lock-based runtimes.";
+         discipline in the lock-based runtimes; (R4) profile honesty — \
+         an operation registered without a ~writes clause is dispatched \
+         through the read-only fast path, so its code must not reach a \
+         transactional write or index mutation.";
       `P
         "Suppress a finding with a comment on the same or preceding \
          line: (* sb7-lint: allow <rule> -- reason *).";

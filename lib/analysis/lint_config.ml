@@ -54,14 +54,49 @@ type r3_spec = {
           [Condition.wait]) anywhere in the module *)
 }
 
+(** Scope of rule R4 (profile honesty): operations registered in
+    [r4_registry_units] by one of [r4_profiled_builders] with no
+    [~writes] argument are declared read-only; their run function must
+    not reach a configured write identifier or index-mutator field
+    through the value-reference graph of units matching
+    [r4_universe_prefixes]. An empty [r4_registry_units] disables the
+    rule. *)
+type r4 = {
+  r4_registry_units : string list;
+  r4_profiled_builders : string list;
+      (** builder functions whose applications register a profiled
+          operation; first positional string literal is the code, last
+          positional identifier the run function *)
+  r4_structural_builders : string list;
+      (** builders whose operations are structural (never read-only) —
+          recognised so they are skipped, not misparsed *)
+  r4_universe_prefixes : string list;
+  r4_write_idents : string list;
+      (** fully-qualified identifiers that perform a transactional
+          write (as printed by [Path.name], e.g. ["R.write"]) *)
+  r4_write_fields : string list;
+      (** record fields whose projection is an index mutation *)
+}
+
 type t = {
   r1 : r1;
   r2 : r2;
   r3 : r3_spec list;
+  r4 : r4;
   strict_local : bool;
       (** when true, R1 also reports provably transaction-local mutable
           state (notices): useful to audit a module for full purity *)
 }
+
+let disabled_r4 =
+  {
+    r4_registry_units = [];
+    r4_profiled_builders = [];
+    r4_structural_builders = [];
+    r4_universe_prefixes = [];
+    r4_write_idents = [];
+    r4_write_fields = [];
+  }
 
 let spec_for t unit_name =
   List.find_opt (fun s -> s.r3_unit = unit_name) t.r3
@@ -137,5 +172,21 @@ let default =
           r3_forbid_blocking = false;
         };
       ];
+    r4 =
+      {
+        (* All 45 operations register in Operation through these four
+           builders; a missing ~writes makes the profile read-only and
+           the runtimes dispatch it through the zero-log path. *)
+        r4_registry_units = [ "Sb7_core__Operation" ];
+        r4_profiled_builders =
+          [ "long_traversal"; "short_traversal"; "short_operation" ];
+        r4_structural_builders = [ "structure_mod" ];
+        r4_universe_prefixes = [ "Sb7_core__" ];
+        (* The sync-free core only ever writes through the runtime
+           functor parameter, uniformly named R. *)
+        r4_write_idents = [ "R.write" ];
+        (* Index mutators on the first-class index record. *)
+        r4_write_fields = [ "put"; "remove" ];
+      };
     strict_local = false;
   }

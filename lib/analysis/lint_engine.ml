@@ -1,5 +1,5 @@
 (** Orchestrates a lint run: load every [.cmt] under the given paths,
-    compute R2 reachability, run the three rule families, apply
+    compute R2 reachability, run the four rule families, apply
     suppression comments, and split the results. *)
 
 type result = {
@@ -30,6 +30,9 @@ let run ~(config : Lint_config.t) ~source_root ~paths () =
       | Some spec -> raw := Rule_r3.check spec u @ !raw
       | None -> ())
     units;
+  (* R4 needs the whole unit set at once: it follows run functions from
+     the registry across compilation units. *)
+  raw := Rule_r4.check config.Lint_config.r4 units @ !raw;
   let raw = List.sort Lint_finding.compare !raw in
   (* Apply suppression comments, reading each source file once. *)
   let tables = Hashtbl.create 16 in

@@ -1,0 +1,364 @@
+(** R4 — profile honesty.
+
+    The STM runtimes dispatch on [Op_profile.read_only]: an operation
+    registered without a [~writes] clause runs through the zero-log /
+    snapshot read-only path. A profile that lies costs a runtime
+    demotion (one aborted transaction, a sticky registry entry) on
+    every run — this rule catches the lie statically instead.
+
+    Detection works on the typed AST at {e value} granularity (module
+    granularity would be useless: every core module mixes read-only
+    and writing operations, and the shared traversal skeletons take
+    their write closures as arguments):
+
+    1. In the configured registry unit(s), find applications of the
+       profiled operation builders. An operation is declared read-only
+       when it is built by a non-structural builder with no [~writes]
+       argument; the last positional identifier argument is its run
+       function.
+    2. For every unit in the configured universe, build a reference
+       graph over top-level value bindings (including bindings inside
+       functor bodies, which is where the sync-free core lives). Local
+       module aliases — [module LT = Traversals.Make (R)] — are
+       resolved to their compilation units so [LT.t1] becomes an edge
+       to [Sb7_core__Traversals.t1].
+    3. A value {e writes} when it mentions a configured write
+       identifier (the runtime functor's [R.write]) or projects a
+       configured mutator field of the first-class index record
+       ([.put] / [.remove]). A declared-read-only operation whose run
+       function reaches a writing value is a finding, reported at the
+       registration site (so a suppression comment sits next to the
+       profile it vouches for).
+
+    Approximations, all on the strict side: referencing a writing
+    closure counts as writing even if the reference is never called;
+    an explicit [~writes:[]] is treated as an update declaration;
+    bindings of the same name in sibling nested modules of one unit
+    are merged. A false positive is suppressible per site; a write
+    reached only through a closure parameter (not a named value) is
+    the one shape this analysis cannot see — the runtime demotion
+    path remains the backstop for those. *)
+
+open Typedtree
+
+let rec last_component = function
+  | Path.Pident id -> Ident.name id
+  | Path.Pdot (_, s) -> s
+  | Path.Papply (p, _) -> last_component p
+  | Path.Pextra_ty (p, _) -> last_component p
+
+(* --- Per-unit value-reference graph --- *)
+
+type vinfo = {
+  mutable v_refs : (string * string) list;  (** (unit, value) edges *)
+  mutable v_writes : (string * Location.t) list;
+      (** (description, site) of direct writes in the binding body *)
+}
+
+type unit_info = {
+  bindings : (string, vinfo) Hashtbl.t;
+}
+
+(* Walk a structure, flattening nested modules and functor bodies:
+   [items] receives every structure item, [aliases] every local module
+   binding name with its module expression. The sync-free core defines
+   its operations inside [Make (R : Runtime_intf.S)], so descending
+   into functor bodies is the common case, not the exception. *)
+let rec walk_structure ~on_item ~on_module str =
+  List.iter (walk_item ~on_item ~on_module) str.str_items
+
+and walk_item ~on_item ~on_module item =
+  on_item item;
+  match item.str_desc with
+  | Tstr_module mb ->
+    (match mb.mb_id with
+    | Some id -> on_module (Ident.name id) mb.mb_expr
+    | None -> ());
+    walk_module ~on_item ~on_module mb.mb_expr
+  | Tstr_recmodule mbs ->
+    List.iter
+      (fun mb ->
+        (match mb.mb_id with
+        | Some id -> on_module (Ident.name id) mb.mb_expr
+        | None -> ());
+        walk_module ~on_item ~on_module mb.mb_expr)
+      mbs
+  | _ -> ()
+
+and walk_module ~on_item ~on_module m =
+  match m.mod_desc with
+  | Tmod_structure str -> walk_structure ~on_item ~on_module str
+  | Tmod_functor (_, body) -> walk_module ~on_item ~on_module body
+  | Tmod_constraint (m, _, _, _) -> walk_module ~on_item ~on_module m
+  | _ -> ()
+
+(* [module X = Unit] or [module X = Unit.Make (R)] — the unit behind a
+   local module alias, if it is one of the loaded units. *)
+let rec alias_target ~units m =
+  match m.mod_desc with
+  | Tmod_ident (p, _) -> Cmt_unit.resolve_ref ~units p
+  | Tmod_apply (f, _, _) -> alias_target ~units f
+  | Tmod_constraint (m, _, _, _) -> alias_target ~units m
+  | _ -> None
+
+let collect_aliases ~units structure =
+  let aliases = Hashtbl.create 8 in
+  walk_structure
+    ~on_item:(fun _ -> ())
+    ~on_module:(fun name m ->
+      match alias_target ~units m with
+      | Some target -> Hashtbl.replace aliases name target
+      | None -> ())
+    structure;
+  aliases
+
+(* References and writes in one binding body. [Pident] references stay
+   within the unit (parameters and let-locals simply fail the binding
+   lookup later); alias-qualified and wrapper-qualified references
+   become cross-unit edges. *)
+let analyze_binding (config : Lint_config.r4) ~units ~aliases ~unit_name expr
+    (v : vinfo) =
+  let note_path p loc =
+    let name = Path.name p in
+    if List.mem name config.r4_write_idents then
+      v.v_writes <- (name, loc) :: v.v_writes
+    else
+      match Cmt_unit.resolve_ref ~units p with
+      | Some target -> v.v_refs <- (target, last_component p) :: v.v_refs
+      | None -> (
+        match p with
+        | Path.Pdot (Path.Pident m, field) -> (
+          match Hashtbl.find_opt aliases (Ident.name m) with
+          | Some target -> v.v_refs <- (target, field) :: v.v_refs
+          | None -> ())
+        | Path.Pident id -> v.v_refs <- (unit_name, Ident.name id) :: v.v_refs
+        | _ -> ())
+  in
+  let iter =
+    {
+      Tast_iterator.default_iterator with
+      expr =
+        (fun sub e ->
+          (match e.exp_desc with
+          | Texp_ident (p, _, _) -> note_path p e.exp_loc
+          | Texp_field (_, _, lbl)
+            when List.mem lbl.Types.lbl_name config.r4_write_fields ->
+            v.v_writes <-
+              ("index mutation ." ^ lbl.Types.lbl_name, e.exp_loc) :: v.v_writes
+          | _ -> ());
+          Tast_iterator.default_iterator.expr sub e);
+    }
+  in
+  iter.expr iter expr
+
+let unit_info (config : Lint_config.r4) ~units (u : Cmt_unit.t) =
+  let aliases = collect_aliases ~units u.Cmt_unit.structure in
+  let bindings = Hashtbl.create 32 in
+  walk_structure
+    ~on_module:(fun _ _ -> ())
+    ~on_item:(fun item ->
+      match item.str_desc with
+      | Tstr_value (_, vbs) ->
+        List.iter
+          (fun vb ->
+            match vb.vb_pat.pat_desc with
+            | Tpat_var (id, _) ->
+              let name = Ident.name id in
+              let v =
+                match Hashtbl.find_opt bindings name with
+                | Some v -> v (* same name in sibling scope: merge *)
+                | None ->
+                  let v = { v_refs = []; v_writes = [] } in
+                  Hashtbl.add bindings name v;
+                  v
+              in
+              analyze_binding config ~units ~aliases
+                ~unit_name:u.Cmt_unit.name vb.vb_expr v
+            | _ -> ())
+          vbs
+      | _ -> ())
+    u.Cmt_unit.structure;
+  { bindings }
+
+(* --- Registry extraction --- *)
+
+type registered_op = {
+  op_code : string;
+  op_run : (string * string) option;  (** resolved (unit, value) *)
+  op_run_name : string;  (** as written, for messages *)
+  op_loc : Location.t;
+}
+
+let const_string e =
+  match e.exp_desc with
+  | Texp_constant (Const_string (s, _, _)) -> Some s
+  | _ -> None
+
+let is_none_construct e =
+  match e.exp_desc with
+  | Texp_construct (_, cd, _) -> cd.Types.cstr_name = "None"
+  | _ -> false
+
+(* Unwrap the [Some e] the typechecker inserts when an optional
+   argument is passed with [~label:e]. *)
+let unwrap_option_arg e =
+  match e.exp_desc with
+  | Texp_construct (_, { Types.cstr_name = "Some"; _ }, [ inner ]) -> inner
+  | _ -> e
+
+(* Declared-read-only registrations in a registry unit: applications of
+   a profiled builder with no (non-[None]) [~writes] argument. *)
+let registered_read_only_ops (config : Lint_config.r4) ~units
+    (u : Cmt_unit.t) =
+  let aliases = collect_aliases ~units u.Cmt_unit.structure in
+  let ops = ref [] in
+  let handle_apply fn args loc =
+    match fn.exp_desc with
+    | Texp_ident (p, _, _) ->
+      let builder = last_component p in
+      if List.mem builder config.r4_profiled_builders then begin
+        let code =
+          List.find_map
+            (fun (label, arg) ->
+              match (label, arg) with
+              | Asttypes.Nolabel, Some a -> const_string a
+              | _ -> None)
+            args
+        in
+        let has_writes =
+          List.exists
+            (fun (label, arg) ->
+              (match label with
+              | Asttypes.Labelled s | Asttypes.Optional s -> s = "writes"
+              | Asttypes.Nolabel -> false)
+              &&
+              match arg with
+              | Some a -> not (is_none_construct a)
+              | None -> false)
+            args
+        in
+        let run =
+          List.fold_left
+            (fun acc (label, arg) ->
+              match (label, arg) with
+              | Asttypes.Nolabel, Some a -> (
+                match (unwrap_option_arg a).exp_desc with
+                | Texp_ident (rp, _, _) -> Some rp
+                | _ -> acc)
+              | _ -> acc)
+            None args
+        in
+        match (code, run, has_writes) with
+        | Some code, Some rp, false ->
+          let resolved =
+            match Cmt_unit.resolve_ref ~units rp with
+            | Some target -> Some (target, last_component rp)
+            | None -> (
+              match rp with
+              | Path.Pdot (Path.Pident m, field) -> (
+                match Hashtbl.find_opt aliases (Ident.name m) with
+                | Some target -> Some (target, field)
+                | None -> None)
+              | Path.Pident id -> Some (u.Cmt_unit.name, Ident.name id)
+              | _ -> None)
+          in
+          ops :=
+            {
+              op_code = code;
+              op_run = resolved;
+              op_run_name = Path.name rp;
+              op_loc = loc;
+            }
+            :: !ops
+        | _ -> ()
+      end
+    | _ -> ()
+  in
+  let iter =
+    {
+      Tast_iterator.default_iterator with
+      expr =
+        (fun sub e ->
+          (match e.exp_desc with
+          | Texp_apply (fn, args) -> handle_apply fn args e.exp_loc
+          | _ -> ());
+          Tast_iterator.default_iterator.expr sub e);
+    }
+  in
+  iter.structure iter u.Cmt_unit.structure;
+  List.rev !ops
+
+(* --- Reachability --- *)
+
+let find_write infos (start_unit, start_value) =
+  let visited = Hashtbl.create 64 in
+  let rec go unit_name value =
+    if Hashtbl.mem visited (unit_name, value) then None
+    else begin
+      Hashtbl.add visited (unit_name, value) ();
+      match Hashtbl.find_opt infos unit_name with
+      | None -> None
+      | Some info -> (
+        match Hashtbl.find_opt info.bindings value with
+        | None -> None
+        | Some v -> (
+          match List.rev v.v_writes with
+          | (what, loc) :: _ -> Some (unit_name, value, what, loc)
+          | [] ->
+            List.find_map
+              (fun (u', v') -> go u' v')
+              (List.rev v.v_refs)))
+    end
+  in
+  go start_unit start_value
+
+let in_universe (config : Lint_config.r4) unit_name =
+  List.exists
+    (fun p -> String.starts_with ~prefix:p unit_name)
+    config.r4_universe_prefixes
+
+let pos_of loc =
+  let p = loc.Location.loc_start in
+  (p.Lexing.pos_fname, p.Lexing.pos_lnum)
+
+let check (config : Lint_config.r4) (all_units : Cmt_unit.t list) =
+  if config.r4_registry_units = [] then []
+  else begin
+    let units = Hashtbl.create 64 in
+    List.iter
+      (fun u -> Hashtbl.replace units u.Cmt_unit.name ())
+      all_units;
+    let infos = Hashtbl.create 32 in
+    List.iter
+      (fun u ->
+        if in_universe config u.Cmt_unit.name then
+          Hashtbl.replace infos u.Cmt_unit.name
+            (unit_info config ~units u))
+      all_units;
+    let findings = ref [] in
+    List.iter
+      (fun u ->
+        if List.mem u.Cmt_unit.name config.r4_registry_units then
+          List.iter
+            (fun op ->
+              match op.op_run with
+              | None -> ()
+              | Some target -> (
+                match find_write infos target with
+                | None -> ()
+                | Some (w_unit, w_value, what, w_loc) ->
+                  let file, line = pos_of w_loc in
+                  findings :=
+                    Lint_finding.make ~rule:"profile-honesty" ~loc:op.op_loc
+                      ~unit_name:u.Cmt_unit.name
+                      (Printf.sprintf
+                         "operation %S: profile declares read-only (no \
+                          ~writes) but its run function %s reaches %s in \
+                          %s.%s (%s:%d) — fix the profile or the operation"
+                         op.op_code op.op_run_name what w_unit w_value file
+                         line)
+                    :: !findings))
+            (registered_read_only_ops config ~units u))
+      all_units;
+    List.rev !findings
+  end

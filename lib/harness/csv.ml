@@ -11,7 +11,8 @@ let header_summary =
   "runtime,workload,threads,scale,index,long_traversals,structure_mods,\
    reduced,elapsed_s,successes,failures,throughput_ops,started_ops,\
    commits,aborts,validation_steps,max_read_set,read_set_entries,\
-   dedup_hits,bloom_skips,extensions,clock_reuses"
+   dedup_hits,bloom_skips,extensions,clock_reuses,ro_zero_log_commits,\
+   ro_inline_revalidations,ro_demotions"
 
 (* The STM counters exported per summary row; 0 for lock runtimes. *)
 let summary_counters =
@@ -25,6 +26,9 @@ let summary_counters =
     "bloom_skips";
     "extensions";
     "clock_reuses";
+    "ro_zero_log_commits";
+    "ro_inline_revalidations";
+    "ro_demotions";
   ]
 
 let escape field =

@@ -140,7 +140,19 @@ let cdf ratios =
       !acc)
     ratios
 
+(* Binary search for the first index with [u < cdf.(i)] — the CDF is
+   non-decreasing, so "u < cdf.(i)" is monotone in [i]. Clamped to
+   [n - 1] (the last cumulative value is 1.0 only up to rounding, and
+   a degenerate all-zero tail must still pick a valid index), matching
+   the linear scan's [i >= n - 1] guard. Sampling happens once per
+   operation pick on every worker thread, so over 45 operations this
+   replaces an average ~23-probe walk with ~6. *)
 let sample cdf u =
   let n = Array.length cdf in
-  let rec find i = if i >= n - 1 || u < cdf.(i) then i else find (i + 1) in
-  find 0
+  let lo = ref 0 and hi = ref (n - 1) in
+  (* invariant: answer is in [lo, hi] *)
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if u < cdf.(mid) then hi := mid else lo := mid + 1
+  done;
+  !lo

@@ -1,9 +1,13 @@
 (** The ASTM-style STM as a benchmark runtime: every operation is one
     flat transaction, exactly the "straightforward approach of an
     average programmer" the paper evaluates. The lock profile is
-    ignored. *)
+    ignored; dispatch still goes through {!Ro_dispatch} for uniformity,
+    but ASTM's [atomic_ro] is a documented pass-through to [atomic]
+    (no read-only fast path — that IS the measured pathology), so
+    read-only profiles change nothing and demotion never fires. *)
 
 module Stm = Sb7_stm.Astm
+module D = Ro_dispatch.Make (Stm)
 
 let name = Stm.name
 
@@ -12,10 +16,10 @@ type 'a tvar = 'a Stm.tvar
 let make = Stm.make
 let read = Stm.read
 let write = Stm.write
-
-let atomic ~profile f =
-  ignore (profile : Op_profile.t);
-  Stm.atomic f
+let atomic = D.atomic
 
 let stats () = Sb7_stm.Stm_stats.to_assoc (Stm.stats ())
-let reset_stats = Stm.reset_stats
+
+let reset_stats () =
+  D.reset ();
+  Stm.reset_stats ()

@@ -1,10 +1,12 @@
-(** The LSA multi-version STM as a benchmark runtime. Unlike the other
-    STM runtimes it inspects the operation profile: read-only
-    operations run as snapshot transactions (no validation, no
-    aborts against writers), update operations as TL2-like update
-    transactions. *)
+(** The LSA multi-version STM as a benchmark runtime: read-only
+    operations run as snapshot transactions (no validation, no aborts
+    against writers), update operations as TL2-like update
+    transactions. Dispatch goes through {!Ro_dispatch}, so an
+    operation that writes despite a read-only profile is demoted to
+    update mode after one clean restart instead of failing. *)
 
 module Stm = Sb7_stm.Lsa
+module D = Ro_dispatch.Make (Stm)
 
 let name = Stm.name
 
@@ -13,10 +15,10 @@ type 'a tvar = 'a Stm.tvar
 let make = Stm.make
 let read = Stm.read
 let write = Stm.write
-
-let atomic ~profile f =
-  if Op_profile.read_only profile then Stm.atomic_snapshot f
-  else Stm.atomic f
+let atomic = D.atomic
 
 let stats () = Sb7_stm.Stm_stats.to_assoc (Stm.stats ())
-let reset_stats = Stm.reset_stats
+
+let reset_stats () =
+  D.reset ();
+  Stm.reset_stats ()

@@ -1,0 +1,25 @@
+(** Profile-directed read-only dispatch with adaptive fallback, shared
+    by the STM runtimes.
+
+    Operations whose {!Op_profile} declares no writes run through the
+    STM's [atomic_ro] fast path. A declared-read-only operation that
+    actually writes trips [Stm_intf.Write_in_read_only]; the dispatcher
+    records the operation in a sticky demotion registry, bumps the
+    STM's [ro_demotions] counter, and re-runs the closure as an update
+    transaction. Thereafter the operation starts directly in update
+    mode: a mis-declared profile costs one restart, never wrong
+    results. *)
+
+module Make (Stm : Sb7_stm.Stm_intf.S) : sig
+  (** [atomic ~profile f] dispatches [f] to [Stm.atomic_ro] when
+      [Op_profile.read_only profile] holds and the operation has not
+      been demoted, to [Stm.atomic] otherwise. *)
+  val atomic : profile:Op_profile.t -> (unit -> 'a) -> 'a
+
+  (** Has this operation been demoted to update mode? *)
+  val is_demoted : string -> bool
+
+  (** Clear the demotion registry (wire into the runtime's
+      [reset_stats] so runs start from the declared profiles). *)
+  val reset : unit -> unit
+end

@@ -20,9 +20,13 @@ module type S = sig
 
   (** [atomic ~profile f] executes one benchmark operation atomically.
       Lock runtimes acquire the locks demanded by [profile]; STM
-      runtimes run [f] as a transaction (ignoring the profile) and
-      retry it on conflict. Exceptions from [f] (e.g. the specified
-      operation failures) release locks / roll back and propagate. *)
+      runtimes run [f] as a transaction, retrying on conflict, and
+      dispatch on [Op_profile.read_only profile] to select their
+      read-only fast path (with adaptive demotion to an update
+      transaction if the profile turns out to be wrong — see
+      {!Ro_dispatch}; the lock domains themselves are ignored).
+      Exceptions from [f] (e.g. the specified operation failures)
+      release locks / roll back and propagate. *)
   val atomic : profile:Op_profile.t -> (unit -> 'a) -> 'a
 
   (** Strategy-specific counters (lock acquisitions, STM commits and

@@ -1,8 +1,11 @@
 (** The TL2 STM as a benchmark runtime: every operation is one flat
-    transaction; the lock profile is ignored (that is the STM's selling
-    point). *)
+    transaction. The lock domains of the profile are ignored (that is
+    the STM's selling point), but [Op_profile.read_only] selects TL2's
+    zero-log read-only mode, with adaptive demotion to an update
+    transaction if the profile lied (see {!Ro_dispatch}). *)
 
 module Stm = Sb7_stm.Tl2
+module D = Ro_dispatch.Make (Stm)
 
 let name = Stm.name
 
@@ -11,10 +14,10 @@ type 'a tvar = 'a Stm.tvar
 let make = Stm.make
 let read = Stm.read
 let write = Stm.write
-
-let atomic ~profile f =
-  ignore (profile : Op_profile.t);
-  Stm.atomic f
+let atomic = D.atomic
 
 let stats () = Sb7_stm.Stm_stats.to_assoc (Stm.stats ())
-let reset_stats = Stm.reset_stats
+
+let reset_stats () =
+  D.reset ();
+  Stm.reset_stats ()

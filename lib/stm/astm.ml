@@ -292,5 +292,15 @@ let atomic f =
     in
     attempt ()
 
+(* Deliberate pass-through: ASTM gets NO read-only fast path. Its
+   O(k^2) invisible-read validation on declared-read-only traversals
+   is the pathology the paper measures — a zero-log mode here would
+   destroy the reproduction (see docs/PERF.md). [write] consequently
+   never raises [Write_in_read_only] under this STM, so demotion never
+   fires and [ro_zero_log_commits] stays 0 by design. *)
+let atomic_ro f = atomic f
+
+let record_ro_demotion () = Stm_stats.record_ro_demotion global_stats
+
 let stats () = Stm_stats.snapshot global_stats
 let reset_stats () = Stm_stats.reset global_stats

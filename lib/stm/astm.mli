@@ -14,7 +14,11 @@
     bloom-filtered write-set lookups, commit-clock reuse): its O(k²)
     validation and copy-on-write acquisition {e are} the measured
     pathology, and optimizing them away would destroy the benchmark's
-    headline reproduction. See docs/PERF.md. *)
+    headline reproduction. See docs/PERF.md. For the same reason
+    [atomic_ro] is a documented pass-through to [atomic]: ASTM has no
+    read-only fast path on purpose, so declared-read-only operations
+    pay the full invisible-read validation bill (and
+    [Write_in_read_only]/demotion never fires for this STM). *)
 
 include Stm_intf.S
 

@@ -312,9 +312,11 @@ let write tv v =
   | Some tx -> (
     match tx.mode with
     | Snapshot ->
-      invalid_arg
-        "Lsa.write: snapshot transactions are read-only (check the \
-         operation profile)"
+      (* The snapshot stays valid — nothing was mutated — so raising
+         here lets the runtime dispatch layer catch the signal and
+         re-run the operation as an update transaction (adaptive
+         demotion) instead of crashing on a mis-declared profile. *)
+      raise Stm_intf.Write_in_read_only
     | Update -> (
       match Hashtbl.find_opt tx.writes tv.id with
       | Some entry -> cast_ref tv entry := v
@@ -349,8 +351,14 @@ let lock_write_set tx =
     raise Conflict
 
 let commit tx =
-  if Hashtbl.length tx.writes = 0 then
-    Stm_stats.record_commit global_stats ~read_only:true
+  if Hashtbl.length tx.writes = 0 then begin
+    match tx.mode with
+    | Snapshot ->
+      (* Snapshot commits are LSA's zero-log read-only fast path: no
+         read set was kept, no validation ran. *)
+      Stm_stats.record_ro_commit global_stats
+    | Update -> Stm_stats.record_commit global_stats ~read_only:true
+  end
   else begin
     lock_write_set tx;
     (* Same GV4-style advance as Tl2.commit: single CAS attempt after
@@ -446,8 +454,16 @@ let atomic f = atomic_in_mode Update f
 
 (** Run a read-only transaction against a consistent snapshot: no
     validation, no conflicts with concurrent committers. [f] must not
-    call {!write}. *)
+    call {!write} — doing so raises [Stm_intf.Write_in_read_only]. *)
 let atomic_snapshot f = atomic_in_mode Snapshot f
+
+(* Multi-version snapshots are LSA's native read-only mode, so
+   [atomic_ro] is the snapshot mode. Unlike TL2 there are no inline
+   revalidations: a stale read either resolves from the ring or is a
+   [Conflict] (ring eviction), counted as an abort. *)
+let atomic_ro f = atomic_snapshot f
+
+let record_ro_demotion () = Stm_stats.record_ro_demotion global_stats
 
 let stats () = Stm_stats.snapshot global_stats
 let reset_stats () = Stm_stats.reset global_stats

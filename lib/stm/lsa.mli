@@ -12,5 +12,10 @@ include Stm_intf.S
 (** Run a read-only transaction against a consistent snapshot: no
     validation work, never aborted by concurrent committers (it can
     only retry if a needed version was evicted from a history). [f]
-    must not call {!write} — doing so raises [Invalid_argument]. *)
+    must not call {!write} — doing so raises
+    {!Stm_intf.Write_in_read_only}, which the runtime dispatch layer
+    turns into a demotion to update mode. [atomic_ro] is this same
+    mode (multi-version snapshots are LSA's native read-only fast
+    path, so its [ro_inline_revalidations] counter stays 0 — an
+    unservable snapshot is a ring eviction and counts as an abort). *)
 val atomic_snapshot : (unit -> 'a) -> 'a

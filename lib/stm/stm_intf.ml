@@ -5,6 +5,14 @@
     and must not catch it. *)
 exception Conflict
 
+(** Raised by [write] when called inside a read-only transaction
+    ([atomic_ro]). The dispatch layer in [lib/runtime] catches it,
+    records a demotion for the offending operation, and re-runs the
+    closure as an update transaction — user code should neither raise
+    nor catch it. The closure must be safe to re-run (same requirement
+    [atomic]'s conflict retry already imposes). *)
+exception Write_in_read_only
+
 module type S = sig
   val name : string
 
@@ -30,7 +38,24 @@ module type S = sig
       into the enclosing transaction. *)
   val atomic : (unit -> 'a) -> 'a
 
+  (** [atomic_ro f] runs [f] as a read-only transaction. Reads are
+      guaranteed a consistent snapshot; [write] raises
+      {!Write_in_read_only} (the transaction context stays valid — the
+      caller is expected to fall back to [atomic]). Implementations may
+      restart [f] internally (TL2 re-snapshots its read version), so
+      [f] must tolerate re-execution, exactly as under [atomic]. A
+      nested [atomic] call inside [atomic_ro] flattens into the
+      read-only transaction: its writes raise too, so a mis-declared
+      operation cannot smuggle updates through an inner transaction. *)
+  val atomic_ro : (unit -> 'a) -> 'a
+
   val in_transaction : unit -> bool
+
+  (** Hook for the runtime dispatch layer: account one adaptive
+      demotion (a declared-read-only operation that wrote) in this
+      STM's [Stm_stats], so [ro_demotions] travels with the rest of
+      the counters. *)
+  val record_ro_demotion : unit -> unit
 
   val stats : unit -> Stm_stats.snapshot
   val reset_stats : unit -> unit

@@ -9,6 +9,9 @@ type snapshot = {
   bloom_skips : int;
   extensions : int;
   clock_reuses : int;
+  ro_zero_log_commits : int;
+  ro_inline_revalidations : int;
+  ro_demotions : int;
 }
 
 (* Counters are atomic; STMs flush per-transaction tallies once at
@@ -25,6 +28,9 @@ type t = {
   bloom_skips : int Atomic.t;
   extensions : int Atomic.t;
   clock_reuses : int Atomic.t;
+  ro_zero_log_commits : int Atomic.t;
+  ro_inline_revalidations : int Atomic.t;
+  ro_demotions : int Atomic.t;
 }
 
 let create () =
@@ -39,6 +45,9 @@ let create () =
     bloom_skips = Atomic.make 0;
     extensions = Atomic.make 0;
     clock_reuses = Atomic.make 0;
+    ro_zero_log_commits = Atomic.make 0;
+    ro_inline_revalidations = Atomic.make 0;
+    ro_demotions = Atomic.make 0;
   }
 
 let record_commit t ~read_only =
@@ -68,6 +77,19 @@ let record_tx_log t ~dedup_hits ~bloom_skips ~extensions =
 
 let record_clock_reuse t = ignore (Atomic.fetch_and_add t.clock_reuses 1)
 
+(* A zero-log read-only commit is still a commit (and trivially a
+   read-only one): the three cells move together so [commits] stays the
+   total across both modes. *)
+let record_ro_commit t =
+  ignore (Atomic.fetch_and_add t.commits 1);
+  ignore (Atomic.fetch_and_add t.read_only_commits 1);
+  ignore (Atomic.fetch_and_add t.ro_zero_log_commits 1)
+
+let record_ro_revalidation t =
+  ignore (Atomic.fetch_and_add t.ro_inline_revalidations 1)
+
+let record_ro_demotion t = ignore (Atomic.fetch_and_add t.ro_demotions 1)
+
 let snapshot t : snapshot =
   {
     commits = Atomic.get t.commits;
@@ -80,6 +102,9 @@ let snapshot t : snapshot =
     bloom_skips = Atomic.get t.bloom_skips;
     extensions = Atomic.get t.extensions;
     clock_reuses = Atomic.get t.clock_reuses;
+    ro_zero_log_commits = Atomic.get t.ro_zero_log_commits;
+    ro_inline_revalidations = Atomic.get t.ro_inline_revalidations;
+    ro_demotions = Atomic.get t.ro_demotions;
   }
 
 let reset t =
@@ -92,7 +117,10 @@ let reset t =
   Atomic.set t.dedup_hits 0;
   Atomic.set t.bloom_skips 0;
   Atomic.set t.extensions 0;
-  Atomic.set t.clock_reuses 0
+  Atomic.set t.clock_reuses 0;
+  Atomic.set t.ro_zero_log_commits 0;
+  Atomic.set t.ro_inline_revalidations 0;
+  Atomic.set t.ro_demotions 0
 
 let zero : snapshot =
   {
@@ -106,6 +134,9 @@ let zero : snapshot =
     bloom_skips = 0;
     extensions = 0;
     clock_reuses = 0;
+    ro_zero_log_commits = 0;
+    ro_inline_revalidations = 0;
+    ro_demotions = 0;
   }
 
 let add (a : snapshot) (b : snapshot) : snapshot =
@@ -120,6 +151,10 @@ let add (a : snapshot) (b : snapshot) : snapshot =
     bloom_skips = a.bloom_skips + b.bloom_skips;
     extensions = a.extensions + b.extensions;
     clock_reuses = a.clock_reuses + b.clock_reuses;
+    ro_zero_log_commits = a.ro_zero_log_commits + b.ro_zero_log_commits;
+    ro_inline_revalidations =
+      a.ro_inline_revalidations + b.ro_inline_revalidations;
+    ro_demotions = a.ro_demotions + b.ro_demotions;
   }
 
 let to_assoc (s : snapshot) =
@@ -134,12 +169,16 @@ let to_assoc (s : snapshot) =
     ("bloom_skips", s.bloom_skips);
     ("extensions", s.extensions);
     ("clock_reuses", s.clock_reuses);
+    ("ro_zero_log_commits", s.ro_zero_log_commits);
+    ("ro_inline_revalidations", s.ro_inline_revalidations);
+    ("ro_demotions", s.ro_demotions);
   ]
 
 let pp ppf (s : snapshot) =
   Format.fprintf ppf
     "commits=%d aborts=%d ro_commits=%d validation_steps=%d max_read_set=%d \
      read_set_entries=%d dedup_hits=%d bloom_skips=%d extensions=%d \
-     clock_reuses=%d"
+     clock_reuses=%d ro_zero_log=%d ro_revalidations=%d ro_demotions=%d"
     s.commits s.aborts s.read_only_commits s.validation_steps s.max_read_set
     s.read_set_entries s.dedup_hits s.bloom_skips s.extensions s.clock_reuses
+    s.ro_zero_log_commits s.ro_inline_revalidations s.ro_demotions

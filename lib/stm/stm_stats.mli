@@ -29,6 +29,17 @@ type snapshot = {
   clock_reuses : int;
       (** commits that reused a concurrent committer's clock value
           instead of retrying the tick CAS (GV4-style) *)
+  ro_zero_log_commits : int;
+      (** commits of zero-log read-only transactions ([atomic_ro] /
+          LSA snapshot mode): no read set, no commit validation *)
+  ro_inline_revalidations : int;
+      (** TL2 [atomic_ro] restarts caused by a read finding a version
+          newer than the snapshot's read version (the closure is re-run
+          at a fresh rv; counted here, not as an abort) *)
+  ro_demotions : int;
+      (** declared-read-only operations that attempted a write, raised
+          [Write_in_read_only] and were demoted to update mode by the
+          runtime dispatch layer *)
 }
 
 type t
@@ -48,6 +59,20 @@ val record_tx_log :
   t -> dedup_hits:int -> bloom_skips:int -> extensions:int -> unit
 
 val record_clock_reuse : t -> unit
+
+(** Account a zero-log read-only commit: bumps [commits],
+    [read_only_commits] and [ro_zero_log_commits] together, so
+    [commits] remains the total across both transaction modes. *)
+val record_ro_commit : t -> unit
+
+(** A TL2 read-only transaction re-snapshotted its read version and
+    restarted after an inline [version <= rv] check failed. *)
+val record_ro_revalidation : t -> unit
+
+(** A declared-read-only operation wrote and was demoted to update
+    mode (called by the runtime dispatch layer via
+    [S.record_ro_demotion]). *)
+val record_ro_demotion : t -> unit
 
 (** Read all counters into a consistent-enough snapshot. *)
 val snapshot : t -> snapshot

@@ -15,6 +15,15 @@
    revalidated against the current clock and, if intact, [rv] advances
    instead of aborting.
 
+   Read-only mode ([atomic_ro]): TL2's observation that a read-only
+   transaction needs no read set at all. Each read is just the vlock
+   sandwich plus a [version <= rv] check; nothing is logged, commit is
+   a counter bump (no validation pass, no clock CAS). A read that
+   post-dates the snapshot restarts the closure at a re-snapshotted rv
+   (counted as [ro_inline_revalidations]); a [write] raises
+   [Stm_intf.Write_in_read_only] for the runtime layer to demote the
+   operation to update mode.
+
    Log-management fast paths (see docs/PERF.md; the paper's §5 thesis is
    that exactly this bookkeeping decides whether an STM "behaves like
    medium-grained locking" on long traversals):
@@ -125,19 +134,26 @@ let bloom_bit id =
 
 (* Per-domain state: [active] is the running transaction (if any);
    [spare] caches the descriptor between transactions so short
-   operations do not reallocate the write-set table. *)
+   operations do not reallocate the write-set table. [ro_rv] is the
+   read version of a running zero-log read-only transaction, or -1 —
+   read-only mode needs no descriptor at all (no read set, no write
+   set), so a single int is its entire footprint. *)
 type domain_state = {
   mutable active : tx option;
   mutable spare : tx option;
+  mutable ro_rv : int;
 }
 
 let current_key : domain_state Domain.DLS.key =
-  Domain.DLS.new_key (fun () -> { active = None; spare = None })
+  Domain.DLS.new_key (fun () -> { active = None; spare = None; ro_rv = -1 })
 
 let current () = Domain.DLS.get current_key
 
 let in_transaction () =
-  match (current ()).active with
+  let state = current () in
+  state.ro_rv >= 0
+  ||
+  match state.active with
   | None -> false
   | Some _ -> true
 
@@ -227,9 +243,36 @@ let rec tx_read : type a. tx -> a tvar -> a =
     end
   end
 
+(* Raised by a zero-log read when the snapshot is stale; [atomic_ro]
+   re-snapshots the read version and re-runs the closure. Never
+   escapes this module. *)
+exception Ro_restart
+
+(* A zero-log read: the vlock sandwich plus a [version <= rv] check.
+   Nothing is logged — a read-only transaction whose every read
+   satisfies the check is serializable at its read version, with no
+   commit-time validation and no clock CAS (TL2's read-only mode). A
+   locked vlock is a committer in its (short) write-back window, so
+   spin rather than restart the whole closure. *)
+let rec ro_read : type a. domain_state -> a tvar -> a =
+ fun state tv ->
+  let v1 = Atomic.get tv.vlock in
+  if v1 land 1 = 1 then begin
+    Domain.cpu_relax ();
+    ro_read state tv
+  end
+  else begin
+    let value = tv.content in
+    let v2 = Atomic.get tv.vlock in
+    if v1 <> v2 then ro_read state tv
+    else if v1 > state.ro_rv then raise Ro_restart
+    else value
+  end
+
 let read tv =
-  match (current ()).active with
-  | None -> tv.content
+  let state = current () in
+  match state.active with
+  | None -> if state.ro_rv >= 0 then ro_read state tv else tv.content
   | Some tx ->
     if tx.wbloom = 0 then tx_read tx tv
     else begin
@@ -246,8 +289,11 @@ let read tv =
     end
 
 let write tv v =
-  match (current ()).active with
-  | None -> tv.content <- v
+  let state = current () in
+  match state.active with
+  | None ->
+    if state.ro_rv >= 0 then raise Stm_intf.Write_in_read_only
+    else tv.content <- v
   | Some tx -> (
     match Hashtbl.find_opt tx.writes tv.id with
     | Some entry -> cast_ref tv entry := v
@@ -342,9 +388,16 @@ let reset_tx tx =
 
 let atomic f =
   let state = current () in
-  match state.active with
-  | Some _ -> f () (* nested: flatten *)
-  | None ->
+  if state.ro_rv >= 0 then
+    (* Nested inside [atomic_ro]: flatten into the read-only
+       transaction. Writes keep raising [Write_in_read_only], so a
+       mis-declared operation cannot smuggle updates through an inner
+       [atomic]. *)
+    f ()
+  else
+    match state.active with
+    | Some _ -> f () (* nested: flatten *)
+    | None ->
     let tx =
       match state.spare with
       | Some tx -> tx
@@ -381,6 +434,45 @@ let atomic f =
         raise exn
     in
     attempt ()
+
+let atomic_ro f =
+  let state = current () in
+  if state.ro_rv >= 0 then f () (* nested ro: flatten *)
+  else
+    match state.active with
+    | Some _ ->
+      (* Inside an update transaction: flatten into it — its reads are
+         already validated, and its writes are wanted. *)
+      f ()
+    | None ->
+      let rec attempt () =
+        state.ro_rv <- Global_clock.now clock;
+        match f () with
+        | result ->
+          state.ro_rv <- -1;
+          (* No read set was kept, so there is nothing to flush:
+             max_read_set / read_set_entries are untouched by ro
+             transactions. *)
+          Stm_stats.record_ro_commit global_stats;
+          result
+        | exception Ro_restart ->
+          (* A read post-dated the snapshot: re-snapshot rv and re-run
+             (TinySTM-style). Counted separately from aborts — no
+             conflict with a writer's outcome, just a stale start. *)
+          state.ro_rv <- -1;
+          Stm_stats.record_ro_revalidation global_stats;
+          attempt ()
+        | exception exn ->
+          (* Every completed read satisfied [version <= rv], so the
+             view that produced [exn] was a consistent snapshot:
+             propagate (this includes [Write_in_read_only], which the
+             runtime dispatch layer turns into a demotion). *)
+          state.ro_rv <- -1;
+          raise exn
+      in
+      attempt ()
+
+let record_ro_demotion () = Stm_stats.record_ro_demotion global_stats
 
 let stats () = Stm_stats.snapshot global_stats
 let reset_stats () = Stm_stats.reset global_stats

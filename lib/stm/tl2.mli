@@ -11,6 +11,13 @@
     fetch-and-add. See docs/PERF.md for the rationale and the
     {!Stm_stats} counters that expose each path.
 
+    [atomic_ro] is TL2's zero-log read-only mode: no read set, no
+    commit validation, no clock CAS — each read is a vlock sandwich
+    plus a [version <= rv] check, restarting at a fresh read version
+    when the check fails. A [write] inside it raises
+    {!Stm_intf.Write_in_read_only} so the runtime layer can demote the
+    operation to an update transaction.
+
     This is the representative of the "solutions already proposed"
     [Dice–Shalev–Shavit, DISC'06] the STMBench7 paper points to as the
     fix for ASTM's pathologies. See {!Astm} for the contrast. *)

@@ -40,6 +40,15 @@ let fixture_config : Lint_config.t =
           r3_forbid_blocking = true;
         };
       ];
+    r4 =
+      {
+        r4_registry_units = [ "Lint_fixtures__R4_registry" ];
+        r4_profiled_builders = [ "op" ];
+        r4_structural_builders = [ "structure" ];
+        r4_universe_prefixes = [ "Lint_fixtures__R4" ];
+        r4_write_idents = [ "R.write" ];
+        r4_write_fields = [ "put" ];
+      };
     strict_local = false;
   }
 
@@ -137,6 +146,51 @@ let test_r3_nowait () =
             && f.unit_name = "Lint_fixtures__R3_nowait")
           r.Lint_engine.findings))
 
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec at i = i + n <= m && (String.sub s i n = sub || at (i + 1)) in
+  n = 0 || at 0
+
+let test_r4_fires () =
+  (* RO2 (transitive R.write through deep_write) and RO3 (index .put). *)
+  check_count ~rule:"profile-honesty" ~file:"r4_registry.ml" 2
+
+let test_r4_findings_name_the_witness () =
+  let r = Lazy.force result in
+  let msgs =
+    List.filter_map
+      (fun (f : Lint_finding.t) ->
+        if f.rule = "profile-honesty" then Some f.message else None)
+      r.Lint_engine.findings
+  in
+  Alcotest.(check bool)
+    "RO2 finding names the transitive write" true
+    (List.exists
+       (fun m ->
+         contains ~sub:"\"RO2\"" m && contains ~sub:"deep_write" m)
+       msgs);
+  Alcotest.(check bool)
+    "RO3 finding names the index mutation" true
+    (List.exists
+       (fun m ->
+         contains ~sub:"\"RO3\"" m && contains ~sub:".put" m)
+       msgs)
+
+let test_r4_honest_ops_clean () =
+  let r = Lazy.force result in
+  (* Exactly the two liars: honest RO1, declared writer UP1 and the
+     structural SM1 contribute nothing, nor does the helpers unit. *)
+  Alcotest.(check int)
+    "no profile-honesty findings outside the registry" 2
+    (List.length
+       (List.filter
+          (fun (f : Lint_finding.t) -> f.rule = "profile-honesty")
+          r.Lint_engine.findings));
+  Alcotest.(check int)
+    "helpers unit itself is clean" 0
+    (List.length
+       (List.filter (in_file "r4_helpers.ml") r.Lint_engine.findings))
+
 let test_strict_local_notices () =
   let r = run ~strict_local:true () in
   Alcotest.(check bool)
@@ -174,5 +228,13 @@ let () =
           Alcotest.test_case "release on both paths" `Quick test_r3_release;
           Alcotest.test_case "undeclared lock" `Quick test_r3_lock_table;
           Alcotest.test_case "no-wait discipline" `Quick test_r3_nowait;
+        ] );
+      ( "r4-profile-honesty",
+        [
+          Alcotest.test_case "lying profiles fire" `Quick test_r4_fires;
+          Alcotest.test_case "findings name the write witness" `Quick
+            test_r4_findings_name_the_witness;
+          Alcotest.test_case "honest profiles stay clean" `Quick
+            test_r4_honest_ops_clean;
         ] );
     ]

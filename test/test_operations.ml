@@ -449,8 +449,28 @@ let test_reduced_set () =
     [ "ST5"; "OP4"; "OP5"; "OP11" ];
   Alcotest.(check bool) "ST1 kept" true (List.mem "ST1" reduced)
 
+(* The memoized [by_code] table: every registered code resolves to the
+   operation carrying that code, and unknown codes come back [None]
+   (the error path every CLI/--only-op parse relies on). *)
+let test_by_code_lookup () =
+  List.iter
+    (fun (op : I.Operation.t) ->
+      match I.Operation.by_code op.code with
+      | Some found ->
+        Alcotest.(check string) ("lookup " ^ op.code) op.code found.code
+      | None -> Alcotest.failf "known code %s not found" op.code)
+    I.Operation.all;
+  List.iter
+    (fun bogus ->
+      match I.Operation.by_code bogus with
+      | None -> ()
+      | Some op ->
+        Alcotest.failf "unknown code %S resolved to %s" bogus op.code)
+    [ "NOPE"; ""; "t1"; "T99"; "SM"; "OP" ]
+
 let suite =
   [
+    Alcotest.test_case "by_code lookup table" `Quick test_by_code_lookup;
     Alcotest.test_case "T1 counts per reference" `Quick
       test_t1_counts_per_reference;
     Alcotest.test_case "T6 counts roots" `Quick test_t6_counts_roots;

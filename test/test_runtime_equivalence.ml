@@ -132,6 +132,76 @@ let test_different_seed_differs () =
   Alcotest.(check bool) "different seeds diverge" true
     (a.trace <> b.trace || a.fingerprint <> b.fingerprint)
 
+(* Profile-directed dispatch: under TL2 and LSA the trace's read-only
+   operations run through the zero-log/snapshot path. The trace must
+   still match seq (same results through a different transaction
+   mode), the fast path must actually fire ([ro_zero_log_commits]
+   > 0), and — all profiles being honest after the R4 lint triage —
+   no operation may get demoted. *)
+let test_ro_paths_exercised () =
+  let ops_count = 1_500 and seed = 19 in
+  let reference = Probe_seq.run ~ops_count ~seed in
+  List.iter
+    (fun (name, run, stats, reset_stats) ->
+      reset_stats ();
+      let outcome = run ~ops_count ~seed in
+      Alcotest.(check bool)
+        (name ^ " trace identical to seq through the ro path")
+        true
+        (outcome.trace = reference.trace);
+      let c k = Option.value (List.assoc_opt k (stats ())) ~default:0 in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s ro fast path exercised (got %d)" name
+           (c "ro_zero_log_commits"))
+        true
+        (c "ro_zero_log_commits" > 0);
+      Alcotest.(check int) (name ^ " no profile lied") 0 (c "ro_demotions"))
+    [
+      ( "tl2",
+        Probe_tl2.run,
+        Sb7_runtime.Tl2_runtime.stats,
+        Sb7_runtime.Tl2_runtime.reset_stats );
+      ( "lsa",
+        Probe_lsa.run,
+        Sb7_runtime.Lsa_runtime.stats,
+        Sb7_runtime.Lsa_runtime.reset_stats );
+    ]
+
+(* Adaptive demotion: an operation whose profile claims read-only but
+   whose body writes must still produce correct results under every
+   STM runtime — one clean restart, a sticky demotion, never a wrong
+   value. *)
+module Demotion_probe (R : Sb7_runtime.Runtime_intf.S) = struct
+  let run ~expect_demotions () =
+    R.reset_stats ();
+    let tv = R.make 0 in
+    let lying_profile = Sb7_runtime.Op_profile.make ~name:"liar-op" () in
+    for i = 1 to 5 do
+      let v =
+        R.atomic ~profile:lying_profile (fun () ->
+            R.write tv (R.read tv + 1);
+            R.read tv)
+      in
+      Alcotest.(check int) (Printf.sprintf "iteration %d result" i) i v
+    done;
+    Alcotest.(check int) "all five updates committed" 5 (R.read tv);
+    let c k = Option.value (List.assoc_opt k (R.stats ())) ~default:0 in
+    Alcotest.(check int)
+      (R.name ^ " demoted exactly once (sticky registry)")
+      expect_demotions (c "ro_demotions")
+end
+
+module Demote_tl2 = Demotion_probe (Sb7_runtime.Tl2_runtime)
+module Demote_lsa = Demotion_probe (Sb7_runtime.Lsa_runtime)
+module Demote_astm = Demotion_probe (Sb7_runtime.Astm_runtime)
+
+let test_demotion () =
+  (* ASTM's atomic_ro is a pass-through, so its writes never trip the
+     signal and nothing is ever demoted. *)
+  Demote_tl2.run ~expect_demotions:1 ();
+  Demote_lsa.run ~expect_demotions:1 ();
+  Demote_astm.run ~expect_demotions:0 ()
+
 let () =
   Alcotest.run "runtime_equivalence"
     [
@@ -141,5 +211,9 @@ let () =
             test_equivalence;
           Alcotest.test_case "seeds differentiate" `Quick
             test_different_seed_differs;
+          Alcotest.test_case "ro paths exercised, traces unchanged" `Slow
+            test_ro_paths_exercised;
+          Alcotest.test_case "mis-declared profiles demote cleanly" `Quick
+            test_demotion;
         ] );
     ]

@@ -257,7 +257,8 @@ let test_lsa_snapshot_write_rejected () =
   let tv = L.make 0 in
   match L.atomic_snapshot (fun () -> L.write tv 1) with
   | () -> Alcotest.fail "snapshot write accepted"
-  | exception Invalid_argument _ -> ()
+  | exception Sb7_stm.Stm_intf.Write_in_read_only ->
+    Alcotest.(check int) "nothing committed" 0 (L.read tv)
 
 let test_lsa_snapshot_needs_no_validation () =
   let module L = Sb7_stm.Lsa in
@@ -375,6 +376,153 @@ let lsa_specific_suite =
       test_lsa_snapshot_eviction_retries;
     Alcotest.test_case "non-tx write creates a new version" `Slow
       test_lsa_nontx_write_versioned;
+  ]
+
+(* Read-only mode ([atomic_ro]): TL2's zero-log fast path and LSA's
+   snapshot mode behind the shared interface. *)
+
+(* A read-only transaction must observe a consistent snapshot while
+   writers commit concurrently — same invariant as the LSA snapshot
+   conservation test, but through [atomic_ro] (zero-log for TL2). *)
+let test_ro_reads_consistent (module S : STM) () =
+  let a = S.make 500 and b = S.make 500 in
+  let stop = Atomic.make false in
+  let writer () =
+    let rng = Sb7_core.Sb_random.create ~seed:3 in
+    for _ = 1 to 5_000 do
+      let x = Sb7_core.Sb_random.in_range rng 1 10 in
+      S.atomic (fun () ->
+          S.write a (S.read a - x);
+          S.write b (S.read b + x))
+    done
+  in
+  let reader () =
+    let bad = ref 0 in
+    while not (Atomic.get stop) do
+      let total = S.atomic_ro (fun () -> S.read a + S.read b) in
+      if total <> 1000 then incr bad
+    done;
+    !bad
+  in
+  let rs = List.init 2 (fun _ -> Domain.spawn reader) in
+  let w = Domain.spawn writer in
+  Domain.join w;
+  Atomic.set stop true;
+  let violations = List.fold_left (fun acc d -> acc + Domain.join d) 0 rs in
+  Alcotest.(check int) "ro snapshots always consistent" 0 violations
+
+(* The zero-log contract: an isolated read-only transaction logs
+   nothing (no read-set entries, no max_read_set growth), validates
+   nothing, and commits through [ro_zero_log_commits]. *)
+let test_ro_zero_log (module S : STM) () =
+  S.reset_stats ();
+  let cells = Array.init 200 S.make in
+  let sum =
+    S.atomic_ro (fun () ->
+        Array.fold_left (fun acc tv -> acc + S.read tv) 0 cells)
+  in
+  Alcotest.(check int) "reads correct" (199 * 200 / 2) sum;
+  let s = S.stats () in
+  let open Sb7_stm.Stm_stats in
+  Alcotest.(check int) "no read-set entries" 0 s.read_set_entries;
+  Alcotest.(check int) "max read set stays 0" 0 s.max_read_set;
+  Alcotest.(check int) "no validation" 0 s.validation_steps;
+  Alcotest.(check int) "one zero-log commit" 1 s.ro_zero_log_commits;
+  Alcotest.(check int) "counted as a commit" 1 s.commits;
+  Alcotest.(check int) "counted as read-only" 1 s.read_only_commits
+
+let test_ro_write_raises (module S : STM) () =
+  let tv = S.make 0 in
+  (match S.atomic_ro (fun () -> S.write tv 1) with
+  | () -> Alcotest.fail "write accepted in read-only transaction"
+  | exception Sb7_stm.Stm_intf.Write_in_read_only -> ());
+  Alcotest.(check int) "nothing committed" 0 (S.read tv);
+  Alcotest.(check bool) "transaction context cleaned up" false
+    (S.in_transaction ())
+
+(* A nested [atomic] flattens into the enclosing [atomic_ro], so its
+   writes raise too — a mis-declared op cannot smuggle updates through
+   an inner transaction. *)
+let test_ro_nested_atomic_flattens (module S : STM) () =
+  let tv = S.make 7 in
+  let v = S.atomic_ro (fun () -> S.atomic (fun () -> S.read tv)) in
+  Alcotest.(check int) "nested read-only atomic flattens" 7 v;
+  (match S.atomic_ro (fun () -> S.atomic (fun () -> S.write tv 9)) with
+  | () -> Alcotest.fail "nested write accepted in read-only transaction"
+  | exception Sb7_stm.Stm_intf.Write_in_read_only -> ());
+  Alcotest.(check int) "nested write did not commit" 7 (S.read tv);
+  (* The other nesting direction: [atomic_ro] inside an update
+     transaction flattens into it, writes and all. *)
+  S.atomic (fun () ->
+      S.write tv 8;
+      Alcotest.(check int) "ro nested in update sees the write" 8
+        (S.atomic_ro (fun () -> S.read tv)));
+  Alcotest.(check int) "update committed" 8 (S.read tv)
+
+(* TL2 only: a read that post-dates the snapshot restarts the closure
+   at a fresh read version ([ro_inline_revalidations]), not an abort. *)
+let test_tl2_ro_inline_revalidation () =
+  let module T = Sb7_stm.Tl2 in
+  T.reset_stats ();
+  let tv1 = T.make 0 and tv2 = T.make 0 in
+  let wrote = Atomic.make false in
+  let a, b =
+    T.atomic_ro (fun () ->
+        let a = T.read tv1 in
+        if not (Atomic.get wrote) then begin
+          (* Commit a write from another domain mid-transaction: tv2's
+             version now post-dates our snapshot, forcing a restart. *)
+          Domain.join
+            (Domain.spawn (fun () -> T.atomic (fun () -> T.write tv2 1)));
+          Atomic.set wrote true
+        end;
+        (a, T.read tv2))
+  in
+  Alcotest.(check (pair int int)) "re-run sees a consistent view" (0, 1) (a, b);
+  let s = T.stats () in
+  let open Sb7_stm.Stm_stats in
+  Alcotest.(check bool)
+    (Printf.sprintf "inline revalidation recorded (got %d)"
+       s.ro_inline_revalidations)
+    true
+    (s.ro_inline_revalidations >= 1);
+  Alcotest.(check int) "not counted as an abort" 0 s.aborts;
+  Alcotest.(check int) "single ro commit" 1 s.ro_zero_log_commits
+
+(* ASTM's pass-through: no read-only fast path, so a write inside
+   [atomic_ro] simply commits (and nothing is ever demoted). *)
+let test_astm_ro_passthrough () =
+  let module A = Sb7_stm.Astm in
+  A.reset_stats ();
+  let tv = A.make 0 in
+  A.atomic_ro (fun () -> A.write tv 5);
+  Alcotest.(check int) "write committed through the pass-through" 5 (A.read tv);
+  let s = A.stats () in
+  Alcotest.(check int) "no zero-log commits for astm" 0
+    s.Sb7_stm.Stm_stats.ro_zero_log_commits
+
+let ro_suite =
+  [
+    Alcotest.test_case "tl2 ro conservation under writers" `Slow
+      (test_ro_reads_consistent (module Sb7_stm.Tl2));
+    Alcotest.test_case "lsa ro conservation under writers" `Slow
+      (test_ro_reads_consistent (module Sb7_stm.Lsa));
+    Alcotest.test_case "tl2 ro is zero-log" `Quick
+      (test_ro_zero_log (module Sb7_stm.Tl2));
+    Alcotest.test_case "lsa ro is zero-log" `Quick
+      (test_ro_zero_log (module Sb7_stm.Lsa));
+    Alcotest.test_case "tl2 ro write raises" `Quick
+      (test_ro_write_raises (module Sb7_stm.Tl2));
+    Alcotest.test_case "lsa ro write raises" `Quick
+      (test_ro_write_raises (module Sb7_stm.Lsa));
+    Alcotest.test_case "tl2 ro nesting flattens" `Quick
+      (test_ro_nested_atomic_flattens (module Sb7_stm.Tl2));
+    Alcotest.test_case "lsa ro nesting flattens" `Quick
+      (test_ro_nested_atomic_flattens (module Sb7_stm.Lsa));
+    Alcotest.test_case "tl2 ro inline revalidation" `Slow
+      test_tl2_ro_inline_revalidation;
+    Alcotest.test_case "astm ro is a pass-through" `Quick
+      test_astm_ro_passthrough;
   ]
 
 (* ASTM-specific: the quadratic validation accounting and the policy
@@ -500,6 +648,9 @@ let test_counters_exported () =
       "bloom_skips";
       "extensions";
       "clock_reuses";
+      "ro_zero_log_commits";
+      "ro_inline_revalidations";
+      "ro_demotions";
     ]
 
 let specific_suite =
@@ -530,5 +681,6 @@ let () =
       ("astm", Astm_tests.suite);
       ("lsa", Lsa_tests.suite);
       ("lsa-snapshot", lsa_specific_suite);
+      ("ro", ro_suite);
       ("specific", specific_suite);
     ]

@@ -112,6 +112,53 @@ let test_sample_boundaries () =
   Alcotest.(check int) "u just below 1" 2 (W.sample cdf 0.999);
   Alcotest.(check int) "u=0.3" 1 (W.sample cdf 0.3)
 
+(* The binary search in [sample] must agree everywhere with the linear
+   scan it replaced: first index whose cumulative value exceeds the
+   draw, clamped to [n-1]. Checked on random CDFs (including zero-width
+   buckets from duplicate draws) and adversarial [u]s sitting exactly
+   on bucket boundaries. *)
+let test_sample_matches_linear_scan () =
+  let linear_sample cdf u =
+    let n = Array.length cdf in
+    let rec find i = if i >= n - 1 || u < cdf.(i) then i else find (i + 1) in
+    find 0
+  in
+  let rng = Sb7_core.Sb_random.create ~seed:77 in
+  let random_cdf n =
+    (* Random non-decreasing values ending at 1.0; repeated values give
+       zero-probability buckets the search must skip consistently. *)
+    let raw =
+      Array.init n (fun _ -> float_of_int (Sb7_core.Sb_random.int rng 1_000))
+    in
+    Array.sort compare raw;
+    let total = max raw.(n - 1) 1. in
+    let cdf = Array.map (fun v -> v /. total) raw in
+    cdf.(n - 1) <- 1.0;
+    cdf
+  in
+  for _ = 1 to 200 do
+    let n = 1 + Sb7_core.Sb_random.int rng 64 in
+    let cdf = random_cdf n in
+    (* Uniform draws... *)
+    for _ = 1 to 100 do
+      let u = float_of_int (Sb7_core.Sb_random.int rng 1_000_000) /. 1_000_000. in
+      Alcotest.(check int)
+        (Printf.sprintf "n=%d u=%f" n u)
+        (linear_sample cdf u) (W.sample cdf u)
+    done;
+    (* ...and draws on/around every bucket boundary. *)
+    Array.iter
+      (fun edge ->
+        List.iter
+          (fun u ->
+            if u >= 0. then
+              Alcotest.(check int)
+                (Printf.sprintf "n=%d boundary u=%f" n u)
+                (linear_sample cdf u) (W.sample cdf u))
+          [ edge -. epsilon_float; edge; edge +. epsilon_float ])
+      cdf
+  done
+
 let test_kind_strings () =
   List.iter
     (fun kind ->
@@ -216,6 +263,8 @@ let suite =
     Alcotest.test_case "sampling matches ratios" `Slow
       test_sample_respects_ratios;
     Alcotest.test_case "sample boundaries" `Quick test_sample_boundaries;
+    Alcotest.test_case "binary search matches linear scan" `Quick
+      test_sample_matches_linear_scan;
     Alcotest.test_case "kind strings" `Quick test_kind_strings;
     Alcotest.test_case "Table 2 constants" `Quick test_table2_constants;
   ]
