@@ -289,6 +289,27 @@ let quick (s : settings) =
         (runtime, r))
       [ "tl2"; "lsa" ]
   in
+  (* 1/2/4/8-domain series on the read-dominated workload — the
+     paper's evaluation axis (§5). Duration-based points (not op
+     budgets) so throughput is comparable across domain counts; short
+     windows keep CI cost bounded. *)
+  let scaling_threads = [ 1; 2; 4; 8 ] in
+  let scaling_settings = { s with duration = 0.4; warmup = 0.1 } in
+  let scaling_results =
+    List.map
+      (fun runtime ->
+        ( runtime,
+          List.map
+            (fun threads ->
+              let r =
+                run_point scaling_settings
+                  (point ~runtime ~workload:W.Read_dominated ~threads
+                     ~long_traversals:false ())
+              in
+              (threads, r))
+            scaling_threads ))
+      [ "tl2"; "lsa" ]
+  in
   Printf.printf "%-8s %12s %10s %8s %12s %12s %12s %12s %12s\n" "runtime"
     "ops/s" "commits" "aborts" "valid.steps" "rs.entries" "dedup.hits"
     "bloom.skips" "clk.reuses";
@@ -313,12 +334,32 @@ let quick (s : settings) =
         (c "ro_inline_revalidations")
         (c "ro_demotions") (c "max_read_set"))
     ro_results;
+  Printf.printf
+    "\ndomain scaling, read-dominated (%.1fs per point, %d host cores; \
+     imbalance = max per-domain commits / mean):\n"
+    scaling_settings.duration
+    (Domain.recommended_domain_count ());
+  Printf.printf "%-8s %8s %12s %10s %8s %10s %s\n" "runtime" "domains"
+    "ops/s" "commits" "aborts" "imbalance" "per-domain commits";
+  List.iter
+    (fun (runtime, series) ->
+      List.iter
+        (fun (threads, r) ->
+          Printf.printf "%-8s %8d %12.1f %10d %8d %10.2f [%s]\n" runtime
+            threads (RR.throughput r) (RR.counter r "commits")
+            (RR.counter r "aborts")
+            (RR.commit_imbalance r)
+            (String.concat "; "
+               (Array.to_list
+                  (Array.map string_of_int r.RR.per_domain_successes))))
+        series)
+    scaling_results;
   if !Bench_common.write_json then begin
     let path = "BENCH_quick.json" in
     let oc = open_out path in
     let b = Buffer.create 2048 in
     Buffer.add_string b "{\n";
-    Buffer.add_string b "  \"schema\": \"sb7-bench-quick/2\",\n";
+    Buffer.add_string b "  \"schema\": \"sb7-bench-quick/3\",\n";
     Buffer.add_string b
       (Printf.sprintf
          "  \"scale\": %S,\n  \"workload\": %S,\n  \"threads\": 1,\n\
@@ -369,6 +410,38 @@ let quick (s : settings) =
                    counter_keys))
              (if i = List.length ro_results - 1 then "" else ",")))
       ro_results;
+    Buffer.add_string b "  ]},\n";
+    Buffer.add_string b
+      (Printf.sprintf
+         "  \"scaling\": {\"workload\": \"r\", \"duration_s\": %.2f, \
+          \"host_cores\": %d, \"threads\": [%s], \"strategies\": [\n"
+         scaling_settings.duration
+         (Domain.recommended_domain_count ())
+         (String.concat ", " (List.map string_of_int scaling_threads)));
+    List.iteri
+      (fun i (runtime, series) ->
+        Buffer.add_string b
+          (Printf.sprintf "    {\"runtime\": %S, \"series\": [\n" runtime);
+        List.iteri
+          (fun j (threads, r) ->
+            Buffer.add_string b
+              (Printf.sprintf
+                 "      {\"threads\": %d, \"ops_per_s\": %.1f, \"commits\": \
+                  %d, \"aborts\": %d, \"commit_imbalance\": %.3f, \
+                  \"per_domain_commits\": [%s]}%s\n"
+                 threads (RR.throughput r)
+                 (RR.counter r "commits")
+                 (RR.counter r "aborts")
+                 (RR.commit_imbalance r)
+                 (String.concat ", "
+                    (Array.to_list
+                       (Array.map string_of_int r.RR.per_domain_successes)))
+                 (if j = List.length series - 1 then "" else ",")))
+          series;
+        Buffer.add_string b
+          (Printf.sprintf "    ]}%s\n"
+             (if i = List.length scaling_results - 1 then "" else ",")))
+      scaling_results;
     Buffer.add_string b "  ]}\n}\n";
     Buffer.output_buffer oc b;
     close_out oc;
@@ -446,6 +519,40 @@ let scaling (s : settings) =
         runtimes;
       print_newline ())
     Sb7_core.Parameters.presets
+
+(* --- Domain scaling: the paper's §5 evaluation axis --- *)
+
+let domains (s : settings) =
+  print_header
+    "Domain scaling — throughput [op/s] vs worker domains (read-dominated, \
+     no long traversals)";
+  note
+    "commit imbalance = max per-domain commits / mean; 1.00 is perfectly \
+     even progress";
+  let runtimes = [ "coarse"; "medium"; "fine"; "tl2"; "lsa" ] in
+  let threads_list = [ 1; 2; 4; 8 ] in
+  let results =
+    List.map
+      (fun runtime ->
+        ( runtime,
+          List.map
+            (fun threads ->
+              let r =
+                run_point s
+                  (point ~runtime ~workload:W.Read_dominated ~threads
+                     ~long_traversals:false ())
+              in
+              (threads, r))
+            threads_list ))
+      runtimes
+  in
+  print_series ~row_label:"domains" ~rows:threads_list ~series:runtimes
+    ~cell:(fun row name ->
+      RR.throughput (List.assoc row (List.assoc name results)));
+  Printf.printf "\ncommit imbalance (max/mean):\n";
+  print_series ~row_label:"domains" ~rows:threads_list ~series:runtimes
+    ~cell:(fun row name ->
+      RR.commit_imbalance (List.assoc row (List.assoc name results)))
 
 (* --- Ablations --- *)
 

@@ -22,6 +22,7 @@ let experiments : (string * (settings -> unit)) list =
     ("baseline", Experiments.baseline);
     ("oplat", Experiments.oplat);
     ("scaling", Experiments.scaling);
+    ("domains", Experiments.domains);
     ("ablation-index", Experiments.ablation_index);
     ("ablation-cm", Experiments.ablation_cm);
     ("ablation-stm", Experiments.ablation_stm);

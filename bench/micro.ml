@@ -88,6 +88,62 @@ let stm_tests =
                Array.iter (fun c -> ignore (L.read c)) lsa_cells)));
   ]
 
+(* Scalability kernels: each shared hot spot the sharding pass removes,
+   head-to-head with its replacement, at 1 and 4 domains. One staged
+   run = every domain performing [contended_iters] operations (spawn
+   and join included), so "time/run" compares like with like across
+   the 1d/4d variants of a pair. On a multi-core box the shared
+   variants blow up at 4 domains (cache-line ping-pong) while the
+   sharded/chunked ones stay near-flat; on a single core the gap is
+   only the per-op cost difference. *)
+let contended_iters = 65_536
+
+let run_in_domains n (f : unit -> unit) =
+  if n = 1 then f ()
+  else begin
+    let ds = List.init n (fun _ -> Domain.spawn f) in
+    List.iter Domain.join ds
+  end
+
+let scaling_tests =
+  let shared = Atomic.make 0 in
+  let sharded = Sb7_stm.Sharded_counter.create () in
+  let cas_ids = Atomic.make 0 in
+  let chunked = Sb7_stm.Tvar_id.create () in
+  let test name n body =
+    Test.make ~name (Staged.stage (fun () -> run_in_domains n body))
+  in
+  let shared_body () =
+    for _ = 1 to contended_iters do
+      ignore (Atomic.fetch_and_add shared 1)
+    done
+  in
+  let sharded_body () =
+    for _ = 1 to contended_iters do
+      Sb7_stm.Sharded_counter.incr sharded
+    done
+  in
+  let cas_body () =
+    for _ = 1 to contended_iters do
+      ignore (Atomic.fetch_and_add cas_ids 1)
+    done
+  in
+  let chunked_body () =
+    for _ = 1 to contended_iters do
+      ignore (Sb7_stm.Tvar_id.fresh chunked)
+    done
+  in
+  [
+    test "counter-shared-atomic-1d" 1 shared_body;
+    test "counter-shared-atomic-4d" 4 shared_body;
+    test "counter-sharded-1d" 1 sharded_body;
+    test "counter-sharded-4d" 4 sharded_body;
+    test "tvar-id-global-cas-1d" 1 cas_body;
+    test "tvar-id-global-cas-4d" 4 cas_body;
+    test "tvar-id-chunked-1d" 1 chunked_body;
+    test "tvar-id-chunked-4d" 4 chunked_body;
+  ]
+
 let tests () =
   Test.make_grouped ~name:"kernels"
     ([
@@ -101,7 +157,7 @@ let tests () =
        op_test "Q6";
        op_test "SM3";
      ]
-    @ text_tests @ stm_tests)
+    @ text_tests @ stm_tests @ scaling_tests)
 
 let run () =
   Bench_common.print_header

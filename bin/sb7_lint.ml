@@ -31,7 +31,7 @@ let run paths json strict_local source_root rules =
         base with
         r1 =
           (if List.mem "R1" rules then base.r1
-           else { base.r1 with r1_prefixes = [] });
+           else { base.r1 with r1_prefixes = []; r1_dls_prefixes = [] });
         r2 =
           (if List.mem "R2" rules then base.r2
            else { base.r2 with r2_seeds = [] });

@@ -13,6 +13,14 @@ type r1 = {
   r1_exempt_units : string list;
       (** units excluded even when a prefix matches (e.g. the library
           wrapper alias module) *)
+  r1_dls_prefixes : string list;
+      (** units where any [Domain.DLS] identifier is reported
+          ([raw-dls]) unless the unit is allowlisted; wider than
+          [r1_prefixes] because per-domain state is a concern in the
+          STM and runtime layers too, not just the sync-free core *)
+  r1_dls_allowed_units : string list;
+      (** units allowed to use [Domain.DLS] (sharded statistics, the
+          chunked id allocator, per-domain transaction contexts) *)
 }
 
 (** Scope of rule R2 (irrevocable effects): effects are forbidden in
@@ -105,6 +113,12 @@ let in_r1_scope t unit_name =
   List.exists (fun p -> String.starts_with ~prefix:p unit_name) t.r1.r1_prefixes
   && not (List.mem unit_name t.r1.r1_exempt_units)
 
+let in_r1_dls_scope t unit_name =
+  List.exists
+    (fun p -> String.starts_with ~prefix:p unit_name)
+    t.r1.r1_dls_prefixes
+  && not (List.mem unit_name t.r1.r1_dls_allowed_units)
+
 let in_r2_universe t unit_name =
   List.exists
     (fun p -> String.starts_with ~prefix:p unit_name)
@@ -118,6 +132,20 @@ let default =
         r1_prefixes = [ "Sb7_core__" ];
         (* The wrapper module is dune-generated aliases only. *)
         r1_exempt_units = [ "Sb7_core" ];
+        r1_dls_prefixes = [ "Sb7_core__"; "Sb7_stm__"; "Sb7_runtime__" ];
+        (* The blessed per-domain-state modules: sharded statistics and
+           counters, the chunked tvar-id allocator, and the STM /
+           fine-lock per-domain transaction contexts. *)
+        r1_dls_allowed_units =
+          [
+            "Sb7_stm__Stm_stats";
+            "Sb7_stm__Sharded_counter";
+            "Sb7_stm__Tvar_id";
+            "Sb7_stm__Tl2";
+            "Sb7_stm__Lsa";
+            "Sb7_stm__Astm";
+            "Sb7_runtime__Fine_runtime";
+          ];
       };
     r2 =
       {

@@ -24,6 +24,8 @@ let run ~(config : Lint_config.t) ~source_root ~paths () =
         raw :=
           Rule_r1.check u ~strict_local:config.Lint_config.strict_local
           @ !raw;
+      if Lint_config.in_r1_dls_scope config name then
+        raw := Rule_r1.check_dls u @ !raw;
       if Lint_config.in_r2_universe config name && Hashtbl.mem reachable name
       then raw := Rule_r2.check u @ !raw;
       match Lint_config.spec_for config name with

@@ -254,3 +254,42 @@ let check (u : Cmt_unit.t) ~strict_local =
   in
   pass2.structure pass2 u.Cmt_unit.structure;
   List.rev !findings
+
+(* Domain-local storage audit ([raw-dls], run over a wider scope than
+   plain R1 — see Lint_config.r1_dls_prefixes): [Domain.DLS] is shared
+   mutable state with per-domain visibility, legitimate only for the
+   blessed sharded-statistics / id-allocator / per-domain-context
+   modules. Any other unit reaching for it must be added to the
+   allowlist deliberately, so new cross-domain state never slips in as
+   "just a DLS key". Every [Stdlib.Domain.DLS.*] identifier occurrence
+   is a finding, [new_key] included: the key creation site is where the
+   reviewer decides the state is legitimately per-domain. *)
+let check_dls (u : Cmt_unit.t) =
+  let findings = ref [] in
+  let unit_name = u.Cmt_unit.name in
+  let check_expr e =
+    match e.exp_desc with
+    | Texp_ident (p, _, _) ->
+      let name = path_name p in
+      if String.starts_with ~prefix:"Stdlib.Domain.DLS." name then
+        findings :=
+          Lint_finding.make ~rule:"raw-dls" ~loc:e.exp_loc ~unit_name
+            (Printf.sprintf
+               "%s: Domain.DLS is per-domain shared state; only the \
+                allowlisted sharding modules may use it (see \
+                Lint_config.r1_dls_allowed_units)"
+               name)
+          :: !findings
+    | _ -> ()
+  in
+  let pass =
+    {
+      Tast_iterator.default_iterator with
+      expr =
+        (fun sub e ->
+          check_expr e;
+          Tast_iterator.default_iterator.expr sub e);
+    }
+  in
+  pass.structure pass u.Cmt_unit.structure;
+  List.rev !findings

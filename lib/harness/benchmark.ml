@@ -85,6 +85,22 @@ module Make (R : Sb7_runtime.Runtime_intf.S) = struct
     I.Setup.create ~index_kind:config.index_kind ~seed:config.seed
       config.scale
 
+  (* Spawn is sequential (and on a loaded machine, slow): without a
+     barrier the first domain measures alone while the last is still
+     being forked, which skews multi-domain throughput and the
+     imbalance metric. Workers check in on [ready] and spin on [go];
+     the main domain releases them together and only then starts the
+     clock. The occasional micro-sleep keeps the spin from starving
+     the still-spawning main domain when cores are oversubscribed. *)
+  let await_start ~ready ~go =
+    ignore (Atomic.fetch_and_add ready 1);
+    let spins = ref 0 in
+    while not (Atomic.get go) do
+      incr spins;
+      if !spins land 1023 = 0 then Unix.sleepf 0.0002
+      else Domain.cpu_relax ()
+    done
+
   (* One worker thread: run operations until the stop flag rises (and,
      in max_ops mode, at most [budget] operations). *)
   let worker ~(ops : I.Operation.t array) ~cdf ~setup ~stop ~budget ~seed
@@ -117,6 +133,10 @@ module Make (R : Sb7_runtime.Runtime_intf.S) = struct
 
   let run ?setup config : Run_result.t =
     assert (config.threads >= 1);
+    (* Per-domain backoff RNGs fold this in (see Backoff.for_domain),
+       so contention behaviour is reproducible per seed without domains
+       spinning in lockstep. *)
+    Sb7_stm.Backoff.set_run_seed config.seed;
     let ops = enabled_operations config in
     let descs = Array.map describe ops in
     let expected = Workload.ratios ~mix:config.mix config.workload descs in
@@ -130,27 +150,41 @@ module Make (R : Sb7_runtime.Runtime_intf.S) = struct
        max_ops mode, which exists for deterministic tests. *)
     if config.warmup_s > 0. && config.max_ops = None then begin
       let stop = Atomic.make false in
+      let ready = Atomic.make 0 and go = Atomic.make false in
       let warm =
         List.init config.threads (fun i ->
             Domain.spawn (fun () ->
+                await_start ~ready ~go;
                 worker ~ops ~cdf ~setup ~stop ~budget:None
                   ~seed:(config.seed + ((i + 1) * 104729))
                   ~histograms:false))
       in
+      while Atomic.get ready < config.threads do
+        Domain.cpu_relax ()
+      done;
+      Atomic.set go true;
       Unix.sleepf config.warmup_s;
       Atomic.set stop true;
       List.iter (fun d -> ignore (Domain.join d)) warm
     end;
     R.reset_stats ();
     let stop = Atomic.make false in
-    let t0 = Unix.gettimeofday () in
+    let ready = Atomic.make 0 and go = Atomic.make false in
     let domains =
       List.init config.threads (fun i ->
           Domain.spawn (fun () ->
+              await_start ~ready ~go;
               worker ~ops ~cdf ~setup ~stop ~budget:config.max_ops
                 ~seed:(config.seed + ((i + 1) * 7919))
                 ~histograms:config.histograms))
     in
+    while Atomic.get ready < config.threads do
+      Domain.cpu_relax ()
+    done;
+    (* Clock starts when every domain is released, not when the first
+       one was spawned. *)
+    let t0 = Unix.gettimeofday () in
+    Atomic.set go true;
     (match config.max_ops with
     | Some _ -> () (* threads stop on their own budget *)
     | None ->
@@ -171,6 +205,8 @@ module Make (R : Sb7_runtime.Runtime_intf.S) = struct
       ops = descs;
       expected;
       stats;
+      per_domain_successes =
+        Array.of_list (List.map Stats.total_successes parts);
       runtime_counters = R.stats ();
       scale_name = config.scale_name;
       index_kind = config.index_kind;

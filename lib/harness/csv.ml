@@ -12,7 +12,8 @@ let header_summary =
    reduced,elapsed_s,successes,failures,throughput_ops,started_ops,\
    commits,aborts,validation_steps,max_read_set,read_set_entries,\
    dedup_hits,bloom_skips,extensions,clock_reuses,ro_zero_log_commits,\
-   ro_inline_revalidations,ro_demotions"
+   ro_inline_revalidations,ro_demotions,commit_imbalance,\
+   per_domain_successes"
 
 (* The STM counters exported per summary row; 0 for lock runtimes. *)
 let summary_counters =
@@ -51,6 +52,11 @@ let summary_row (r : Run_result.t) =
        (List.map
           (fun k -> string_of_int (Run_result.counter r k))
           summary_counters))
+  (* Semicolon-joined so the per-domain vector stays one CSV field. *)
+  ^ Printf.sprintf ",%.3f,%s"
+      (Run_result.commit_imbalance r)
+      (String.concat ";"
+         (Array.to_list (Array.map string_of_int r.per_domain_successes)))
 
 let header_per_op =
   "runtime,workload,threads,op,category,read_only,successes,failures,\

@@ -118,6 +118,12 @@ let print_summary ppf (r : Run_result.t) =
     (Run_result.throughput r)
     (Run_result.attempts_throughput r);
   Format.fprintf ppf "Elapsed time:         %.2f s@." r.elapsed_s;
+  if r.threads > 1 then
+    Format.fprintf ppf
+      "Per-domain successes: [%s]  commit imbalance (max/mean): %.2f@."
+      (String.concat "; "
+         (Array.to_list (Array.map string_of_int r.per_domain_successes)))
+      (Run_result.commit_imbalance r);
   if r.runtime_counters <> [] then begin
     Format.fprintf ppf "Runtime counters:    ";
     List.iter

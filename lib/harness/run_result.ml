@@ -12,6 +12,8 @@ type t = {
   ops : Workload.op_desc array;
   expected : float array; (* expected per-op ratios, parallel to [ops] *)
   stats : Stats.t; (* merged across threads, parallel to [ops] *)
+  per_domain_successes : int array;
+      (* successful operations per worker domain, in spawn order *)
   runtime_counters : (string * int) list;
   scale_name : string;
   index_kind : Sb7_core.Index_intf.kind;
@@ -34,6 +36,23 @@ let op_index t code =
 let throughput t =
   if t.elapsed_s <= 0. then 0.
   else float_of_int (Stats.total_successes t.stats) /. t.elapsed_s
+
+(** Commit imbalance across worker domains: max per-domain successes
+    over the mean. 1.0 means perfectly even progress; values well above
+    1.0 mean some domains starved (backoff unfairness, lock convoys, a
+    domain parked on a long traversal). Defined as 1.0 for runs with at
+    most one domain or no successes at all. *)
+let commit_imbalance t =
+  let n = Array.length t.per_domain_successes in
+  if n <= 1 then 1.0
+  else begin
+    let total = Array.fold_left ( + ) 0 t.per_domain_successes in
+    if total = 0 then 1.0
+    else begin
+      let mx = Array.fold_left max 0 t.per_domain_successes in
+      float_of_int mx /. (float_of_int total /. float_of_int n)
+    end
+  end
 
 (** Started (successful or failed) operations per second. *)
 let attempts_throughput t =

@@ -2,6 +2,8 @@
     read-write lock protects the entire data structure. Read-only
     operations take it in read mode, everything else in write mode. *)
 
+module Counter = Sb7_stm.Sharded_counter
+
 let name = "coarse"
 
 type 'a tvar = 'a ref
@@ -11,24 +13,32 @@ let read tv = !tv
 let write tv v = tv := v
 
 let global = Sb7_rwlock.Rwlock.create ~name:"global" ()
-let read_acquisitions = Atomic.make 0
-let write_acquisitions = Atomic.make 0
+let read_acquisitions = Counter.create ()
+let write_acquisitions = Counter.create ()
+let commits = Counter.create ()
 
 let atomic ~profile f =
   let mode : Sb7_rwlock.Rwlock.mode =
     if Op_profile.read_only profile then Read else Write
   in
   (match mode with
-  | Read -> ignore (Atomic.fetch_and_add read_acquisitions 1)
-  | Write -> ignore (Atomic.fetch_and_add write_acquisitions 1));
-  Sb7_rwlock.Rwlock.with_lock global mode f
+  | Read -> Counter.incr read_acquisitions
+  | Write -> Counter.incr write_acquisitions);
+  let result = Sb7_rwlock.Rwlock.with_lock global mode f in
+  (* Only normal returns count, mirroring the STM runtimes where an
+     operation that raises rolls back and is not a commit. *)
+  Counter.incr commits;
+  result
 
 let stats () =
   [
-    ("read_acquisitions", Atomic.get read_acquisitions);
-    ("write_acquisitions", Atomic.get write_acquisitions);
+    ("read_acquisitions", Counter.get read_acquisitions);
+    ("write_acquisitions", Counter.get write_acquisitions);
+    ("commits", Counter.get commits);
+    ("aborts", 0);
   ]
 
 let reset_stats () =
-  Atomic.set read_acquisitions 0;
-  Atomic.set write_acquisitions 0
+  Counter.reset read_acquisitions;
+  Counter.reset write_acquisitions;
+  Counter.reset commits

@@ -23,6 +23,8 @@
     needs an undo log and restart — "implementing it efficiently would
     be much more complex than using an STM". *)
 
+module Counter = Sb7_stm.Sharded_counter
+
 exception Restart
 
 let name = "fine"
@@ -34,10 +36,11 @@ type 'a tvar = {
   mutable content : 'a;
 }
 
-let tvar_ids = Atomic.make 0
+(* Chunked ids; see Tvar_id — one shared atomic op per 1024 tvars. *)
+let tvar_ids = Sb7_stm.Tvar_id.create ()
 
 let make v =
-  { id = Atomic.fetch_and_add tvar_ids 1; lock = Atomic.make 0; content = v }
+  { id = Sb7_stm.Tvar_id.fresh tvar_ids; lock = Atomic.make 0; content = v }
 
 type held_mode =
   | Held_read
@@ -62,12 +65,13 @@ let fresh_ctx () =
   {
     held = Hashtbl.create 64;
     undo = [];
-    backoff = Sb7_stm.Backoff.create ~seed:((Domain.self () :> int) + 1) ();
+    backoff = Sb7_stm.Backoff.for_domain ();
   }
 
-let acquisitions = Atomic.make 0
-let restarts = Atomic.make 0
-let upgrades = Atomic.make 0
+let acquisitions = Counter.create ()
+let restarts = Counter.create ()
+let upgrades = Counter.create ()
+let commits = Counter.create ()
 
 let try_read_lock lock =
   let rec attempt spins =
@@ -101,7 +105,7 @@ let lock_for_read ctx tv =
   | Some _ -> () (* already held in either mode *)
   | None ->
     if not (try_read_lock tv.lock) then raise Restart;
-    ignore (Atomic.fetch_and_add acquisitions 1);
+    Counter.incr acquisitions;
     Hashtbl.add ctx.held tv.id
       (ref Held_read, fun () -> release_read tv.lock)
 
@@ -111,14 +115,14 @@ let lock_for_write ctx tv =
   | Some (({ contents = Held_read } as mode), _) ->
     (* Upgrade: legal only as the sole reader (1 -> -1). *)
     if Atomic.compare_and_set tv.lock 1 (-1) then begin
-      ignore (Atomic.fetch_and_add upgrades 1);
+      Counter.incr upgrades;
       mode := Held_write;
       Hashtbl.replace ctx.held tv.id (mode, fun () -> release_write tv.lock)
     end
     else raise Restart
   | None ->
     if not (try_write_lock tv.lock) then raise Restart;
-    ignore (Atomic.fetch_and_add acquisitions 1);
+    Counter.incr acquisitions;
     Hashtbl.add ctx.held tv.id
       (ref Held_write, fun () -> release_write tv.lock)
 
@@ -169,12 +173,13 @@ let atomic ~profile f =
         ctx.undo <- [];
         release_all ctx;
         Sb7_stm.Backoff.reset ctx.backoff;
+        Counter.incr commits;
         result
       | exception Restart ->
         st.active <- None;
         rollback ctx;
         release_all ctx;
-        ignore (Atomic.fetch_and_add restarts 1);
+        Counter.incr restarts;
         Sb7_stm.Backoff.once ctx.backoff;
         attempt ()
       | exception exn ->
@@ -189,12 +194,17 @@ let atomic ~profile f =
 
 let stats () =
   [
-    ("acquisitions", Atomic.get acquisitions);
-    ("restarts", Atomic.get restarts);
-    ("upgrades", Atomic.get upgrades);
+    ("acquisitions", Counter.get acquisitions);
+    ("restarts", Counter.get restarts);
+    ("upgrades", Counter.get upgrades);
+    ("commits", Counter.get commits);
+    (* Restarts are this runtime's aborts: an operation that could not
+       take a lock rolled back and reran. *)
+    ("aborts", Counter.get restarts);
   ]
 
 let reset_stats () =
-  Atomic.set acquisitions 0;
-  Atomic.set restarts 0;
-  Atomic.set upgrades 0
+  Counter.reset acquisitions;
+  Counter.reset restarts;
+  Counter.reset upgrades;
+  Counter.reset commits

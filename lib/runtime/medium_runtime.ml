@@ -11,6 +11,7 @@
     {!Op_profile.locking_plan}, so the strategy is deadlock-free. *)
 
 module Rwlock = Sb7_rwlock.Rwlock
+module Counter = Sb7_stm.Sharded_counter
 
 let name = "medium"
 
@@ -28,19 +29,20 @@ let domain_locks =
 
 let lock_of_domain d = domain_locks.(Op_profile.domain_rank d)
 
-let read_acquisitions = Atomic.make 0
-let write_acquisitions = Atomic.make 0
-let structural_ops = Atomic.make 0
+let read_acquisitions = Counter.create ()
+let write_acquisitions = Counter.create ()
+let structural_ops = Counter.create ()
+let commits = Counter.create ()
 
 let acquire_plan plan =
   List.iter
     (fun (d, mode) ->
       match mode with
       | `Read ->
-        ignore (Atomic.fetch_and_add read_acquisitions 1);
+        Counter.incr read_acquisitions;
         Rwlock.acquire_read (lock_of_domain d)
       | `Write ->
-        ignore (Atomic.fetch_and_add write_acquisitions 1);
+        Counter.incr write_acquisitions;
         Rwlock.acquire_write (lock_of_domain d))
     plan
 
@@ -55,7 +57,7 @@ let release_plan plan =
 let atomic ~profile f =
   let structure_mode : Rwlock.mode =
     if profile.Op_profile.structural then begin
-      ignore (Atomic.fetch_and_add structural_ops 1);
+      Counter.incr structural_ops;
       Write
     end
     else Read
@@ -67,6 +69,9 @@ let atomic ~profile f =
   | result ->
     release_plan plan;
     Rwlock.release structure_lock structure_mode;
+    (* Only normal returns count, mirroring the STM runtimes where an
+       operation that raises rolls back and is not a commit. *)
+    Counter.incr commits;
     result
   | exception exn ->
     release_plan plan;
@@ -75,12 +80,15 @@ let atomic ~profile f =
 
 let stats () =
   [
-    ("read_acquisitions", Atomic.get read_acquisitions);
-    ("write_acquisitions", Atomic.get write_acquisitions);
-    ("structural_ops", Atomic.get structural_ops);
+    ("read_acquisitions", Counter.get read_acquisitions);
+    ("write_acquisitions", Counter.get write_acquisitions);
+    ("structural_ops", Counter.get structural_ops);
+    ("commits", Counter.get commits);
+    ("aborts", 0);
   ]
 
 let reset_stats () =
-  Atomic.set read_acquisitions 0;
-  Atomic.set write_acquisitions 0;
-  Atomic.set structural_ops 0
+  Counter.reset read_acquisitions;
+  Counter.reset write_acquisitions;
+  Counter.reset structural_ops;
+  Counter.reset commits

@@ -3,6 +3,8 @@
     validation, deterministic tests and as the bechamel micro-benchmark
     baseline. *)
 
+module Counter = Sb7_stm.Sharded_counter
+
 let name = "seq"
 
 type 'a tvar = 'a ref
@@ -11,12 +13,26 @@ let make v = ref v
 let read tv = !tv
 let write tv v = tv := v
 
-let operations = Atomic.make 0
+let operations = Counter.create ()
+let commits = Counter.create ()
 
 let atomic ~profile f =
   ignore (profile : Op_profile.t);
-  ignore (Atomic.fetch_and_add operations 1);
-  f ()
+  Counter.incr operations;
+  let result = f () in
+  (* Counted only on normal return, mirroring the STM runtimes where an
+     operation that raises (e.g. [Operation_failed]) rolls back and is
+     not a commit. *)
+  Counter.incr commits;
+  result
 
-let stats () = [ ("operations", Atomic.get operations) ]
-let reset_stats () = Atomic.set operations 0
+let stats () =
+  [
+    ("operations", Counter.get operations);
+    ("commits", Counter.get commits);
+    ("aborts", 0);
+  ]
+
+let reset_stats () =
+  Counter.reset operations;
+  Counter.reset commits

@@ -61,14 +61,26 @@ type 'a locator = {
   new_v : 'a; (* the owner's tentative value *)
 }
 
-type 'a tvar = { loc : 'a locator Atomic.t }
+type 'a tvar = { id : int; loc : 'a locator Atomic.t }
 
 let policy = ref Contention.Polka
 let set_policy p = policy := p
 let get_policy () = !policy
 let global_stats = Stm_stats.create ()
 
-let make v = { loc = Atomic.make { owner = None; old_v = v; new_v = v } }
+(* ASTM keys nothing on tvar ids (its read set is a list of opened
+   locators, validated linearly — the O(k²) pathology), but it shares
+   the chunked allocator so allocation-phase behaviour is comparable
+   across substrates without touching that pathology. *)
+let tvar_ids = Tvar_id.create ()
+
+let make v =
+  {
+    id = Tvar_id.fresh tvar_ids;
+    loc = Atomic.make { owner = None; old_v = v; new_v = v };
+  }
+
+let tvar_id t = t.id
 
 type domain_state = {
   mutable active_tx : txd option;
@@ -79,7 +91,7 @@ let state_key : domain_state Domain.DLS.key =
   Domain.DLS.new_key (fun () ->
       {
         active_tx = None;
-        backoff = Backoff.create ~seed:((Domain.self () :> int) + 1) ();
+        backoff = Backoff.for_domain ();
       })
 
 let domain_state () = Domain.DLS.get state_key

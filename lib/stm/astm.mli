@@ -27,3 +27,9 @@ include Stm_intf.S
 val set_policy : Contention.policy -> unit
 
 val get_policy : unit -> Contention.policy
+
+(** The tvar's allocator id. ASTM keys no data structure on ids (its
+    read set is a list of opened locators), but it draws them from the
+    shared chunked allocator ({!Tvar_id}) so allocation-phase costs are
+    comparable across substrates; exposed for tests. *)
+val tvar_id : 'a tvar -> int

@@ -6,9 +6,35 @@ type t = {
   mutable rounds : int;
 }
 
+(* splitmix-style finalizer (63-bit-safe constants): without it, seeds
+   like 1,2,3,... start xorshift streams in nearly identical states and
+   domains back off in lockstep for many rounds. *)
+let mix_seed seed =
+  let z = seed in
+  let z = (z lxor (z lsr 33)) * 0x2545F4914F6CDD1D in
+  let z = (z lxor (z lsr 29)) * 0x9E3779B97F4A7C1 in
+  (z lxor (z lsr 32)) land max_int
+
 let create ?(bits_min = 4) ?(bits_max = 16) ~seed () =
   assert (bits_min >= 0 && bits_min <= bits_max && bits_max < 30);
-  { bits_min; bits_max; bits = bits_min; rng = seed lor 1; rounds = 0 }
+  { bits_min; bits_max; bits = bits_min; rng = mix_seed seed lor 1; rounds = 0 }
+
+(* The benchmark harness publishes its run seed here so that every
+   backoff created afterwards is deterministic per (run seed, domain)
+   yet decorrelated across domains. *)
+let run_seed = Atomic.make 0
+
+let set_run_seed seed = Atomic.set run_seed seed
+
+let domain_seed ~domain ~run_seed = mix_seed ((run_seed * 8191) + domain)
+
+let for_domain ?bits_min ?bits_max () =
+  let seed =
+    domain_seed
+      ~domain:((Domain.self () :> int))
+      ~run_seed:(Atomic.get run_seed)
+  in
+  create ?bits_min ?bits_max ~seed ()
 
 (* xorshift step; quality is irrelevant, we only need decorrelation of
    backoff windows between threads. *)
@@ -24,9 +50,12 @@ let next_random t =
    single-core machines pure spinning starves the lock holder. *)
 let spin_cutoff = 1 lsl 12
 
-let once t =
+let draw t =
   let window = 1 lsl t.bits in
-  let wait = next_random t land (window - 1) in
+  next_random t land (window - 1)
+
+let once t =
+  let wait = draw t in
   if wait <= spin_cutoff then
     for _ = 1 to wait do
       Domain.cpu_relax ()

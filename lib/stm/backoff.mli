@@ -4,8 +4,29 @@ type t
 
 (** [create ?bits_min ?bits_max ~seed ()] — waits are drawn uniformly
     from [0, 2^bits) where [bits] starts at [bits_min] and doubles the
-    range (up to [bits_max]) on every [once]. *)
+    range (up to [bits_max]) on every [once]. The seed is passed
+    through a splitmix-style mixer, so nearby seeds (domain indices)
+    still yield decorrelated wait sequences. *)
 val create : ?bits_min:int -> ?bits_max:int -> seed:int -> unit -> t
+
+(** [domain_seed ~domain ~run_seed] derives the per-domain seed used by
+    {!for_domain}: deterministic per (run seed, domain index),
+    decorrelated across domains. Exposed for the decorrelation test. *)
+val domain_seed : domain:int -> run_seed:int -> int
+
+(** Publish the benchmark run seed; subsequent {!for_domain} calls fold
+    it into their per-domain seeds so backoff behaviour is reproducible
+    per run yet varies across runs. *)
+val set_run_seed : int -> unit
+
+(** Create a backoff seeded from the calling domain's index and the
+    published run seed — the standard constructor for per-transaction
+    contexts. *)
+val for_domain : ?bits_min:int -> ?bits_max:int -> unit -> t
+
+(** Draw the next wait from the current window without spinning or
+    widening. Exposed for the decorrelation test. *)
+val draw : t -> int
 
 (** Spin for the current window, then widen it. *)
 val once : t -> unit

@@ -1,8 +1,11 @@
-type t = int Atomic.t
+(* The clock word lives in a padded block: every commit CASes it, and
+   an unpadded single-word atomic false-shares with whatever the minor
+   allocator placed next to it. *)
+type t = Padded_atomic.t
 
-let create () = Atomic.make 0
-let now t = Atomic.get t
-let tick t = Atomic.fetch_and_add t 2 + 2
+let create () = Padded_atomic.make 0
+let now t = Padded_atomic.get t
+let tick t = Padded_atomic.fetch_and_add t 2 + 2
 
 type tick_outcome =
   | Ticked of int
@@ -13,6 +16,6 @@ type tick_outcome =
    that loses the race simply adopts the winner's (fresh) value as its
    own write version instead of fighting for a unique one. *)
 let tick_or_reuse t =
-  let seen = Atomic.get t in
-  if Atomic.compare_and_set t seen (seen + 2) then Ticked (seen + 2)
-  else Reused (Atomic.get t)
+  let seen = Padded_atomic.get t in
+  if Padded_atomic.compare_and_set t seen (seen + 2) then Ticked (seen + 2)
+  else Reused (Padded_atomic.get t)

@@ -87,11 +87,13 @@ type tx = {
 
 let clock = Global_clock.create ()
 let global_stats = Stm_stats.create ()
-let tvar_ids = Atomic.make 0
+
+(* Chunked ids; see Tvar_id — one shared atomic op per 1024 tvars. *)
+let tvar_ids = Tvar_id.create ()
 
 let make v =
   {
-    id = Atomic.fetch_and_add tvar_ids 1;
+    id = Tvar_id.fresh tvar_ids;
     vlock = Atomic.make 0;
     (* Every slot starts as (0, v): logically "v since version 0"
        repeated, which any snapshot resolves correctly. *)
@@ -116,7 +118,7 @@ let fresh_tx () =
     epoch = 0;
     writes = Hashtbl.create 64;
     wbloom = 0;
-    backoff = Backoff.create ~seed:((Domain.self () :> int) + 1) ();
+    backoff = Backoff.for_domain ();
     validation_steps = 0;
     dedup_hits = 0;
     bloom_skips = 0;

@@ -1,0 +1,62 @@
+type shard = { mutable count : int }
+
+type t = {
+  key : shard Domain.DLS.key;
+  registry_lock : Mutex.t;
+  mutable shards : shard list;
+  mutable free : shard list;
+}
+
+(* A domain's first increment allocates (or recycles) a padded shard and
+   registers it; [Domain.at_exit] returns the shard to the free pool
+   *without* zeroing it, so totals survive domain exit and the registry
+   stays bounded by the peak number of concurrent domains. *)
+let attach t =
+  Mutex.lock t.registry_lock;
+  let shard =
+    match t.free with
+    | s :: rest ->
+        t.free <- rest;
+        s
+    | [] ->
+        let s = Padded_atomic.copy_as_padded { count = 0 } in
+        t.shards <- s :: t.shards;
+        s
+  in
+  Mutex.unlock t.registry_lock;
+  Domain.at_exit (fun () ->
+      Mutex.lock t.registry_lock;
+      t.free <- shard :: t.free;
+      Mutex.unlock t.registry_lock);
+  shard
+
+let create () =
+  (* The DLS initializer needs the record it is a field of; tie the
+     knot through a ref since the RHS is a function application. *)
+  let holder = ref None in
+  let key = Domain.DLS.new_key (fun () -> attach (Option.get !holder)) in
+  let t = { key; registry_lock = Mutex.create (); shards = []; free = [] } in
+  holder := Some t;
+  t
+
+let incr t =
+  let s = Domain.DLS.get t.key in
+  s.count <- s.count + 1
+
+let add t n =
+  let s = Domain.DLS.get t.key in
+  s.count <- s.count + n
+
+(* Plain reads of another domain's mutable int field are racy but
+   non-tearing under the OCaml memory model; after [Domain.join] of all
+   writers the sum is exact. *)
+let get t =
+  Mutex.lock t.registry_lock;
+  let shards = t.shards in
+  Mutex.unlock t.registry_lock;
+  List.fold_left (fun acc s -> acc + s.count) 0 shards
+
+let reset t =
+  Mutex.lock t.registry_lock;
+  List.iter (fun s -> s.count <- 0) t.shards;
+  Mutex.unlock t.registry_lock

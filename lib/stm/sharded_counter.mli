@@ -1,0 +1,22 @@
+(** Domain-sharded event counter.
+
+    [incr]/[add] are plain stores to a per-domain cache-line-padded
+    shard ([Domain.DLS]); no cross-core RMW on the hot path. [get]
+    folds over all shards: exact once the writing domains have been
+    joined, a racy-but-non-tearing lower-ish bound while they run
+    (individual shard reads never tear; the fold is not a snapshot).
+    Shards of exited domains are recycled via [Domain.at_exit], so
+    memory is bounded by the peak number of concurrent domains and
+    counts survive domain exit.
+
+    Used for the lock-based runtimes' commit/acquisition tallies, where
+    the previous shared [Atomic.t] counters put an RMW on every
+    operation. *)
+
+type t
+
+val create : unit -> t
+val incr : t -> unit
+val add : t -> int -> unit
+val get : t -> int
+val reset : t -> unit

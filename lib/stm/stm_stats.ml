@@ -14,113 +14,131 @@ type snapshot = {
   ro_demotions : int;
 }
 
-(* Counters are atomic; STMs flush per-transaction tallies once at
-   commit/abort time, so contention on these cells is negligible
-   compared to transaction work. *)
-type t = {
-  commits : int Atomic.t;
-  aborts : int Atomic.t;
-  read_only_commits : int Atomic.t;
-  validation_steps : int Atomic.t;
-  max_read_set : int Atomic.t;
-  read_set_entries : int Atomic.t;
-  dedup_hits : int Atomic.t;
-  bloom_skips : int Atomic.t;
-  extensions : int Atomic.t;
-  clock_reuses : int Atomic.t;
-  ro_zero_log_commits : int Atomic.t;
-  ro_inline_revalidations : int Atomic.t;
-  ro_demotions : int Atomic.t;
+(* Per-domain shard: plain mutable fields, allocated cache-line padded
+   so two domains' shards never false-share. Recording is a DLS lookup
+   plus local stores — no cross-core RMW anywhere on the commit/abort
+   flush path. *)
+type shard = {
+  mutable s_commits : int;
+  mutable s_aborts : int;
+  mutable s_read_only_commits : int;
+  mutable s_validation_steps : int;
+  mutable s_max_read_set : int;
+  mutable s_read_set_entries : int;
+  mutable s_dedup_hits : int;
+  mutable s_bloom_skips : int;
+  mutable s_extensions : int;
+  mutable s_clock_reuses : int;
+  mutable s_ro_zero_log_commits : int;
+  mutable s_ro_inline_revalidations : int;
+  mutable s_ro_demotions : int;
 }
 
+type t = {
+  key : shard Domain.DLS.key;
+  registry_lock : Mutex.t;
+  mutable shards : shard list;
+  mutable free : shard list;
+}
+
+let fresh_shard () =
+  Padded_atomic.copy_as_padded
+    {
+      s_commits = 0;
+      s_aborts = 0;
+      s_read_only_commits = 0;
+      s_validation_steps = 0;
+      s_max_read_set = 0;
+      s_read_set_entries = 0;
+      s_dedup_hits = 0;
+      s_bloom_skips = 0;
+      s_extensions = 0;
+      s_clock_reuses = 0;
+      s_ro_zero_log_commits = 0;
+      s_ro_inline_revalidations = 0;
+      s_ro_demotions = 0;
+    }
+
+(* First record_* call on a domain claims a shard: recycled from the
+   free pool if a previous domain exited, freshly registered otherwise.
+   [Domain.at_exit] returns it to the pool *without* zeroing, so totals
+   survive domain exit and the registry is bounded by the peak number
+   of concurrent domains. *)
+let attach t =
+  Mutex.lock t.registry_lock;
+  let shard =
+    match t.free with
+    | s :: rest ->
+        t.free <- rest;
+        s
+    | [] ->
+        let s = fresh_shard () in
+        t.shards <- s :: t.shards;
+        s
+  in
+  Mutex.unlock t.registry_lock;
+  Domain.at_exit (fun () ->
+      Mutex.lock t.registry_lock;
+      t.free <- shard :: t.free;
+      Mutex.unlock t.registry_lock);
+  shard
+
 let create () =
-  {
-    commits = Atomic.make 0;
-    aborts = Atomic.make 0;
-    read_only_commits = Atomic.make 0;
-    validation_steps = Atomic.make 0;
-    max_read_set = Atomic.make 0;
-    read_set_entries = Atomic.make 0;
-    dedup_hits = Atomic.make 0;
-    bloom_skips = Atomic.make 0;
-    extensions = Atomic.make 0;
-    clock_reuses = Atomic.make 0;
-    ro_zero_log_commits = Atomic.make 0;
-    ro_inline_revalidations = Atomic.make 0;
-    ro_demotions = Atomic.make 0;
-  }
+  (* The DLS initializer closes over the record it belongs to; a direct
+     [let rec] is rejected (function application on the RHS), so tie
+     the knot through a ref. *)
+  let holder = ref None in
+  let key = Domain.DLS.new_key (fun () -> attach (Option.get !holder)) in
+  let t = { key; registry_lock = Mutex.create (); shards = []; free = [] } in
+  holder := Some t;
+  t
+
+let shard t = Domain.DLS.get t.key
 
 let record_commit t ~read_only =
-  ignore (Atomic.fetch_and_add t.commits 1);
-  if read_only then ignore (Atomic.fetch_and_add t.read_only_commits 1)
+  let s = shard t in
+  s.s_commits <- s.s_commits + 1;
+  if read_only then s.s_read_only_commits <- s.s_read_only_commits + 1
 
-let record_abort t = ignore (Atomic.fetch_and_add t.aborts 1)
+let record_abort t =
+  let s = shard t in
+  s.s_aborts <- s.s_aborts + 1
 
 let record_validation t ~steps =
-  ignore (Atomic.fetch_and_add t.validation_steps steps)
-
-let rec record_max_read_set t ~size =
-  let current = Atomic.get t.max_read_set in
-  if size > current then
-    if not (Atomic.compare_and_set t.max_read_set current size) then
-      record_max_read_set t ~size
+  let s = shard t in
+  s.s_validation_steps <- s.s_validation_steps + steps
 
 let record_read_set t ~size =
-  if size > 0 then ignore (Atomic.fetch_and_add t.read_set_entries size);
-  record_max_read_set t ~size
+  let s = shard t in
+  if size > 0 then s.s_read_set_entries <- s.s_read_set_entries + size;
+  if size > s.s_max_read_set then s.s_max_read_set <- size
 
 let record_tx_log t ~dedup_hits ~bloom_skips ~extensions =
-  if dedup_hits > 0 then ignore (Atomic.fetch_and_add t.dedup_hits dedup_hits);
-  if bloom_skips > 0 then
-    ignore (Atomic.fetch_and_add t.bloom_skips bloom_skips);
-  if extensions > 0 then ignore (Atomic.fetch_and_add t.extensions extensions)
+  let s = shard t in
+  if dedup_hits > 0 then s.s_dedup_hits <- s.s_dedup_hits + dedup_hits;
+  if bloom_skips > 0 then s.s_bloom_skips <- s.s_bloom_skips + bloom_skips;
+  if extensions > 0 then s.s_extensions <- s.s_extensions + extensions
 
-let record_clock_reuse t = ignore (Atomic.fetch_and_add t.clock_reuses 1)
+let record_clock_reuse t =
+  let s = shard t in
+  s.s_clock_reuses <- s.s_clock_reuses + 1
 
 (* A zero-log read-only commit is still a commit (and trivially a
    read-only one): the three cells move together so [commits] stays the
    total across both modes. *)
 let record_ro_commit t =
-  ignore (Atomic.fetch_and_add t.commits 1);
-  ignore (Atomic.fetch_and_add t.read_only_commits 1);
-  ignore (Atomic.fetch_and_add t.ro_zero_log_commits 1)
+  let s = shard t in
+  s.s_commits <- s.s_commits + 1;
+  s.s_read_only_commits <- s.s_read_only_commits + 1;
+  s.s_ro_zero_log_commits <- s.s_ro_zero_log_commits + 1
 
 let record_ro_revalidation t =
-  ignore (Atomic.fetch_and_add t.ro_inline_revalidations 1)
+  let s = shard t in
+  s.s_ro_inline_revalidations <- s.s_ro_inline_revalidations + 1
 
-let record_ro_demotion t = ignore (Atomic.fetch_and_add t.ro_demotions 1)
-
-let snapshot t : snapshot =
-  {
-    commits = Atomic.get t.commits;
-    aborts = Atomic.get t.aborts;
-    read_only_commits = Atomic.get t.read_only_commits;
-    validation_steps = Atomic.get t.validation_steps;
-    max_read_set = Atomic.get t.max_read_set;
-    read_set_entries = Atomic.get t.read_set_entries;
-    dedup_hits = Atomic.get t.dedup_hits;
-    bloom_skips = Atomic.get t.bloom_skips;
-    extensions = Atomic.get t.extensions;
-    clock_reuses = Atomic.get t.clock_reuses;
-    ro_zero_log_commits = Atomic.get t.ro_zero_log_commits;
-    ro_inline_revalidations = Atomic.get t.ro_inline_revalidations;
-    ro_demotions = Atomic.get t.ro_demotions;
-  }
-
-let reset t =
-  Atomic.set t.commits 0;
-  Atomic.set t.aborts 0;
-  Atomic.set t.read_only_commits 0;
-  Atomic.set t.validation_steps 0;
-  Atomic.set t.max_read_set 0;
-  Atomic.set t.read_set_entries 0;
-  Atomic.set t.dedup_hits 0;
-  Atomic.set t.bloom_skips 0;
-  Atomic.set t.extensions 0;
-  Atomic.set t.clock_reuses 0;
-  Atomic.set t.ro_zero_log_commits 0;
-  Atomic.set t.ro_inline_revalidations 0;
-  Atomic.set t.ro_demotions 0
+let record_ro_demotion t =
+  let s = shard t in
+  s.s_ro_demotions <- s.s_ro_demotions + 1
 
 let zero : snapshot =
   {
@@ -138,6 +156,54 @@ let zero : snapshot =
     ro_inline_revalidations = 0;
     ro_demotions = 0;
   }
+
+let add_shard (acc : snapshot) (s : shard) : snapshot =
+  {
+    commits = acc.commits + s.s_commits;
+    aborts = acc.aborts + s.s_aborts;
+    read_only_commits = acc.read_only_commits + s.s_read_only_commits;
+    validation_steps = acc.validation_steps + s.s_validation_steps;
+    max_read_set = max acc.max_read_set s.s_max_read_set;
+    read_set_entries = acc.read_set_entries + s.s_read_set_entries;
+    dedup_hits = acc.dedup_hits + s.s_dedup_hits;
+    bloom_skips = acc.bloom_skips + s.s_bloom_skips;
+    extensions = acc.extensions + s.s_extensions;
+    clock_reuses = acc.clock_reuses + s.s_clock_reuses;
+    ro_zero_log_commits = acc.ro_zero_log_commits + s.s_ro_zero_log_commits;
+    ro_inline_revalidations =
+      acc.ro_inline_revalidations + s.s_ro_inline_revalidations;
+    ro_demotions = acc.ro_demotions + s.s_ro_demotions;
+  }
+
+(* Plain reads of another domain's shard fields are racy but
+   non-tearing (int fields) under the OCaml memory model; once the
+   writing domains are joined the sums are exact. Mid-run the fold is
+   not a cross-shard snapshot, same as the old atomic version. *)
+let snapshot t : snapshot =
+  Mutex.lock t.registry_lock;
+  let shards = t.shards in
+  Mutex.unlock t.registry_lock;
+  List.fold_left add_shard zero shards
+
+let reset t =
+  Mutex.lock t.registry_lock;
+  List.iter
+    (fun s ->
+      s.s_commits <- 0;
+      s.s_aborts <- 0;
+      s.s_read_only_commits <- 0;
+      s.s_validation_steps <- 0;
+      s.s_max_read_set <- 0;
+      s.s_read_set_entries <- 0;
+      s.s_dedup_hits <- 0;
+      s.s_bloom_skips <- 0;
+      s.s_extensions <- 0;
+      s.s_clock_reuses <- 0;
+      s.s_ro_zero_log_commits <- 0;
+      s.s_ro_inline_revalidations <- 0;
+      s.s_ro_demotions <- 0)
+    t.shards;
+  Mutex.unlock t.registry_lock
 
 let add (a : snapshot) (b : snapshot) : snapshot =
   {

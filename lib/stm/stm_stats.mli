@@ -2,9 +2,12 @@
     transaction-log instrumentation (read-set dedup hits, write-set
     bloom skips, timestamp extensions, commit-clock reuses).
 
-    Counters are atomic cells; STMs flush per-transaction tallies once
-    at commit/abort time, so recording is effectively uncontended
-    during benchmark runs. *)
+    Counters are domain-sharded: each domain lazily registers a
+    cache-line-padded shard through [Domain.DLS] and the [record_*]
+    calls are plain stores into it — no cross-core RMW on the
+    per-transaction commit/abort flush path. [snapshot] folds over all
+    shards; the sums are exact once writing domains have been joined
+    and racy-but-non-tearing while they run. *)
 
 type snapshot = {
   commits : int;  (** transactions that committed *)

@@ -98,10 +98,13 @@ type tx = {
 
 let clock = Global_clock.create ()
 let global_stats = Stm_stats.create ()
-let tvar_ids = Atomic.make 0
 
-let make v =
-  { id = Atomic.fetch_and_add tvar_ids 1; vlock = Atomic.make 0; content = v }
+(* Chunked ids: one shared atomic op per 1024 tvars instead of a global
+   fetch-and-add on every [make]. Per-allocator uniqueness is all the
+   dedup cache / bloom filter need. *)
+let tvar_ids = Tvar_id.create ()
+
+let make v = { id = Tvar_id.fresh tvar_ids; vlock = Atomic.make 0; content = v }
 
 let dummy_read = { r_id = -1; r_vlock = Atomic.make 0; r_version = 0 }
 
@@ -118,7 +121,7 @@ let fresh_tx () =
     epoch = 0;
     writes = Hashtbl.create 64;
     wbloom = 0;
-    backoff = Backoff.create ~seed:((Domain.self () :> int) + 1) ();
+    backoff = Backoff.for_domain ();
     validation_steps = 0;
     dedup_hits = 0;
     bloom_skips = 0;

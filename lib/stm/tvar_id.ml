@@ -1,0 +1,33 @@
+let chunk_size = 1024
+
+(* Per-domain cursor into the domain's currently claimed id range.
+   [next = limit] forces a refill on first use, so the initializer
+   never touches the shared word. The record is padded so two domains'
+   cursors never share a cache line. *)
+type state = { mutable next : int; mutable limit : int }
+
+type t = {
+  next_chunk : Padded_atomic.t;
+  key : state Domain.DLS.key;
+}
+
+let create () =
+  {
+    next_chunk = Padded_atomic.make 0;
+    key =
+      Domain.DLS.new_key (fun () ->
+          Padded_atomic.copy_as_padded { next = 0; limit = 0 });
+  }
+
+let fresh t =
+  let s = Domain.DLS.get t.key in
+  if s.next >= s.limit then begin
+    let base = Padded_atomic.fetch_and_add t.next_chunk chunk_size in
+    s.next <- base;
+    s.limit <- base + chunk_size
+  end;
+  let id = s.next in
+  s.next <- id + 1;
+  id
+
+let allocated_bound t = Padded_atomic.get t.next_chunk

@@ -1,0 +1,9 @@
+(* Deliberate raw-dls violations: Domain.DLS use outside the
+   allowlisted sharding modules. All three identifier occurrences
+   (new_key, get, set) must fire. *)
+
+let slot : int Domain.DLS.key = Domain.DLS.new_key (fun () -> 0)
+
+let current () = Domain.DLS.get slot
+
+let remember v = Domain.DLS.set slot v

@@ -1,0 +1,8 @@
+(* Same Domain.DLS use as r1_dls.ml, but this unit is on the
+   r1_dls_allowed_units allowlist — no findings. *)
+
+let slot : int Domain.DLS.key = Domain.DLS.new_key (fun () -> 0)
+
+let current () = Domain.DLS.get slot
+
+let remember v = Domain.DLS.set slot v

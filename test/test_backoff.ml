@@ -61,6 +61,38 @@ let test_attempts_monotone () =
   Backoff.once b;
   Alcotest.(check int) "two" 2 (Backoff.attempts b)
 
+(* Two domains with adjacent indices and the same run seed must not
+   draw the same wait sequence (lockstep backoff defeats its purpose):
+   with a fixed 16-bit window, 64 draws each should almost never
+   coincide position by position. *)
+let test_domain_seeds_decorrelated () =
+  let draws domain =
+    let seed = Backoff.domain_seed ~domain ~run_seed:42 in
+    let b = Backoff.create ~bits_min:16 ~bits_max:16 ~seed () in
+    Array.init 64 (fun _ -> Backoff.draw b)
+  in
+  let d1 = draws 1 and d2 = draws 2 in
+  let equal_positions = ref 0 in
+  Array.iteri (fun i v -> if v = d2.(i) then incr equal_positions) d1;
+  Alcotest.(check bool)
+    (Printf.sprintf "adjacent domains share %d/64 draw positions"
+       !equal_positions)
+    true (!equal_positions <= 3);
+  (* Deterministic per (run seed, domain): the same inputs reproduce
+     the same sequence. *)
+  Alcotest.(check (array int)) "deterministic per (run_seed, domain)"
+    d1 (draws 1)
+
+let test_run_seed_varies_sequences () =
+  let draws run_seed =
+    let seed = Backoff.domain_seed ~domain:1 ~run_seed in
+    let b = Backoff.create ~bits_min:16 ~bits_max:16 ~seed () in
+    Array.init 64 (fun _ -> Backoff.draw b)
+  in
+  let a = draws 42 and b = draws 43 in
+  Alcotest.(check bool) "different run seeds, different sequences" true
+    (a <> b)
+
 let suite =
   [
     Alcotest.test_case "window doubles to cap" `Quick
@@ -69,6 +101,10 @@ let suite =
     Alcotest.test_case "sleep branch bounded" `Quick test_sleep_branch_bounded;
     Alcotest.test_case "spin branch fast" `Quick test_spin_branch_fast;
     Alcotest.test_case "attempts monotone" `Quick test_attempts_monotone;
+    Alcotest.test_case "domain seeds decorrelated" `Quick
+      test_domain_seeds_decorrelated;
+    Alcotest.test_case "run seed varies sequences" `Quick
+      test_run_seed_varies_sequences;
   ]
 
 let () = Alcotest.run "backoff" [ ("backoff", suite) ]

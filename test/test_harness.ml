@@ -88,6 +88,29 @@ let test_run_result_accessors () =
        (fun (o : W.op_desc) -> o.code = "T1")
        r.RR.ops)
 
+let test_per_domain_successes () =
+  let r = Lazy.force result in
+  Alcotest.(check int) "one entry per worker domain" r.RR.threads
+    (Array.length r.RR.per_domain_successes);
+  Alcotest.(check int) "per-domain successes partition the total"
+    (Stats.total_successes r.RR.stats)
+    (Array.fold_left ( + ) 0 r.RR.per_domain_successes);
+  (* max/mean is >= 1 by construction, and with every domain on the
+     same 400-op budget it cannot exceed the domain count. *)
+  let imb = RR.commit_imbalance r in
+  Alcotest.(check bool)
+    (Printf.sprintf "imbalance %.2f within [1, threads]" imb)
+    true
+    (imb >= 1.0 && imb <= float_of_int r.RR.threads)
+
+let test_single_domain_imbalance_is_one () =
+  let config = { tiny_config with B.threads = 1; max_ops = Some 50 } in
+  match Sb7_harness.Driver.run ~runtime_name:"seq" config with
+  | Error e -> failwith e
+  | Ok r ->
+    Alcotest.(check (float 1e-9)) "1 domain -> imbalance 1.0" 1.0
+      (RR.commit_imbalance r)
+
 let test_category_totals_sum () =
   let r = Lazy.force result in
   let total =
@@ -253,6 +276,10 @@ let suite =
     Alcotest.test_case "histograms" `Quick test_histograms;
     Alcotest.test_case "merge" `Quick test_merge;
     Alcotest.test_case "run_result accessors" `Slow test_run_result_accessors;
+    Alcotest.test_case "per-domain successes partition" `Slow
+      test_per_domain_successes;
+    Alcotest.test_case "single-domain imbalance is 1" `Slow
+      test_single_domain_imbalance_is_one;
     Alcotest.test_case "category totals partition" `Slow
       test_category_totals_sum;
     Alcotest.test_case "expected ratios distribution" `Slow

@@ -9,7 +9,13 @@ open Sb7_analysis
 
 let fixture_config : Lint_config.t =
   {
-    r1 = { r1_prefixes = [ "Lint_fixtures__R1" ]; r1_exempt_units = [] };
+    r1 =
+      {
+        r1_prefixes = [ "Lint_fixtures__R1" ];
+        r1_exempt_units = [];
+        r1_dls_prefixes = [ "Lint_fixtures__R1" ];
+        r1_dls_allowed_units = [ "Lint_fixtures__R1_dls_allowed" ];
+      };
     r2 =
       {
         r2_seeds = [ "Lint_fixtures__R2_entry" ];
@@ -104,6 +110,22 @@ let test_r1_suppression () =
     "both violations suppressed" 2
     (List.length
        (List.filter (in_file "r1_suppressed.ml") r.Lint_engine.suppressed))
+
+let test_r1_dls_fires () =
+  (* new_key, get and set each fire once. *)
+  check_count ~rule:"raw-dls" ~file:"r1_dls.ml" 3;
+  (* ... and nothing else does: DLS use alone is not raw-mut. *)
+  let r = Lazy.force result in
+  Alcotest.(check int)
+    "only raw-dls findings in r1_dls.ml" 3
+    (List.length (List.filter (in_file "r1_dls.ml") r.Lint_engine.findings))
+
+let test_r1_dls_allowlist () =
+  let r = Lazy.force result in
+  Alcotest.(check int)
+    "allowlisted DLS unit is clean" 0
+    (List.length
+       (List.filter (in_file "r1_dls_allowed.ml") r.Lint_engine.findings))
 
 let test_r2_fires () =
   (* Printf.printf, Random.int, Unix.gettimeofday. *)
@@ -215,6 +237,8 @@ let () =
           Alcotest.test_case "violations fire" `Quick test_r1_fires;
           Alcotest.test_case "clean module" `Quick test_r1_clean_module;
           Alcotest.test_case "suppression comments" `Quick test_r1_suppression;
+          Alcotest.test_case "raw-dls fires" `Quick test_r1_dls_fires;
+          Alcotest.test_case "raw-dls allowlist" `Quick test_r1_dls_allowlist;
         ] );
       ( "r2-irrevocable",
         [

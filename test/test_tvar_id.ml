@@ -1,0 +1,100 @@
+(* The chunked tvar-id allocator: ids must stay unique across domains,
+   gaps must stay bounded by chunk waste, and the distribution must
+   remain friendly to the dedup cache's [id land (size-1)] indexing and
+   the bloom filter's multiplicative hash. *)
+
+module Tvar_id = Sb7_stm.Tvar_id
+
+let ids_per_domain = 5000
+let num_domains = 4
+
+let allocate_across_domains () =
+  let alloc = Tvar_id.create () in
+  let parts =
+    List.map Domain.join
+      (List.init num_domains (fun _ ->
+           Domain.spawn (fun () ->
+               Array.init ids_per_domain (fun _ -> Tvar_id.fresh alloc))))
+  in
+  (alloc, Array.concat parts)
+
+let test_unique_across_domains () =
+  let _, ids = allocate_across_domains () in
+  let total = num_domains * ids_per_domain in
+  Alcotest.(check int) "total count" total (Array.length ids);
+  let sorted = Array.copy ids in
+  Array.sort compare sorted;
+  let dups = ref 0 in
+  for i = 1 to total - 1 do
+    if sorted.(i) = sorted.(i - 1) then incr dups
+  done;
+  Alcotest.(check int) "no duplicate ids" 0 !dups;
+  Array.iter (fun id -> assert (id >= 0)) ids
+
+(* No gaps beyond chunk waste: the shared counter never advances more
+   than one unfinished chunk per domain past the ids actually used. *)
+let test_gap_bound () =
+  let alloc, ids = allocate_across_domains () in
+  let total = num_domains * ids_per_domain in
+  let bound = Tvar_id.allocated_bound alloc in
+  Alcotest.(check bool)
+    (Printf.sprintf "bound %d covers all %d ids" bound total)
+    true
+    (bound >= total);
+  Alcotest.(check bool)
+    (Printf.sprintf "bound %d wastes at most %d per domain" bound
+       (Tvar_id.chunk_size - 1))
+    true
+    (bound <= total + (num_domains * (Tvar_id.chunk_size - 1)));
+  let mx = Array.fold_left max 0 ids in
+  Alcotest.(check bool) "max id below the claimed bound" true (mx < bound)
+
+(* The TL2/LSA dedup cache indexes with [id land (size-1)]; chunked
+   allocation must keep the load across cache slots near-uniform (each
+   chunk is a contiguous run, so residues are covered evenly). *)
+let test_dedup_slot_distribution () =
+  let _, ids = allocate_across_domains () in
+  let slots = 2048 in
+  let load = Array.make slots 0 in
+  Array.iter (fun id -> load.(id land (slots - 1)) <- load.(id land (slots - 1)) + 1) ids;
+  let total = Array.length ids in
+  let mean = float_of_int total /. float_of_int slots in
+  let mx = Array.fold_left max 0 load in
+  Alcotest.(check bool)
+    (Printf.sprintf "max slot load %d vs mean %.1f" mx mean)
+    true
+    (float_of_int mx <= mean *. 1.25)
+
+(* The write-set bloom filter derives two bit positions from a
+   multiplicative hash of the id; consecutive ids within a chunk must
+   keep producing diverse patterns (no collapse to a few bits). *)
+let test_bloom_pattern_diversity () =
+  let bloom_bit id =
+    let h = id * 0x9E3779B9 in
+    (1 lsl (h land 31)) lor (1 lsl (31 + ((h lsr 5) land 31)))
+  in
+  let base = Tvar_id.chunk_size * 3 in
+  let patterns = Hashtbl.create 64 in
+  for id = base to base + 63 do
+    Hashtbl.replace patterns (bloom_bit id) ()
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "%d distinct patterns over 64 consecutive ids"
+       (Hashtbl.length patterns))
+    true
+    (Hashtbl.length patterns >= 48)
+
+let () =
+  Alcotest.run "tvar_id"
+    [
+      ( "allocator",
+        [
+          Alcotest.test_case "unique across domains" `Quick
+            test_unique_across_domains;
+          Alcotest.test_case "gap bound" `Quick test_gap_bound;
+          Alcotest.test_case "dedup slot distribution" `Quick
+            test_dedup_slot_distribution;
+          Alcotest.test_case "bloom pattern diversity" `Quick
+            test_bloom_pattern_diversity;
+        ] );
+    ]
