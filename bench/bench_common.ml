@@ -93,6 +93,7 @@ let run_point (s : settings) (pt : point_config) : RR.t =
       index_kind = pt.index_kind;
       seed = s.seed;
       histograms = false;
+      sanitize = false;
     }
   in
   match Sb7_harness.Driver.run ~runtime_name:pt.runtime config with

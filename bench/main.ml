@@ -27,12 +27,17 @@ let experiments : (string * (settings -> unit)) list =
     ("ablation-cm", Experiments.ablation_cm);
     ("ablation-stm", Experiments.ablation_stm);
     ("micro", (fun _ -> Micro.run ()));
+    ("sanitize-overhead", (fun _ -> Micro.sanitize_overhead ()));
   ]
+
+(* Pass/fail gates (exit 1 on failure) — run only when named explicitly,
+   never as part of "all" or the default sweep. *)
+let gates = [ "sanitize-overhead" ]
 
 let usage () =
   Printf.eprintf
     "usage: main.exe [--full] [--duration SECONDS] [--csv FILE] [--json] \
-     [EXPERIMENT...]\n\
+     [--max-overhead-pct P] [EXPERIMENT...]\n\
      experiments: %s all\n"
     (String.concat " " (List.map fst experiments));
   exit 2
@@ -55,14 +60,27 @@ let () =
     | "--json" :: rest ->
       Bench_common.write_json := true;
       parse settings selected rest
+    | "--max-overhead-pct" :: v :: rest -> (
+      match float_of_string_opt v with
+      | Some p ->
+        Micro.overhead_max_pct := p;
+        parse settings selected rest
+      | None -> usage ())
     | "all" :: rest ->
-      parse settings (List.rev_map fst experiments @ selected) rest
+      let all =
+        List.filter (fun n -> not (List.mem n gates)) (List.map fst experiments)
+      in
+      parse settings (List.rev all @ selected) rest
     | name :: rest when List.mem_assoc name experiments ->
       parse settings (name :: selected) rest
     | _ -> usage ()
   in
   let settings, selected = parse quick [] args in
-  let selected = if selected = [] then List.map fst experiments else selected in
+  let selected =
+    if selected = [] then
+      List.filter (fun n -> not (List.mem n gates)) (List.map fst experiments)
+    else selected
+  in
   Printf.printf
     "STMBench7 experiment harness — scale=%s, %.1fs per point, threads={%s}\n"
     settings.scale_name settings.duration

@@ -88,6 +88,87 @@ let stm_tests =
                Array.iter (fun c -> ignore (L.read c)) lsa_cells)));
   ]
 
+(* --- Sanitizer wrapper overhead (tracing OFF) ----------------------
+
+   The disabled wrapper's marginal cost per access is one indirect
+   inner-runtime call, one dependent load (the immutable
+   [{v; wid; sid}] cell) and one flag check. On the hottest honest
+   path — a read-only TL2 transaction doing nothing but 64 reads at
+   ~10 ns each — that measures ~16% here (non-flambda; see
+   docs/SANITIZER.md for the table and the much smaller end-to-end
+   numbers on real operations, which do work between accesses).
+   [sanitize_overhead] turns the pair into a pass/fail regression gate
+   (min-of-runs hand timing, threshold [overhead_max_pct], default
+   lenient because shared CI runners jitter). *)
+
+let ro_profile = Sb7_runtime.Op_profile.make ~name:"bench-ro" ()
+
+(* Both kernels share this functor body, so they run the very same
+   instructions calling through the very same indirection — exactly how
+   the harness reaches any runtime (through [Instance.Make]'s functor
+   parameter). The pair thus isolates the wrapper's marginal cost
+   rather than charging it for functor call overhead the bare runtime
+   also pays in production. *)
+module Ro_kernel (M : Sb7_runtime.Runtime_intf.S) = struct
+  let cells = lazy (Array.init 64 (fun _ -> M.make 0))
+
+  let run () =
+    let cells = Lazy.force cells in
+    M.atomic ~profile:ro_profile (fun () ->
+        Array.iter (fun c -> ignore (M.read c)) cells)
+end
+
+module Bare = Ro_kernel (Sb7_runtime.Tl2_runtime)
+module Wrapped =
+  Ro_kernel (Sb7_sanitize.Sanitize.Make (Sb7_runtime.Tl2_runtime))
+
+let bare_ro_kernel = Bare.run
+let wrapped_ro_kernel = Wrapped.run
+
+let sanitize_tests =
+  [
+    Test.make ~name:"tl2-ro-read-64-bare" (Staged.stage bare_ro_kernel);
+    Test.make ~name:"tl2-ro-read-64-sanitize-off"
+      (Staged.stage wrapped_ro_kernel);
+  ]
+
+let overhead_max_pct = ref 25.0
+
+let sanitize_overhead () =
+  assert (not (Sb7_sanitize.Trace.enabled ()));
+  let iters = 20_000 and reps = 12 in
+  let time f =
+    let best = ref infinity in
+    for _ = 1 to reps do
+      let t0 = Unix.gettimeofday () in
+      for _ = 1 to iters do
+        f ()
+      done;
+      let dt = Unix.gettimeofday () -. t0 in
+      if dt < !best then best := dt
+    done;
+    !best
+  in
+  (* Warm both paths (lazy cells, caches, branch predictors). *)
+  ignore (time bare_ro_kernel);
+  ignore (time wrapped_ro_kernel);
+  let tb = time bare_ro_kernel in
+  let tw = time wrapped_ro_kernel in
+  let pct = (tw -. tb) /. tb *. 100. in
+  Printf.printf
+    "sanitize-overhead: bare %.1f ns/txn, wrapped(off) %.1f ns/txn, \
+     overhead %+.2f%% (max %.1f%%)\n%!"
+    (tb /. float_of_int iters *. 1e9)
+    (tw /. float_of_int iters *. 1e9)
+    pct !overhead_max_pct;
+  if pct > !overhead_max_pct then begin
+    Printf.printf
+      "sanitize-overhead: FAIL — disabled instrumentation is not free \
+       enough\n%!";
+    exit 1
+  end
+  else Printf.printf "sanitize-overhead: ok\n%!"
+
 (* Scalability kernels: each shared hot spot the sharding pass removes,
    head-to-head with its replacement, at 1 and 4 domains. One staged
    run = every domain performing [contended_iters] operations (spawn
@@ -157,7 +238,7 @@ let tests () =
        op_test "Q6";
        op_test "SM3";
      ]
-    @ text_tests @ stm_tests @ scaling_tests)
+    @ text_tests @ stm_tests @ sanitize_tests @ scaling_tests)
 
 let run () =
   Bench_common.print_header

@@ -4,7 +4,7 @@
 
 open Cmdliner
 
-let known_rules = [ "R1"; "R2"; "R3"; "R4" ]
+let known_rules = [ "R1"; "R2"; "R3"; "R4"; "R5" ]
 
 let run paths json strict_local source_root rules =
   (match List.filter (fun r -> not (List.mem r known_rules)) rules with
@@ -39,6 +39,9 @@ let run paths json strict_local source_root rules =
         r4 =
           (if List.mem "R4" rules then base.r4
            else { base.r4 with r4_registry_units = [] });
+        r5 =
+          (if List.mem "R5" rules then base.r5
+           else { base.r5 with r5_prefixes = [] });
       }
   in
   let result =
@@ -73,7 +76,9 @@ let source_root_arg =
   Arg.(value & opt string "." & info [ "source-root" ] ~docv:"DIR" ~doc)
 
 let rules_arg =
-  let doc = "Comma-separated subset of rule families to run (R1,R2,R3,R4)." in
+  let doc =
+    "Comma-separated subset of rule families to run (R1,R2,R3,R4,R5)."
+  in
   Arg.(value & opt (list string) [] & info [ "rules" ] ~docv:"RULES" ~doc)
 
 let cmd =
@@ -89,7 +94,8 @@ let cmd =
          discipline in the lock-based runtimes; (R4) profile honesty — \
          an operation registered without a ~writes clause is dispatched \
          through the read-only fast path, so its code must not reach a \
-         transactional write or index mutation.";
+         transactional write or index mutation; (R5) no unsafe Obj.* \
+         primitives outside the sanctioned, DESIGN.md-documented sites.";
       `P
         "Suppress a finding with a comment on the same or preceding \
          line: (* sb7-lint: allow <rule> -- reason *).";

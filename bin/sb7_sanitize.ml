@@ -1,0 +1,288 @@
+(* sb7-sanitize: run the benchmark under the opacity + lockset
+   sanitizer (lib/sanitize) and gate on the verdict.
+
+   Two commands:
+
+   - [check]: every registered strategy gets a sanitized run; any
+     finding fails the command (exit 1) and dumps the offending trace
+     for offline inspection. The seq runtime has no synchronization at
+     all, so it is only meaningful — and only run — single-threaded.
+
+   - [seeded FIXTURE]: enable one deliberately planted bug
+     (tl2-no-validation: TL2 commits and extends without validating its
+     read set; medium-drop-lock: the medium runtime silently skips its
+     first write lock) and demand that the checker flags it. A seeded
+     run that comes back clean fails the command: the sanitizer did not
+     bite. Detection is probabilistic — the bug needs an actual
+     interleaving — so the run is retried with doubled duration a few
+     times before giving up.
+
+   Before running anything, the lock-order table the dynamic checker
+   uses is cross-checked against the R3 declaration sb7-lint enforces
+   statically (Lint_config.default), so the two tools cannot silently
+   drift apart. *)
+
+module B = Sb7_harness.Benchmark
+module Workload = Sb7_harness.Workload
+module Checker = Sb7_sanitize.Checker
+module Trace = Sb7_sanitize.Trace
+
+open Cmdliner
+
+(* --- Static/dynamic lock-order cross-check ------------------------- *)
+
+let cross_check_lock_order () =
+  let module LC = Sb7_analysis.Lint_config in
+  let static =
+    match LC.spec_for LC.default "Sb7_runtime__Medium_runtime" with
+    | Some spec -> spec.LC.r3_order
+    | None -> []
+  in
+  if static <> [ "structure"; "domains" ] then begin
+    Format.eprintf
+      "error: sb7-lint's R3 lock order for the medium runtime is %s, but \
+       the sanitizer's rank table assumes structure-before-domains; update \
+       Checker.profile_of_runtime to match@."
+      (String.concat " < " static);
+    exit 2
+  end;
+  let dynamic = (Checker.profile_of_runtime "medium").Checker.ranked_locks in
+  let rank name = List.assoc_opt name dynamic in
+  match rank "structure" with
+  | None -> ()
+  | Some rs ->
+    List.iter
+      (fun (name, r) ->
+        if String.length name > 7 && String.sub name 0 7 = "domain-" && r <= rs
+        then begin
+          Format.eprintf
+            "error: sanitizer rank table orders %s before the structure \
+             lock, contradicting the R3 declaration@." name;
+          exit 2
+        end)
+      dynamic
+
+(* --- Shared run plumbing ------------------------------------------- *)
+
+let config ~threads ~length ~scale:(scale_name, scale) ~seed ~workload =
+  {
+    B.default_config with
+    B.threads;
+    duration_s = length;
+    workload;
+    scale;
+    scale_name;
+    seed;
+    sanitize = true;
+  }
+
+let ensure_dir dir =
+  if not (Sys.file_exists dir) then Unix.mkdir dir 0o755
+
+let save_trace ~dir ~name =
+  ensure_dir dir;
+  let path = Filename.concat dir (name ^ ".trace") in
+  Trace.save path (Trace.dump ());
+  path
+
+(* Analyze whatever the trace buffers currently hold; used when a
+   seeded bug is violent enough to crash the run before Benchmark could
+   produce its verdict. *)
+let analyze_current runtime_name =
+  Trace.disable ();
+  Checker.analyze
+    ~profile:(Checker.profile_of_runtime runtime_name)
+    (Trace.dump ())
+
+(* --- check: all honest strategies must come back clean ------------- *)
+
+let check threads length scale seed dir =
+  cross_check_lock_order ();
+  let failed = ref false in
+  List.iter
+    (fun (name, _) ->
+      (* seq provides no synchronization: concurrent domains would race
+         by design, so it is validated single-threaded only. *)
+      let threads = if String.equal name "seq" then 1 else threads in
+      let cfg =
+        config ~threads ~length ~scale ~seed ~workload:Workload.Read_write
+      in
+      match Sb7_harness.Driver.run ~runtime_name:name cfg with
+      | Error e ->
+        Format.printf "%-8s ERROR %s@." name e;
+        failed := true
+      | Ok result -> (
+        match result.Sb7_harness.Run_result.sanitizer with
+        | Some v when Checker.clean v ->
+          Format.printf "%-8s clean  (%d domains, %d attempts, %d events)@."
+            name v.Checker.domains v.Checker.attempts v.Checker.events
+        | Some v ->
+          let path = save_trace ~dir ~name in
+          Format.printf "%-8s FLAGGED (trace saved to %s)@.%s@." name path
+            (Checker.summary v);
+          failed := true
+        | None ->
+          Format.printf "%-8s ERROR sanitizer produced no verdict@." name;
+          failed := true))
+    Sb7_runtime.Registry.all;
+  if !failed then 1 else 0
+
+(* --- seeded: a planted bug must be flagged ------------------------- *)
+
+type fixture = {
+  fx_name : string;
+  fx_runtime : string;
+  fx_arm : unit -> unit;
+  fx_disarm : unit -> unit;
+  fx_expected : Checker.verdict -> string list;
+      (* the finding category this bug must show up in *)
+  fx_expected_name : string;
+}
+
+let fixtures =
+  [
+    {
+      fx_name = "tl2-no-validation";
+      fx_runtime = "tl2";
+      fx_arm = Sb7_stm.Tl2.Unsafe.disable_validation;
+      fx_disarm = Sb7_stm.Tl2.Unsafe.reset;
+      fx_expected = (fun v -> v.Checker.opacity);
+      fx_expected_name = "opacity";
+    };
+    {
+      fx_name = "medium-drop-lock";
+      fx_runtime = "medium";
+      fx_arm = Sb7_runtime.Medium_runtime.Unsafe.drop_first_write_lock;
+      fx_disarm = Sb7_runtime.Medium_runtime.Unsafe.reset;
+      fx_expected = (fun v -> v.Checker.races);
+      fx_expected_name = "lockset race";
+    };
+  ]
+
+let fixture_conv =
+  let parse s =
+    match List.find_opt (fun f -> String.equal f.fx_name s) fixtures with
+    | Some f -> Ok f
+    | None ->
+      Error
+        (`Msg
+           (Printf.sprintf "unknown fixture %S (expected %s)" s
+              (String.concat " | "
+                 (List.map (fun f -> f.fx_name) fixtures))))
+  in
+  Arg.conv ~docv:"FIXTURE"
+    (parse, fun ppf f -> Format.pp_print_string ppf f.fx_name)
+
+let seeded fixture threads length scale seed dir =
+  cross_check_lock_order ();
+  let attempts = 3 in
+  let rec go i length =
+    fixture.fx_arm ();
+    let cfg =
+      config ~threads ~length ~scale ~seed:(seed + i)
+        ~workload:Workload.Write_dominated
+    in
+    let verdict =
+      match Sb7_harness.Driver.run ~runtime_name:fixture.fx_runtime cfg with
+      | Ok result -> result.Sb7_harness.Run_result.sanitizer
+      | Error e ->
+        Format.eprintf "error: %s@." e;
+        exit 2
+      | exception exn ->
+        (* The corrupted structure blew up mid-run; the trace up to the
+           crash is still analyzable, and the crash corroborates the
+           planted bug rather than excusing a missed detection. *)
+        Format.printf "run crashed (%s); analyzing partial trace@."
+          (Printexc.to_string exn);
+        Some (analyze_current fixture.fx_runtime)
+    in
+    fixture.fx_disarm ();
+    match verdict with
+    | None ->
+      Format.eprintf "error: sanitizer produced no verdict@.";
+      exit 2
+    | Some v -> (
+      match fixture.fx_expected v with
+      | finding :: _ ->
+        Format.printf "%s: detected (%s finding, attempt %d/%d)@.  %s@."
+          fixture.fx_name fixture.fx_expected_name i attempts finding;
+        0
+      | [] ->
+        if not (Checker.clean v) then
+          (* flagged, just not in the expected category: print and keep
+             trying — the planted bug has a characteristic signature
+             and the fixture must prove THAT detector bites *)
+          Format.printf
+            "attempt %d/%d: findings in other categories only@.%s@." i
+            attempts (Checker.summary v)
+        else Format.printf "attempt %d/%d: came back clean@." i attempts;
+        if i < attempts then go (i + 1) (length *. 2.)
+        else begin
+          let path = save_trace ~dir ~name:fixture.fx_name in
+          Format.printf
+            "%s: NOT DETECTED after %d attempts — the sanitizer failed to \
+             bite (last trace saved to %s)@.%s@."
+            fixture.fx_name attempts path (Checker.summary v);
+          1
+        end)
+  in
+  go 1 length
+
+(* --- CLI ----------------------------------------------------------- *)
+
+let scale_conv =
+  let parse s =
+    Result.map
+      (fun p -> (s, p))
+      (Result.map_error (fun e -> `Msg e) (Sb7_core.Parameters.of_string s))
+  in
+  Arg.conv ~docv:"SCALE" (parse, fun ppf (name, _) ->
+      Format.pp_print_string ppf name)
+
+let threads_arg =
+  Arg.(value & opt int 2 & info [ "t"; "threads" ] ~docv:"N"
+         ~doc:"Worker domains per run (seq always runs with 1).")
+
+let length_arg =
+  Arg.(value & opt float 2. & info [ "l"; "length" ] ~docv:"SECONDS"
+         ~doc:"Run length in seconds.")
+
+let scale_arg =
+  Arg.(value & opt scale_conv ("tiny", Sb7_core.Parameters.tiny)
+       & info [ "scale" ] ~docv:"tiny|small|medium"
+           ~doc:"Structure size preset.")
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED"
+         ~doc:"Master random seed.")
+
+let dir_arg =
+  Arg.(value & opt string "_sanitize"
+       & info [ "trace-out" ] ~docv:"DIR"
+           ~doc:"Directory for saved traces (created on demand).")
+
+let check_cmd =
+  let doc =
+    "Sanitized run of every registered strategy; any finding fails."
+  in
+  Cmd.v (Cmd.info "check" ~doc)
+    Term.(
+      const check $ threads_arg $ length_arg $ scale_arg $ seed_arg $ dir_arg)
+
+let seeded_cmd =
+  let doc = "Plant a known bug and demand the sanitizer flags it." in
+  let fixture_arg =
+    Arg.(required & pos 0 (some fixture_conv) None
+         & info [] ~docv:"FIXTURE"
+             ~doc:"tl2-no-validation | medium-drop-lock")
+  in
+  Cmd.v (Cmd.info "seeded" ~doc)
+    Term.(
+      const seeded $ fixture_arg $ threads_arg $ length_arg $ scale_arg
+      $ seed_arg $ dir_arg)
+
+let cmd =
+  let doc = "Opacity + lockset race sanitizer for the STMBench7 runtimes" in
+  Cmd.group (Cmd.info "sb7-sanitize" ~doc) [ check_cmd; seeded_cmd ]
+
+let () = exit (Cmd.eval' cmd)

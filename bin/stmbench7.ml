@@ -116,9 +116,17 @@ let csv_out =
          ~doc:"Also write the run's summary and per-operation results as \
                CSV to FILE and FILE.ops.")
 
+let sanitize =
+  Arg.(value & flag & info [ "sanitize" ]
+         ~doc:"Run under the opacity + lockset sanitizer: record event \
+               traces during the measured window, check them, and print \
+               the verdict (see docs/SANITIZER.md). Expect tracing \
+               overhead; throughput numbers are not comparable to \
+               unsanitized runs.")
+
 let run threads length workload strategy no_traversals no_sms histograms
     reduced (scale_name, scale) index_kind seed max_ops cm mix only_op
-    warmup csv_out =
+    warmup csv_out sanitize =
   Sb7_stm.Astm.set_policy cm;
   let config =
     {
@@ -137,6 +145,7 @@ let run threads length workload strategy no_traversals no_sms histograms
       index_kind;
       seed;
       histograms;
+      sanitize;
     }
   in
   match Sb7_harness.Driver.run ~runtime_name:strategy config with
@@ -168,6 +177,6 @@ let cmd =
     Term.(
       const run $ threads $ length $ workload $ strategy $ no_traversals
       $ no_sms $ histograms $ reduced $ scale $ index_kind $ seed $ max_ops
-      $ contention_manager $ mix $ only_op $ warmup $ csv_out)
+      $ contention_manager $ mix $ only_op $ warmup $ csv_out $ sanitize)
 
 let () = exit (Cmd.eval' cmd)

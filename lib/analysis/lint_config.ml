@@ -86,11 +86,23 @@ type r4 = {
       (** record fields whose projection is an index mutation *)
 }
 
+(** Scope of rule R5 (obj-use): unsafe [Obj.*] primitives are forbidden
+    in every unit matching [r5_prefixes] except at the sanctioned sites
+    listed in [r5_allowed]. *)
+type r5 = {
+  r5_prefixes : string list;
+  r5_allowed : (string * string option) list;
+      (** (unit, binding): [None] sanctions the whole unit, [Some f]
+          only the top-level binding [f] within it; every sanctioned
+          site must be justified in DESIGN.md *)
+}
+
 type t = {
   r1 : r1;
   r2 : r2;
   r3 : r3_spec list;
   r4 : r4;
+  r5 : r5;
   strict_local : bool;
       (** when true, R1 also reports provably transaction-local mutable
           state (notices): useful to audit a module for full purity *)
@@ -119,6 +131,27 @@ let in_r1_dls_scope t unit_name =
     t.r1.r1_dls_prefixes
   && not (List.mem unit_name t.r1.r1_dls_allowed_units)
 
+(** R5 applicability for a unit: [`Skip] (out of scope or sanctioned
+    wholesale), or [`Check allowed] with the top-level bindings that may
+    use [Obj.*] there. *)
+let r5_scope t unit_name =
+  if
+    not
+      (List.exists
+         (fun p -> String.starts_with ~prefix:p unit_name)
+         t.r5.r5_prefixes)
+  then `Skip
+  else if
+    List.exists
+      (fun (u, b) -> String.equal u unit_name && b = None)
+      t.r5.r5_allowed
+  then `Skip
+  else
+    `Check
+      (List.filter_map
+         (fun (u, b) -> if String.equal u unit_name then b else None)
+         t.r5.r5_allowed)
+
 let in_r2_universe t unit_name =
   List.exists
     (fun p -> String.starts_with ~prefix:p unit_name)
@@ -132,10 +165,12 @@ let default =
         r1_prefixes = [ "Sb7_core__" ];
         (* The wrapper module is dune-generated aliases only. *)
         r1_exempt_units = [ "Sb7_core" ];
-        r1_dls_prefixes = [ "Sb7_core__"; "Sb7_stm__"; "Sb7_runtime__" ];
+        r1_dls_prefixes =
+          [ "Sb7_core__"; "Sb7_stm__"; "Sb7_runtime__"; "Sb7_sanitize__" ];
         (* The blessed per-domain-state modules: sharded statistics and
-           counters, the chunked tvar-id allocator, and the STM /
-           fine-lock per-domain transaction contexts. *)
+           counters, the chunked tvar-id allocator, the STM / fine-lock
+           per-domain transaction contexts, and the sanitizer's event
+           buffers and nesting-depth tracking. *)
         r1_dls_allowed_units =
           [
             "Sb7_stm__Stm_stats";
@@ -145,6 +180,8 @@ let default =
             "Sb7_stm__Lsa";
             "Sb7_stm__Astm";
             "Sb7_runtime__Fine_runtime";
+            "Sb7_sanitize__Trace";
+            "Sb7_sanitize__Sanitize";
           ];
       };
     r2 =
@@ -215,6 +252,22 @@ let default =
         r4_write_idents = [ "R.write" ];
         (* Index mutators on the first-class index record. *)
         r4_write_fields = [ "put"; "remove" ];
+      };
+    r5 =
+      {
+        (* Everything in the repository's own namespaces. *)
+        r5_prefixes = [ "Sb7_" ];
+        (* The sanctioned Obj sites, each documented in DESIGN.md §3
+           ("Typed transaction logs"):
+           Padded_atomic exists to defeat false sharing and is Obj
+           throughout; the TL2/LSA word-based stores need one cast per
+           module to erase tvar payload types. *)
+        r5_allowed =
+          [
+            ("Sb7_stm__Padded_atomic", None);
+            ("Sb7_stm__Tl2", Some "cast_ref");
+            ("Sb7_stm__Lsa", Some "cast_ref");
+          ];
       };
     strict_local = false;
   }

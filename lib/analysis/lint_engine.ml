@@ -28,6 +28,10 @@ let run ~(config : Lint_config.t) ~source_root ~paths () =
         raw := Rule_r1.check_dls u @ !raw;
       if Lint_config.in_r2_universe config name && Hashtbl.mem reachable name
       then raw := Rule_r2.check u @ !raw;
+      (match Lint_config.r5_scope config name with
+      | `Skip -> ()
+      | `Check allowed_bindings ->
+        raw := Rule_r5.check u ~allowed_bindings @ !raw);
       match Lint_config.spec_for config name with
       | Some spec -> raw := Rule_r3.check spec u @ !raw
       | None -> ())

@@ -1,0 +1,73 @@
+(** R5 — obj-use.
+
+    [Obj.*] defeats the type system, and in this codebase it also
+    defeats the benchmark's correctness story: the runtimes' safety
+    arguments (and the sanitizer's trace model) assume tvar payloads are
+    ordinary immutable OCaml values. An [Obj.magic] in the wrong place
+    can alias, tear or retype shared state in ways none of the dynamic
+    or static checkers can see, so every use must be a deliberate,
+    reviewed decision.
+
+    The rule reports every [Stdlib.Obj.*] identifier occurrence in
+    scope. Sanctioned sites are named per unit in
+    {!Lint_config.r5_allowed} — either the whole unit (the padded-atomic
+    shim, which is [Obj] by design) or a single top-level binding (the
+    [cast_ref] helpers of the word-based STMs). The sanctioned-binding
+    granularity is the {e top-level} structure item: a nested [let]
+    inside a sanctioned binding is covered, a sibling binding is not. *)
+
+open Typedtree
+
+let check (u : Cmt_unit.t) ~allowed_bindings =
+  let findings = ref [] in
+  let unit_name = u.Cmt_unit.name in
+  (* Name of the enclosing top-level value binding, maintained by the
+     structure_item iterator below. *)
+  let current = ref None in
+  let sanctioned () =
+    match !current with
+    | Some b -> List.mem b allowed_bindings
+    | None -> false
+  in
+  let check_expr e =
+    match e.exp_desc with
+    | Texp_ident (p, _, _) ->
+      let name = Path.name p in
+      if String.starts_with ~prefix:"Stdlib.Obj." name && not (sanctioned ())
+      then
+        findings :=
+          Lint_finding.make ~rule:"obj-use" ~loc:e.exp_loc ~unit_name
+            (Printf.sprintf
+               "%s: unsafe Obj primitives are forbidden outside the \
+                sanctioned sites (Lint_config.r5_allowed, justified in \
+                DESIGN.md); they can alias or retype shared state behind \
+                every checker's back"
+               name)
+          :: !findings
+    | _ -> ()
+  in
+  let pass =
+    {
+      Tast_iterator.default_iterator with
+      expr =
+        (fun sub e ->
+          check_expr e;
+          Tast_iterator.default_iterator.expr sub e);
+      structure_item =
+        (fun sub item ->
+          match item.str_desc with
+          | Tstr_value (_, vbs) ->
+            List.iter
+              (fun vb ->
+                let saved = !current in
+                (match vb.vb_pat.pat_desc with
+                | Tpat_var (id, _) -> current := Some (Ident.name id)
+                | _ -> current := None);
+                sub.value_binding sub vb;
+                current := saved)
+              vbs
+          | _ -> Tast_iterator.default_iterator.structure_item sub item);
+    }
+  in
+  pass.structure pass u.Cmt_unit.structure;
+  List.rev !findings

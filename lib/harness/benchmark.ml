@@ -31,6 +31,11 @@ type config = {
   index_kind : Index_intf.kind;
   seed : int;
   histograms : bool;
+  sanitize : bool;
+      (** record event traces during the measured window and run the
+          {!Sb7_sanitize.Checker} analyses on them; requires the runtime
+          to be wrapped in {!Sb7_sanitize.Sanitize.Make} (the harness
+          flags an un-instrumented runtime as a finding) *)
 }
 
 let default_config =
@@ -50,6 +55,7 @@ let default_config =
     index_kind = Index_intf.Avl;
     seed = 42;
     histograms = false;
+    sanitize = false;
   }
 
 module Make (R : Sb7_runtime.Runtime_intf.S) = struct
@@ -84,6 +90,58 @@ module Make (R : Sb7_runtime.Runtime_intf.S) = struct
   let build_setup config =
     I.Setup.create ~index_kind:config.index_kind ~seed:config.seed
       config.scale
+
+  (* --- Sanitizer structural sweep ---------------------------------- *)
+
+  (* Observable cardinalities of the shared structure: the six Table 1
+     indexes plus the free counts of the four id pools. Captured while
+     tracing is off (reads emit no events). *)
+  let cardinalities (setup : I.Setup.t) =
+    let idx name (ix : (_, _) Index_intf.t) = (name, ix.Index_intf.size ()) in
+    let pool name p = (name, I.Setup.Pool.available p) in
+    [
+      idx "ap-id-index" setup.I.Setup.ap_id_index;
+      idx "ap-date-index" setup.I.Setup.ap_date_index;
+      idx "cp-id-index" setup.I.Setup.cp_id_index;
+      idx "doc-title-index" setup.I.Setup.doc_title_index;
+      idx "ba-id-index" setup.I.Setup.ba_id_index;
+      idx "ca-id-index" setup.I.Setup.ca_id_index;
+      pool "ap-pool-free" setup.I.Setup.ap_pool;
+      pool "cp-pool-free" setup.I.Setup.cp_pool;
+      pool "ba-pool-free" setup.I.Setup.ba_pool;
+      pool "ca-pool-free" setup.I.Setup.ca_pool;
+    ]
+
+  (* Post-run sweep: the live structure must satisfy every benchmark
+     invariant, and if the trace shows no committed structural
+     transaction, the cardinalities must not have moved at all. *)
+  let structural_sweep ~(verdict : Sb7_sanitize.Checker.verdict) ~pre
+      ~successes setup =
+    let findings = ref [] in
+    if successes > 0 && verdict.Sb7_sanitize.Checker.attempts = 0 then
+      findings :=
+        Printf.sprintf
+          "no transaction events recorded although %d operations \
+           succeeded: the runtime is not instrumented (wrap it in \
+           Sanitize.Make, as Driver does for sanitized runs)"
+          successes
+        :: !findings;
+    List.iter
+      (fun v -> findings := ("invariant violated: " ^ v) :: !findings)
+      (I.Invariants.check setup);
+    if verdict.Sb7_sanitize.Checker.structural_commits = 0 then
+      List.iter2
+        (fun (name, before) (name', after) ->
+          assert (String.equal name name');
+          if before <> after then
+            findings :=
+              Printf.sprintf
+                "%s changed %d -> %d although no structural transaction \
+                 committed"
+                name before after
+              :: !findings)
+        pre (cardinalities setup);
+    List.rev !findings
 
   (* Spawn is sequential (and on a loaded machine, slow): without a
      barrier the first domain measures alone while the last is still
@@ -168,6 +226,17 @@ module Make (R : Sb7_runtime.Runtime_intf.S) = struct
       List.iter (fun d -> ignore (Domain.join d)) warm
     end;
     R.reset_stats ();
+    (* Tracing covers exactly the measured window: warmup and setup
+       writes carry version id 0 and need no events. Cardinalities are
+       captured before enabling so the capture itself stays silent. *)
+    let pre_cardinalities =
+      if config.sanitize then begin
+        Sb7_sanitize.Trace.reset ();
+        Some (cardinalities setup)
+      end
+      else None
+    in
+    if config.sanitize then Sb7_sanitize.Trace.enable ();
     let stop = Atomic.make false in
     let ready = Atomic.make 0 and go = Atomic.make false in
     let domains =
@@ -195,6 +264,21 @@ module Make (R : Sb7_runtime.Runtime_intf.S) = struct
     let stats =
       Stats.merge ~ops:(Array.length ops) ~histograms:config.histograms parts
     in
+    let sanitizer =
+      match pre_cardinalities with
+      | None -> None
+      | Some pre ->
+        Sb7_sanitize.Trace.disable ();
+        let dump = Sb7_sanitize.Trace.dump () in
+        let profile = Sb7_sanitize.Checker.profile_of_runtime R.name in
+        let verdict = Sb7_sanitize.Checker.analyze ~profile dump in
+        let structural =
+          structural_sweep ~verdict ~pre
+            ~successes:(Stats.total_successes stats)
+            setup
+        in
+        Some (Sb7_sanitize.Checker.with_structural verdict structural)
+    in
     {
       runtime_name = R.name;
       workload = config.workload;
@@ -213,5 +297,7 @@ module Make (R : Sb7_runtime.Runtime_intf.S) = struct
       long_traversals = config.long_traversals;
       structure_mods = config.structure_mods;
       reduced_ops = config.reduced_ops;
+      seed = config.seed;
+      sanitizer;
     }
 end

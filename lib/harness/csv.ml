@@ -13,7 +13,7 @@ let header_summary =
    commits,aborts,validation_steps,max_read_set,read_set_entries,\
    dedup_hits,bloom_skips,extensions,clock_reuses,ro_zero_log_commits,\
    ro_inline_revalidations,ro_demotions,commit_imbalance,\
-   per_domain_successes"
+   per_domain_successes,seed,sanitizer"
 
 (* The STM counters exported per summary row; 0 for lock runtimes. *)
 let summary_counters =
@@ -53,10 +53,15 @@ let summary_row (r : Run_result.t) =
           (fun k -> string_of_int (Run_result.counter r k))
           summary_counters))
   (* Semicolon-joined so the per-domain vector stays one CSV field. *)
-  ^ Printf.sprintf ",%.3f,%s"
+  ^ Printf.sprintf ",%.3f,%s,%d,%s"
       (Run_result.commit_imbalance r)
       (String.concat ";"
          (Array.to_list (Array.map string_of_int r.per_domain_successes)))
+      r.seed
+      (* comma-free by construction (Checker.csv_cell) *)
+      (match r.sanitizer with
+      | None -> "off"
+      | Some v -> Sb7_sanitize.Checker.csv_cell v)
 
 let header_per_op =
   "runtime,workload,threads,op,category,read_only,successes,failures,\

@@ -4,8 +4,15 @@
 let run_with (runtime : Sb7_runtime.Registry.packed) (config : Benchmark.config)
     : Run_result.t =
   let module R = (val runtime : Sb7_runtime.Runtime_intf.S) in
-  let module B = Benchmark.Make (R) in
-  B.run config
+  if config.Benchmark.sanitize then
+    (* The instrumented drop-in: same Runtime_intf.S, every tvar access
+       and attempt boundary recorded while tracing is enabled. *)
+    let module S = Sb7_sanitize.Sanitize.Make (R) in
+    let module B = Benchmark.Make (S) in
+    B.run config
+  else
+    let module B = Benchmark.Make (R) in
+    B.run config
 
 let run ~runtime_name (config : Benchmark.config) :
     (Run_result.t, string) result =

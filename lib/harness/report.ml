@@ -130,7 +130,12 @@ let print_summary ppf (r : Run_result.t) =
       (fun (k, v) -> Format.fprintf ppf " %s=%d" k v)
       r.runtime_counters;
     Format.fprintf ppf "@."
-  end
+  end;
+  match r.sanitizer with
+  | None -> ()
+  | Some v ->
+    section ppf "Sanitizer";
+    Format.fprintf ppf "%s@." (Sb7_sanitize.Checker.summary v)
 
 let print ppf (r : Run_result.t) =
   print_parameters ppf r;

@@ -20,6 +20,9 @@ type t = {
   long_traversals : bool;
   structure_mods : bool;
   reduced_ops : bool;
+  seed : int;
+  sanitizer : Sb7_sanitize.Checker.verdict option;
+      (* None when the run was not sanitized *)
 }
 
 (** Value of a named runtime counter, 0 when the runtime does not

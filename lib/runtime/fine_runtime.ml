@@ -100,14 +100,25 @@ let try_write_lock lock =
 let release_read lock = ignore (Atomic.fetch_and_add lock (-1))
 let release_write lock = Atomic.set lock 0
 
+(* Per-tvar lock identity for the sanitizer's acquire/release events:
+   too numerous to register by name, so they live in the anonymous uid
+   space (see Lock_hooks). *)
+module Hooks = Sb7_rwlock.Lock_hooks
+
+let lock_uid tv = Hooks.anonymous_base + tv.id
+
 let lock_for_read ctx tv =
   match Hashtbl.find_opt ctx.held tv.id with
   | Some _ -> () (* already held in either mode *)
   | None ->
     if not (try_read_lock tv.lock) then raise Restart;
     Counter.incr acquisitions;
+    Hooks.on_acquire ~id:(lock_uid tv) ~exclusive:false;
     Hashtbl.add ctx.held tv.id
-      (ref Held_read, fun () -> release_read tv.lock)
+      ( ref Held_read,
+        fun () ->
+          Hooks.on_release ~id:(lock_uid tv) ~exclusive:false;
+          release_read tv.lock )
 
 let lock_for_write ctx tv =
   match Hashtbl.find_opt ctx.held tv.id with
@@ -116,15 +127,25 @@ let lock_for_write ctx tv =
     (* Upgrade: legal only as the sole reader (1 -> -1). *)
     if Atomic.compare_and_set tv.lock 1 (-1) then begin
       Counter.incr upgrades;
+      Hooks.on_release ~id:(lock_uid tv) ~exclusive:false;
+      Hooks.on_acquire ~id:(lock_uid tv) ~exclusive:true;
       mode := Held_write;
-      Hashtbl.replace ctx.held tv.id (mode, fun () -> release_write tv.lock)
+      Hashtbl.replace ctx.held tv.id
+        ( mode,
+          fun () ->
+            Hooks.on_release ~id:(lock_uid tv) ~exclusive:true;
+            release_write tv.lock )
     end
     else raise Restart
   | None ->
     if not (try_write_lock tv.lock) then raise Restart;
     Counter.incr acquisitions;
+    Hooks.on_acquire ~id:(lock_uid tv) ~exclusive:true;
     Hashtbl.add ctx.held tv.id
-      (ref Held_write, fun () -> release_write tv.lock)
+      ( ref Held_write,
+        fun () ->
+          Hooks.on_release ~id:(lock_uid tv) ~exclusive:true;
+          release_write tv.lock )
 
 let read tv =
   match (Domain.DLS.get state_key).active with

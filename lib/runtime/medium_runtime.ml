@@ -34,6 +34,28 @@ let write_acquisitions = Counter.create ()
 let structural_ops = Counter.create ()
 let commits = Counter.create ()
 
+(* Seeded-bug fixture for the sanitizer (docs/SANITIZER.md): when set,
+   the first write-mode entry of every locking plan is silently skipped
+   in both acquire and release, so one declared write domain runs
+   unprotected. The lockset checker must flag the resulting races;
+   never set outside sanitizer fixtures. *)
+module Unsafe = struct
+  let dropping = ref false
+  let drop_first_write_lock () = dropping := true
+  let reset () = dropping := false
+end
+
+let drop_first_write plan =
+  let rec go = function
+    | [] -> []
+    | (_, `Write) :: rest -> rest
+    | entry :: rest -> entry :: go rest
+  in
+  go plan
+
+let effective_plan plan =
+  if !Unsafe.dropping then drop_first_write plan else plan
+
 let acquire_plan plan =
   List.iter
     (fun (d, mode) ->
@@ -62,7 +84,7 @@ let atomic ~profile f =
     end
     else Read
   in
-  let plan = Op_profile.locking_plan profile in
+  let plan = effective_plan (Op_profile.locking_plan profile) in
   Rwlock.acquire structure_lock structure_mode;
   acquire_plan plan;
   match f () with

@@ -1,3 +1,13 @@
 (** See the implementation header for the strategy description. *)
 
 include Runtime_intf.S
+
+(** Seeded-bug fixture for the sanitizer: {!drop_first_write_lock}
+    makes every locking plan silently skip its first write-mode domain
+    lock (acquire and release), producing real data races that the
+    lockset checker must catch. For sanitizer tests and the
+    [sb7_sanitize seeded] CI fixture only — never in benchmarks. *)
+module Unsafe : sig
+  val drop_first_write_lock : unit -> unit
+  val reset : unit -> unit
+end

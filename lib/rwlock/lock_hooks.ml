@@ -1,0 +1,60 @@
+(** Sanitizer instrumentation points for every lock in the system.
+
+    The sanitizer (lib/sanitize) lives above this library in the
+    dependency order, so it cannot be called directly from {!Rwlock};
+    instead the lock implementations report acquisitions and releases
+    through these mutable hooks, which the sanitizer installs before a
+    traced run. When [enabled] is false (the default, and the only
+    state outside sanitized runs) the hooks cost one boolean load per
+    lock transition.
+
+    [enabled] is a plain (non-atomic) cell: it is toggled only while
+    the system is quiesced — before worker domains are spawned and
+    after they are joined — and [Domain.spawn]/[Domain.join] provide
+    the happens-before edges that publish the new value to every
+    worker. *)
+
+type hook = id:int -> exclusive:bool -> unit
+
+let noop : hook = fun ~id:_ ~exclusive:_ -> ()
+let enabled = ref false
+let acquire_hook = ref noop
+let release_hook = ref noop
+
+let set_hooks ~acquire ~release =
+  acquire_hook := acquire;
+  release_hook := release
+
+let enable () = enabled := true
+let disable () = enabled := false
+
+let on_acquire ~id ~exclusive = if !enabled then !acquire_hook ~id ~exclusive
+let on_release ~id ~exclusive = if !enabled then !release_hook ~id ~exclusive
+
+(* Lock identities. Named locks (the rwlocks of the coarse and medium
+   runtimes) register at creation time — a rare, setup-phase event —
+   so the offline checker can map uids back to names and to the
+   declared lock-order table. Per-tvar lock words (the fine runtime)
+   are too numerous to register; they carry [anonymous_base + tvar id]
+   and stay nameless (and unranked) in reports. *)
+
+let next_uid = Atomic.make 1
+let registry_mutex = Mutex.create ()
+let registered : (int * string) list ref = ref []
+
+let register ~name =
+  let uid = Atomic.fetch_and_add next_uid 1 in
+  Mutex.lock registry_mutex;
+  registered := (uid, name) :: !registered;
+  Mutex.unlock registry_mutex;
+  uid
+
+let registered_locks () =
+  Mutex.lock registry_mutex;
+  let l = !registered in
+  Mutex.unlock registry_mutex;
+  l
+
+(** Uid space for unregistered per-tvar locks: [anonymous_base + id]
+    cannot collide with registered uids (which are small). *)
+let anonymous_base = 1 lsl 40

@@ -1,0 +1,33 @@
+(** Sanitizer instrumentation points for lock implementations.
+
+    Lock code calls {!on_acquire} / {!on_release} after taking and
+    before dropping a lock; the calls are no-ops (one boolean load)
+    unless a sanitizer has installed hooks with {!set_hooks} and
+    enabled them. Toggle {!enable}/{!disable} only while no worker
+    domain is running: the flag is plain shared state published by the
+    spawn/join happens-before edges. *)
+
+type hook = id:int -> exclusive:bool -> unit
+
+val set_hooks : acquire:hook -> release:hook -> unit
+val enable : unit -> unit
+val disable : unit -> unit
+
+(** [on_acquire ~id ~exclusive] — the caller now holds lock [id]
+    ([exclusive] = write mode). Call it {e after} the acquisition
+    succeeds, so everything between the acquire and release events in
+    one domain's program order really ran under the lock. *)
+val on_acquire : id:int -> exclusive:bool -> unit
+
+(** [on_release ~id ~exclusive] — call {e before} actually releasing. *)
+val on_release : id:int -> exclusive:bool -> unit
+
+(** Allocate a uid for a named lock and record the (uid, name) pair for
+    the offline checker. Creation-time only (takes a mutex). *)
+val register : name:string -> int
+
+val registered_locks : unit -> (int * string) list
+
+(** Base for unregistered (per-tvar) lock uids: [anonymous_base + id]
+    never collides with registered uids. *)
+val anonymous_base : int

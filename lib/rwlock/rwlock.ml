@@ -4,6 +4,7 @@ type mode =
 
 type t = {
   lock_name : string;
+  uid : int; (* sanitizer identity; see Lock_hooks *)
   mutex : Mutex.t;
   can_read : Condition.t;
   can_write : Condition.t;
@@ -15,6 +16,7 @@ type t = {
 let create ?(name = "rwlock") () =
   {
     lock_name = name;
+    uid = Lock_hooks.register ~name;
     mutex = Mutex.create ();
     can_read = Condition.create ();
     can_write = Condition.create ();
@@ -24,6 +26,7 @@ let create ?(name = "rwlock") () =
   }
 
 let name t = t.lock_name
+let uid t = t.uid
 
 let acquire_read t =
   Mutex.lock t.mutex;
@@ -32,7 +35,8 @@ let acquire_read t =
     Condition.wait t.can_read t.mutex
   done;
   t.active_readers <- t.active_readers + 1;
-  Mutex.unlock t.mutex
+  Mutex.unlock t.mutex;
+  Lock_hooks.on_acquire ~id:t.uid ~exclusive:false
 
 let acquire_write t =
   Mutex.lock t.mutex;
@@ -42,9 +46,11 @@ let acquire_write t =
   done;
   t.blocked_writers <- t.blocked_writers - 1;
   t.writer <- true;
-  Mutex.unlock t.mutex
+  Mutex.unlock t.mutex;
+  Lock_hooks.on_acquire ~id:t.uid ~exclusive:true
 
 let release_read t =
+  Lock_hooks.on_release ~id:t.uid ~exclusive:false;
   Mutex.lock t.mutex;
   assert (t.active_readers > 0);
   t.active_readers <- t.active_readers - 1;
@@ -54,6 +60,7 @@ let release_read t =
   Mutex.unlock t.mutex
 
 let release_write t =
+  Lock_hooks.on_release ~id:t.uid ~exclusive:true;
   Mutex.lock t.mutex;
   assert t.writer;
   t.writer <- false;

@@ -21,6 +21,11 @@ val create : ?name:string -> unit -> t
 
 val name : t -> string
 
+(** Sanitizer identity of this lock, allocated by
+    {!Lock_hooks.register} at creation; acquire/release events carry
+    it when tracing is enabled. *)
+val uid : t -> int
+
 val acquire : t -> mode -> unit
 
 val release : t -> mode -> unit

@@ -1,0 +1,61 @@
+(** Offline analysis of sanitizer traces ({!Trace.dump}).
+
+    Three analyses, selected per runtime by {!profile_of_runtime}:
+
+    - {b opacity/snapshot}: replays every transaction attempt —
+      committed, rolled back and aborted alike — and verifies it
+      observed a consistent snapshot, and that the committed history is
+      serializable (multi-version serialization graph acyclicity, plus
+      per-tvar version-chain integrity: a fork in a chain is a lost
+      update). Runs for every runtime.
+    - {b Eraser-style lockset races}: for the lock-based runtimes,
+      every shared tvar's accesses must be pairwise ordered by some
+      common lock held exclusively on at least one side; the
+      acquisition order of ranked locks is checked against the declared
+      lock-order table (the same order sb7-lint's R3 enforces
+      statically).
+    - {b structural sweep}: performed by the harness (it needs the live
+      structure); its findings are attached with {!with_structural}. *)
+
+type profile = {
+  rollback_on_failure : bool;
+      (** the runtime rolls back effects when the operation raises; when
+          false (coarse/medium/seq), a rolled-back attempt's writes are
+          committed effects and are treated as such by the replay *)
+  lockset : bool;  (** run the race / lock-order analyses *)
+  ranked_locks : (string * int) list;
+      (** lock name -> acquisition rank (lower first); locks outside
+          the table (per-tvar locks) are exempt from order checking *)
+}
+
+(** Analysis profile of a shipped runtime, by registry name. Unknown
+    names get the most conservative profile (no rollback, no locks). *)
+val profile_of_runtime : string -> profile
+
+type verdict = {
+  domains : int;
+  events : int;
+  attempts : int;
+  committed : int;
+  aborted : int;  (** retried internally: conflict / lock restart *)
+  rolled_back : int;  (** operation raised (e.g. [Operation_failed]) *)
+  structural_commits : int;  (** effective attempts flagged structural *)
+  opacity : string list;
+  races : string list;
+  lock_order : string list;
+  structural : string list;
+}
+
+val analyze : profile:profile -> Trace.dump -> verdict
+
+(** Attach the harness's structural-sweep findings. *)
+val with_structural : verdict -> string list -> verdict
+
+val clean : verdict -> bool
+
+(** Multi-line human report. *)
+val summary : verdict -> string
+
+(** Single CSV field (no commas): ["off"] is the caller's business;
+    here ["clean"] or ["flagged;opacity=N;races=N;order=N;structural=N"]. *)
+val csv_cell : verdict -> string

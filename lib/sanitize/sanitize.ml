@@ -1,0 +1,94 @@
+(** [Sanitize.Make (R)] — a drop-in instrumented runtime.
+
+    A wrapped tvar is an inner tvar holding one immutable cell
+    [{ v; wid; sid }]: the value, the write id identifying the exact
+    version a read observed, and the stable trace id of the tvar
+    itself. Because the cell is a single immutable OCaml block, even a
+    racy runtime can never deliver a torn (value of one version, id of
+    another) observation — and because the tvar holds the cell
+    directly, a disabled-tracing read costs exactly one extra
+    dependent load over the bare runtime (the cell block) plus a
+    boolean check. Version 0 means "written while tracing was off"
+    (initial values included), so warmup and setup writes need no
+    events.
+
+    The bechamel pair [tl2-ro-read-64-bare] /
+    [tl2-ro-read-64-sanitize-off] keeps the "cheap when off" claim
+    honest (see docs/SANITIZER.md).
+
+    Sanitize-mode semantics differ from the bare runtime in one
+    deliberate way: [write] first performs an inner [R.read] to carry
+    the stable [sid] forward and capture the overwritten version
+    ([prev]), which under TL2/LSA/ASTM adds written-only tvars to the
+    read set (slightly stricter conflict detection) and under the fine
+    runtime takes the read lock before upgrading. Both are
+    conservative: they can only turn a success into a retry, never
+    mask a bug. The [prev] links give the checker the exact per-tvar
+    version order without assuming anything about the runtime's
+    internals. *)
+
+module Make (R : Sb7_runtime.Runtime_intf.S) = struct
+  let name = R.name
+
+  type 'a cell = { v : 'a; wid : int; sid : int }
+  type 'a tvar = 'a cell R.tvar
+
+  (* Trace tvar ids: unique across domains (chunked allocator),
+     independent of the wrapped runtime's own ids. *)
+  let sids = Sb7_stm.Tvar_id.create ()
+
+  let make v =
+    let wid = if !Trace.on then Trace.next_wid () else 0 in
+    R.make { v; wid; sid = Sb7_stm.Tvar_id.fresh sids }
+
+  let read tv =
+    let c = R.read tv in
+    if !Trace.on then Trace.on_read ~sid:c.sid ~wid:c.wid;
+    c.v
+
+  let write tv v =
+    let c = R.read tv in
+    if !Trace.on then begin
+      let wid = Trace.next_wid () in
+      R.write tv { v; wid; sid = c.sid };
+      Trace.on_write ~sid:c.sid ~wid ~prev:c.wid
+    end
+    else R.write tv { v; wid = 0; sid = c.sid }
+
+  (* Nesting depth: operations occasionally run an inner [R.atomic]
+     that the runtimes flatten into the enclosing transaction; only the
+     outermost wrapper emits attempt boundaries, or a flattened inner
+     call would masquerade as an aborted attempt. *)
+  let depth_key : int ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref 0)
+
+  let atomic ~profile f =
+    if not !Trace.on then R.atomic ~profile f
+    else begin
+      let depth = Domain.DLS.get depth_key in
+      if !depth > 0 then R.atomic ~profile f
+      else begin
+        let ro = Sb7_runtime.Op_profile.read_only profile in
+        let structural = profile.Sb7_runtime.Op_profile.structural in
+        incr depth;
+        (* The runtime re-runs the closure on every internal retry
+           (conflict, lock restart, read-only demotion), so each
+           attempt gets its own begin event. *)
+        match
+          R.atomic ~profile (fun () ->
+              Trace.on_begin ~ro ~structural;
+              f ())
+        with
+        | result ->
+          decr depth;
+          Trace.on_commit ();
+          result
+        | exception exn ->
+          decr depth;
+          Trace.on_rollback ();
+          raise exn
+      end
+    end
+
+  let stats = R.stats
+  let reset_stats = R.reset_stats
+end

@@ -1,0 +1,139 @@
+(* See trace.mli. The buffers are plain int arrays with a domain-local
+   cursor: appending is a few stores, growing doubles the array
+   (amortized O(1), and int arrays are not scanned by the GC). *)
+
+let tag_begin = 0
+let tag_read = 1
+let tag_write = 2
+let tag_commit = 3
+let tag_rollback = 4
+let tag_acquire = 5
+let tag_release = 6
+
+let flag_ro = 1
+let flag_structural = 2
+
+type dump = {
+  streams : int array array;
+  locks : (int * string) list;
+}
+
+type buf = {
+  mutable data : int array;
+  mutable len : int;
+}
+
+(* All buffers ever created, for reset/dump; registration happens once
+   per domain, under a mutex. *)
+let registry_mutex = Mutex.create ()
+let buffers : buf list ref = ref []
+
+let buf_key : buf Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      let b = { data = Array.make (1 lsl 14) 0; len = 0 } in
+      Mutex.lock registry_mutex;
+      buffers := b :: !buffers;
+      Mutex.unlock registry_mutex;
+      b)
+
+let reserve b n =
+  let cap = Array.length b.data in
+  if b.len + n > cap then begin
+    let bigger = Array.make (2 * max cap (b.len + n)) 0 in
+    Array.blit b.data 0 bigger 0 b.len;
+    b.data <- bigger
+  end
+
+(* Plain flag, toggled only while quiesced (see .mli). *)
+let on = ref false
+let enabled () = !on
+
+(* Global logical counters. Only touched while tracing, so the
+   contention is confined to sanitized runs. *)
+let wid_counter = Atomic.make 0
+let ts_counter = Atomic.make 0
+
+let next_wid () = 1 + Atomic.fetch_and_add wid_counter 1
+let next_ts () = 1 + Atomic.fetch_and_add ts_counter 1
+
+let append1 t =
+  let b = Domain.DLS.get buf_key in
+  reserve b 1;
+  b.data.(b.len) <- t;
+  b.len <- b.len + 1
+
+let append3 t a1 a2 =
+  let b = Domain.DLS.get buf_key in
+  reserve b 3;
+  let n = b.len in
+  b.data.(n) <- t;
+  b.data.(n + 1) <- a1;
+  b.data.(n + 2) <- a2;
+  b.len <- n + 3
+
+let append4 t a1 a2 a3 =
+  let b = Domain.DLS.get buf_key in
+  reserve b 4;
+  let n = b.len in
+  b.data.(n) <- t;
+  b.data.(n + 1) <- a1;
+  b.data.(n + 2) <- a2;
+  b.data.(n + 3) <- a3;
+  b.len <- n + 4
+
+let on_begin ~ro ~structural =
+  let flags =
+    (if ro then flag_ro else 0) lor if structural then flag_structural else 0
+  in
+  append3 tag_begin flags (next_ts ())
+
+let on_read ~sid ~wid = append3 tag_read sid wid
+let on_write ~sid ~wid ~prev = append4 tag_write sid wid prev
+let on_commit () = append3 tag_commit (next_ts ()) 0
+let on_rollback () = append1 tag_rollback
+
+(* Commit records 3 ints with a trailing 0 so every tag has a fixed
+   arity; the checker skips by arity. *)
+
+let hooks_installed = ref false
+
+let install_hooks () =
+  if not !hooks_installed then begin
+    hooks_installed := true;
+    Sb7_rwlock.Lock_hooks.set_hooks
+      ~acquire:(fun ~id ~exclusive ->
+        append3 tag_acquire id (if exclusive then 1 else 0))
+      ~release:(fun ~id ~exclusive ->
+        append3 tag_release id (if exclusive then 1 else 0))
+  end
+
+let enable () =
+  install_hooks ();
+  on := true;
+  Sb7_rwlock.Lock_hooks.enable ()
+
+let disable () =
+  on := false;
+  Sb7_rwlock.Lock_hooks.disable ()
+
+let reset () = List.iter (fun b -> b.len <- 0) !buffers
+
+let dump () =
+  let streams =
+    !buffers
+    |> List.filter (fun b -> b.len > 0)
+    |> List.map (fun b -> Array.sub b.data 0 b.len)
+    |> Array.of_list
+  in
+  { streams; locks = Sb7_rwlock.Lock_hooks.registered_locks () }
+
+let save path d =
+  let oc = open_out_bin path in
+  Marshal.to_channel oc d [];
+  close_out oc
+
+let load path =
+  let ic = open_in_bin path in
+  let d : dump = Marshal.from_channel ic in
+  close_in ic;
+  d

@@ -1,0 +1,82 @@
+(** Per-domain, per-transaction event traces.
+
+    Each worker domain appends fixed-shape integer event records to its
+    own growable buffer ([Domain.DLS]-held, registered once under a
+    mutex), so recording is lock-free and allocation-free on the hot
+    path. The offline checker ({!Checker}) replays the dumped streams.
+
+    Toggle {!enable}/{!disable} only while quiesced (no worker domains
+    running): the flag is plain shared state published by the
+    spawn/join happens-before edges, mirroring {!Sb7_rwlock.Lock_hooks}. *)
+
+(** {1 Event encoding}
+
+    Events are flat int records, tag first:
+
+    - [tag_begin; flags; ts] — transaction attempt starts ([flags]:
+      bit 0 = declared read-only, bit 1 = structural)
+    - [tag_read; sid; wid] — read of tvar [sid] observing version [wid]
+    - [tag_write; sid; wid; prev] — write creating version [wid] on
+      top of version [prev]
+    - [tag_commit; ts] — the attempt committed
+    - [tag_rollback] — the attempt rolled back with an exception
+    - [tag_acquire; uid; excl] / [tag_release; uid; excl] — lock
+      transitions (from {!Sb7_rwlock.Lock_hooks})
+
+    An attempt that ends with neither commit nor rollback before the
+    next [tag_begin] in the same stream was aborted and retried by the
+    runtime (conflict, lock restart, read-only demotion). *)
+
+val tag_begin : int
+val tag_read : int
+val tag_write : int
+val tag_commit : int
+val tag_rollback : int
+val tag_acquire : int
+val tag_release : int
+
+val flag_ro : int
+val flag_structural : int
+
+(** A quiesced snapshot of all recorded streams, one per domain that
+    recorded anything, plus the registered lock names. *)
+type dump = {
+  streams : int array array;
+  locks : (int * string) list;
+}
+
+(** {1 Recording} *)
+
+val enabled : unit -> bool
+
+(** The raw recording flag behind {!enabled}, exposed so the wrapper's
+    per-access check is a single load with no call — never write it;
+    use {!enable}/{!disable}. *)
+val on : bool ref
+
+(** Also enables {!Sb7_rwlock.Lock_hooks} (hooks are installed on the
+    first call). Call only while quiesced. *)
+val enable : unit -> unit
+
+val disable : unit -> unit
+
+(** Drop all recorded events (buffers stay allocated). Quiesced only. *)
+val reset : unit -> unit
+
+(** Fresh global write id (> 0). Version id 0 is reserved for values
+    written while tracing was off (initial values included). *)
+val next_wid : unit -> int
+
+val on_begin : ro:bool -> structural:bool -> unit
+val on_read : sid:int -> wid:int -> unit
+val on_write : sid:int -> wid:int -> prev:int -> unit
+val on_commit : unit -> unit
+val on_rollback : unit -> unit
+
+(** Snapshot the streams. Quiesced only. *)
+val dump : unit -> dump
+
+(** {1 Persistence} — traces are saved as CI artifacts on failure. *)
+
+val save : string -> dump -> unit
+val load : string -> dump

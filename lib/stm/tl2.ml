@@ -195,6 +195,18 @@ let push_read tx entry =
   tx.reads.(n) <- entry;
   tx.nreads <- n + 1
 
+(* Seeded-bug fixture for the sanitizer (docs/SANITIZER.md): when set,
+   read-set validation is skipped at commit AND during timestamp
+   extension, so transactions commit on top of — and expose to later
+   reads within the same transaction — inconsistent snapshots. The
+   opacity checker must flag the lost updates and stale reads this
+   produces; never set outside sanitizer fixtures. *)
+module Unsafe = struct
+  let no_validation = ref false
+  let disable_validation () = no_validation := true
+  let reset () = no_validation := false
+end
+
 (* Check every read entry is still at its recorded version. Entries we
    hold the commit lock on appear as [version + 1]. *)
 let read_set_valid tx ~own_locks =
@@ -215,7 +227,7 @@ let read_set_valid tx ~own_locks =
    the current clock instead of aborting. *)
 let extend tx =
   let now = Global_clock.now clock in
-  if read_set_valid tx ~own_locks:false then begin
+  if !Unsafe.no_validation || read_set_valid tx ~own_locks:false then begin
     tx.rv <- now;
     tx.extensions <- tx.extensions + 1
   end
@@ -350,7 +362,8 @@ let commit tx =
     (* If nothing committed since we started, the read set is trivially
        intact (standard TL2 optimization). *)
     if
-      not (unique && wv = tx.rv + 2)
+      (not !Unsafe.no_validation)
+      && not (unique && wv = tx.rv + 2)
       && not (read_set_valid tx ~own_locks:true)
     then begin
       unlock_acquired tx;

@@ -23,3 +23,14 @@
     fix for ASTM's pathologies. See {!Astm} for the contrast. *)
 
 include Stm_intf.S
+
+(** Seeded-bug fixture for the sanitizer: {!disable_validation} skips
+    read-set validation both at commit time and during timestamp
+    extension, so update transactions can commit on (and observe)
+    inconsistent snapshots — exactly the silent corruption the opacity
+    checker exists to catch. For sanitizer tests and the
+    [sb7_sanitize seeded] CI fixture only — never in benchmarks. *)
+module Unsafe : sig
+  val disable_validation : unit -> unit
+  val reset : unit -> unit
+end

@@ -1,0 +1,13 @@
+(* R5 fixture: the sanctioned-binding granularity. [cast_ref] is on the
+   fixture allowlist (including its nested let), so only [off_list]'s
+   use fires: expected findings, exactly one obj-use error. *)
+
+(* Sanctioned binding: covered, including the nested helper. *)
+let cast_ref (r : int ref) : float ref =
+  let through_repr x = Obj.obj (Obj.repr x) in
+  through_repr r
+
+(* Same primitive, sibling binding not on the allowlist: one finding. *)
+let off_list (r : int ref) : float ref = Obj.magic r
+
+let use () = ignore (cast_ref (ref 1)); ignore (off_list (ref 2))

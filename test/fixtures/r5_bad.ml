@@ -1,0 +1,12 @@
+(* R5 fixture: Obj.* at unsanctioned sites. Expected findings: exactly
+   three obj-use errors — [smuggle] (magic), [inspect] (repr + tag). *)
+
+type boxed = { value : int }
+
+(* One finding: Obj.magic in a binding not on the allowlist. *)
+let smuggle (x : boxed) : int array = Obj.magic x
+
+(* Two findings: Obj.repr and Obj.tag, same unsanctioned binding. *)
+let inspect (x : boxed) = Obj.tag (Obj.repr x)
+
+let use () = ignore (smuggle { value = 1 }); ignore (inspect { value = 2 })

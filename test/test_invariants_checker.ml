@@ -80,6 +80,14 @@ let test_detects_pool_leak () =
   ignore (I.Id_pool.get setup.I.Setup.cp_pool);
   expect_violation setup ~about:"leaked pool id"
 
+let test_detects_id_reuse () =
+  let setup = fresh () in
+  let p = some_ap setup in
+  (* Return a live part's id to the pool: the next allocation can hand
+     it out again, aliasing two parts under one id. *)
+  I.Id_pool.put_back setup.I.Setup.ap_pool p.T.ap_id;
+  expect_violation setup ~about:"live atomic-part id returned to the pool"
+
 let test_detects_broken_graph () =
   let setup = fresh () in
   let cp = some_cp setup in
@@ -119,6 +127,7 @@ let suite =
     Alcotest.test_case "asymmetric link" `Quick test_detects_asymmetric_link;
     Alcotest.test_case "orphan assembly" `Quick test_detects_orphan_assembly;
     Alcotest.test_case "pool leak" `Quick test_detects_pool_leak;
+    Alcotest.test_case "id reuse" `Quick test_detects_id_reuse;
     Alcotest.test_case "broken part graph" `Quick test_detects_broken_graph;
     Alcotest.test_case "childless complex assembly" `Quick
       test_detects_childless_complex;

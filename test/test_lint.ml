@@ -55,6 +55,11 @@ let fixture_config : Lint_config.t =
         r4_write_idents = [ "R.write" ];
         r4_write_fields = [ "put" ];
       };
+    r5 =
+      {
+        r5_prefixes = [ "Lint_fixtures__R5" ];
+        r5_allowed = [ ("Lint_fixtures__R5_allowed", Some "cast_ref") ];
+      };
     strict_local = false;
   }
 
@@ -213,6 +218,22 @@ let test_r4_honest_ops_clean () =
     (List.length
        (List.filter (in_file "r4_helpers.ml") r.Lint_engine.findings))
 
+let test_r5_fires () =
+  (* smuggle's Obj.magic, inspect's Obj.tag and Obj.repr. *)
+  check_count ~rule:"obj-use" ~file:"r5_bad.ml" 3
+
+let test_r5_sanctioned_binding () =
+  (* Only off_list's Obj.magic: the allowlisted cast_ref binding —
+     nested helper included — contributes nothing. *)
+  check_count ~rule:"obj-use" ~file:"r5_allowed.ml" 1;
+  let r = Lazy.force result in
+  Alcotest.(check bool)
+    "the finding is in off_list, not cast_ref" true
+    (List.for_all
+       (fun (f : Lint_finding.t) ->
+         not (in_file "r5_allowed.ml" f) || f.line >= 11)
+       r.Lint_engine.findings)
+
 let test_strict_local_notices () =
   let r = run ~strict_local:true () in
   Alcotest.(check bool)
@@ -252,6 +273,12 @@ let () =
           Alcotest.test_case "release on both paths" `Quick test_r3_release;
           Alcotest.test_case "undeclared lock" `Quick test_r3_lock_table;
           Alcotest.test_case "no-wait discipline" `Quick test_r3_nowait;
+        ] );
+      ( "r5-obj-use",
+        [
+          Alcotest.test_case "violations fire" `Quick test_r5_fires;
+          Alcotest.test_case "sanctioned binding granularity" `Quick
+            test_r5_sanctioned_binding;
         ] );
       ( "r4-profile-honesty",
         [
