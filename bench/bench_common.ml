@@ -48,11 +48,13 @@ type point_config = {
   index_kind : Sb7_core.Index_intf.kind;
   cm : Sb7_stm.Contention.policy;
   max_ops : int option;
+  dispatch : Sb7_harness.Dispatch.mode;
 }
 
 let point ?(long_traversals = true) ?(structure_mods = true)
     ?(reduced = false) ?(index_kind = Sb7_core.Index_intf.Avl)
-    ?(cm = Sb7_stm.Contention.Polka) ?max_ops ~runtime ~workload ~threads () =
+    ?(cm = Sb7_stm.Contention.Polka) ?max_ops
+    ?(dispatch = Sb7_harness.Dispatch.Uniform) ~runtime ~workload ~threads () =
   {
     runtime;
     workload;
@@ -63,6 +65,7 @@ let point ?(long_traversals = true) ?(structure_mods = true)
     index_kind;
     cm;
     max_ops;
+    dispatch;
   }
 
 (* Every measured point is also collected here so main can dump the
@@ -88,6 +91,7 @@ let run_point (s : settings) (pt : point_config) : RR.t =
       structure_mods = pt.structure_mods;
       reduced_ops = pt.reduced;
       only_op = None;
+      dispatch = pt.dispatch;
       scale = s.scale;
       scale_name = s.scale_name;
       index_kind = pt.index_kind;

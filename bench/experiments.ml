@@ -6,6 +6,7 @@
 open Bench_common
 module W = Sb7_harness.Workload
 module RR = Sb7_harness.Run_result
+module D = Sb7_harness.Dispatch
 module Category = Sb7_core.Category
 
 (* --- Table 2: default ratios for operation categories --- *)
@@ -310,6 +311,26 @@ let quick (s : settings) =
             scaling_threads ))
       [ "tl2"; "lsa" ]
   in
+  (* Uniform vs conflict-aware dispatch on the write-dominated mix at 2
+     domains — the configuration the static conflict matrix targets
+     (docs/FOOTPRINT.md). Duration-based so abort pressure is real. *)
+  let dispatch_modes = [ D.Uniform; D.Conflict_aware ] in
+  let dispatch_settings = { s with duration = 0.4; warmup = 0.1 } in
+  let dispatch_results =
+    List.map
+      (fun runtime ->
+        ( runtime,
+          List.map
+            (fun dispatch ->
+              let r =
+                run_point dispatch_settings
+                  (point ~runtime ~workload:W.Write_dominated ~threads:2
+                     ~long_traversals:false ~dispatch ())
+              in
+              (dispatch, r))
+            dispatch_modes ))
+      [ "tl2"; "lsa" ]
+  in
   Printf.printf "%-8s %12s %10s %8s %12s %12s %12s %12s %12s\n" "runtime"
     "ops/s" "commits" "aborts" "valid.steps" "rs.entries" "dedup.hits"
     "bloom.skips" "clk.reuses";
@@ -335,6 +356,27 @@ let quick (s : settings) =
         (c "ro_demotions") (c "max_read_set"))
     ro_results;
   Printf.printf
+    "\nwrite-dominated, 2 domains, uniform vs conflict-aware dispatch \
+     (conflict pairs = statically conflicting op pairs runnable \
+     concurrently):\n";
+  Printf.printf "%-8s %-15s %15s %12s %10s %8s %12s\n" "runtime" "dispatch"
+    "conflict.pairs" "ops/s" "commits" "aborts" "abort.rate";
+  List.iter
+    (fun (runtime, series) ->
+      List.iter
+        (fun (dispatch, r) ->
+          let commits = RR.counter r "commits"
+          and aborts = RR.counter r "aborts" in
+          let abort_rate =
+            if commits + aborts = 0 then 0.
+            else float_of_int aborts /. float_of_int (commits + aborts)
+          in
+          Printf.printf "%-8s %-15s %15d %12.1f %10d %8d %12.4f\n" runtime
+            (D.mode_to_string dispatch)
+            r.RR.conflict_pairs (RR.throughput r) commits aborts abort_rate)
+        series)
+    dispatch_results;
+  Printf.printf
     "\ndomain scaling, read-dominated (%.1fs per point, %d host cores; \
      imbalance = max per-domain commits / mean):\n"
     scaling_settings.duration
@@ -359,7 +401,7 @@ let quick (s : settings) =
     let oc = open_out path in
     let b = Buffer.create 2048 in
     Buffer.add_string b "{\n";
-    Buffer.add_string b "  \"schema\": \"sb7-bench-quick/3\",\n";
+    Buffer.add_string b "  \"schema\": \"sb7-bench-quick/4\",\n";
     Buffer.add_string b
       (Printf.sprintf
          "  \"scale\": %S,\n  \"workload\": %S,\n  \"threads\": 1,\n\
@@ -410,6 +452,39 @@ let quick (s : settings) =
                    counter_keys))
              (if i = List.length ro_results - 1 then "" else ",")))
       ro_results;
+    Buffer.add_string b "  ]},\n";
+    Buffer.add_string b
+      (Printf.sprintf
+         "  \"dispatch\": {\"workload\": \"w\", \"threads\": 2, \
+          \"duration_s\": %.2f, \"host_cores\": %d, \"strategies\": [\n"
+         dispatch_settings.duration
+         (Domain.recommended_domain_count ()));
+    List.iteri
+      (fun i (runtime, series) ->
+        Buffer.add_string b
+          (Printf.sprintf "    {\"runtime\": %S, \"modes\": [\n" runtime);
+        List.iteri
+          (fun j (dispatch, r) ->
+            let commits = RR.counter r "commits"
+            and aborts = RR.counter r "aborts" in
+            let abort_rate =
+              if commits + aborts = 0 then 0.
+              else float_of_int aborts /. float_of_int (commits + aborts)
+            in
+            Buffer.add_string b
+              (Printf.sprintf
+                 "      {\"dispatch\": %S, \"conflict_pairs\": %d, \
+                  \"ops_per_s\": %.1f, \"commits\": %d, \"aborts\": %d, \
+                  \"abort_rate\": %.4f}%s\n"
+                 (D.mode_to_string dispatch)
+                 r.RR.conflict_pairs (RR.throughput r) commits aborts
+                 abort_rate
+                 (if j = List.length series - 1 then "" else ",")))
+          series;
+        Buffer.add_string b
+          (Printf.sprintf "    ]}%s\n"
+             (if i = List.length dispatch_results - 1 then "" else ",")))
+      dispatch_results;
     Buffer.add_string b "  ]},\n";
     Buffer.add_string b
       (Printf.sprintf

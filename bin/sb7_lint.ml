@@ -4,9 +4,9 @@
 
 open Cmdliner
 
-let known_rules = [ "R1"; "R2"; "R3"; "R4"; "R5" ]
+let known_rules = [ "R1"; "R2"; "R3"; "R4"; "R5"; "R6" ]
 
-let run paths json strict_local source_root rules =
+let run paths json sarif strict_local allow_stale source_root rules =
   (match List.filter (fun r -> not (List.mem r known_rules)) rules with
   | [] -> ()
   | unknown ->
@@ -23,6 +23,19 @@ let run paths json strict_local source_root rules =
   let config =
     let base = Sb7_analysis.Lint_config.default in
     let base = { base with Sb7_analysis.Lint_config.strict_local } in
+    (* R4 verifies the generated footprint table's pure-read set, not
+       the hand-written ~writes declarations: the generator decides
+       which operations take the read-only fast path (Op_footprint
+       feeds Op_profile.ro_hint), so the generator is what honesty
+       checking must police. *)
+    let base =
+      let open Sb7_analysis.Lint_config in
+      {
+        base with
+        r4 =
+          { base.r4 with r4_ro_codes = Sb7_core.Op_footprint.pure_read_codes };
+      }
+    in
     match rules with
     | [] -> base
     | rules ->
@@ -42,14 +55,33 @@ let run paths json strict_local source_root rules =
         r5 =
           (if List.mem "R5" rules then base.r5
            else { base.r5 with r5_prefixes = [] });
+        r6 =
+          (if List.mem "R6" rules then base.r6
+           else { base.r6 with r6_prefixes = [] });
       }
   in
   let result =
     Sb7_analysis.Lint_engine.run ~config ~source_root ~paths ()
   in
-  if json then print_string (Sb7_analysis.Lint_engine.render_json result)
+  if sarif then print_string (Sb7_analysis.Lint_engine.render_sarif result)
+  else if json then print_string (Sb7_analysis.Lint_engine.render_json result)
   else print_string (Sb7_analysis.Lint_engine.render_text result);
-  if result.Sb7_analysis.Lint_engine.findings = [] then 0 else 1
+  (* Under --strict-local a stale suppression is an error, not a
+     warning: the audit mode demands every in-source waiver still earn
+     its keep. --allow-stale restores the warning during refactors. *)
+  let stale_fails =
+    strict_local && (not allow_stale)
+    && result.Sb7_analysis.Lint_engine.stale_suppressions <> []
+  in
+  if stale_fails && (sarif || json) then
+    List.iter
+      (fun (file, line, rule) ->
+        Printf.eprintf
+          "%s:%d: error: stale suppression for rule %S matches no finding\n"
+          file line rule)
+      result.Sb7_analysis.Lint_engine.stale_suppressions;
+  if result.Sb7_analysis.Lint_engine.findings = [] && not stale_fails then 0
+  else 1
 
 let paths_arg =
   let doc =
@@ -61,12 +93,26 @@ let paths_arg =
 let json_arg =
   Arg.(value & flag & info [ "json" ] ~doc:"Emit a machine-readable JSON report.")
 
+let sarif_arg =
+  Arg.(value & flag
+       & info [ "sarif" ]
+           ~doc:"Emit a SARIF 2.1.0 report (GitHub code scanning). \
+                 Takes precedence over $(b,--json).")
+
 let strict_local_arg =
   let doc =
-    "Also report provably transaction-local mutable state as notices \
-     (full-purity audit; does not affect the exit code)."
+    "Also report provably transaction-local mutable state as notices, \
+     and fail (exit 1) on stale suppression comments — a full-purity \
+     audit where every waiver must still match a finding."
   in
   Arg.(value & flag & info [ "strict-local" ] ~doc)
+
+let allow_stale_arg =
+  let doc =
+    "With $(b,--strict-local): downgrade stale suppressions back to \
+     warnings (escape hatch for refactors that move findings around)."
+  in
+  Arg.(value & flag & info [ "allow-stale" ] ~doc)
 
 let source_root_arg =
   let doc =
@@ -77,7 +123,7 @@ let source_root_arg =
 
 let rules_arg =
   let doc =
-    "Comma-separated subset of rule families to run (R1,R2,R3,R4,R5)."
+    "Comma-separated subset of rule families to run (R1,R2,R3,R4,R5,R6)."
   in
   Arg.(value & opt (list string) [] & info [ "rules" ] ~docv:"RULES" ~doc)
 
@@ -95,7 +141,9 @@ let cmd =
          an operation registered without a ~writes clause is dispatched \
          through the read-only fast path, so its code must not reach a \
          transactional write or index mutation; (R5) no unsafe Obj.* \
-         primitives outside the sanctioned, DESIGN.md-documented sites.";
+         primitives outside the sanctioned, DESIGN.md-documented sites; \
+         (R6) no closure or transaction-local mutable value stored from \
+         inside an atomic block into state that outlives it.";
       `P
         "Suppress a finding with a comment on the same or preceding \
          line: (* sb7-lint: allow <rule> -- reason *).";
@@ -104,7 +152,7 @@ let cmd =
   Cmd.v
     (Cmd.info "sb7_lint" ~version:"1.0" ~doc ~man)
     Term.(
-      const run $ paths_arg $ json_arg $ strict_local_arg $ source_root_arg
-      $ rules_arg)
+      const run $ paths_arg $ json_arg $ sarif_arg $ strict_local_arg
+      $ allow_stale_arg $ source_root_arg $ rules_arg)
 
 let () = exit (Cmd.eval' cmd)

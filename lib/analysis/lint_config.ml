@@ -71,6 +71,13 @@ type r3_spec = {
     rule. *)
 type r4 = {
   r4_registry_units : string list;
+  r4_ro_codes : string list;
+      (** when non-empty, the set of operation codes to verify as
+          read-only — the inferred pure-read set of the generated
+          footprint table (sb7-lint feeds it
+          [Sb7_core.Op_footprint.pure_read_codes]), replacing the
+          no-[~writes] declaration heuristic: the rule then polices the
+          generator's output rather than the human's claim *)
   r4_profiled_builders : string list;
       (** builder functions whose applications register a profiled
           operation; first positional string literal is the code, last
@@ -84,6 +91,21 @@ type r4 = {
           write (as printed by [Path.name], e.g. ["R.write"]) *)
   r4_write_fields : string list;
       (** record fields whose projection is an index mutation *)
+}
+
+(** Scope of rule R6 (tvar-escape): inside function literals passed to
+    one of [r6_atomic_idents], a closure capturing atomic-scope
+    bindings — or a transaction-local mutable value — must not be
+    stored through a sink that outlives the block. A sink is
+    [(identifier, value_arg, target_arg)]: the positional index of the
+    stored value, and (for mutable-cell sinks) of the mutated target —
+    a store into a target bound inside the same atomic scope dies with
+    the transaction and is exempt; [None] marks tvar sinks, which
+    always outlive. *)
+type r6 = {
+  r6_prefixes : string list;
+  r6_atomic_idents : string list;
+  r6_sinks : (string * int * int option) list;
 }
 
 (** Scope of rule R5 (obj-use): unsafe [Obj.*] primitives are forbidden
@@ -103,6 +125,7 @@ type t = {
   r3 : r3_spec list;
   r4 : r4;
   r5 : r5;
+  r6 : r6;
   strict_local : bool;
       (** when true, R1 also reports provably transaction-local mutable
           state (notices): useful to audit a module for full purity *)
@@ -111,6 +134,7 @@ type t = {
 let disabled_r4 =
   {
     r4_registry_units = [];
+    r4_ro_codes = [];
     r4_profiled_builders = [];
     r4_structural_builders = [];
     r4_universe_prefixes = [];
@@ -152,6 +176,11 @@ let r5_scope t unit_name =
          (fun (u, b) -> if String.equal u unit_name then b else None)
          t.r5.r5_allowed)
 
+let in_r6_scope t unit_name =
+  List.exists
+    (fun p -> String.starts_with ~prefix:p unit_name)
+    t.r6.r6_prefixes
+
 let in_r2_universe t unit_name =
   List.exists
     (fun p -> String.starts_with ~prefix:p unit_name)
@@ -169,8 +198,9 @@ let default =
           [ "Sb7_core__"; "Sb7_stm__"; "Sb7_runtime__"; "Sb7_sanitize__" ];
         (* The blessed per-domain-state modules: sharded statistics and
            counters, the chunked tvar-id allocator, the STM / fine-lock
-           per-domain transaction contexts, and the sanitizer's event
-           buffers and nesting-depth tracking. *)
+           per-domain transaction contexts, the sanitizer's event
+           buffers and nesting-depth tracking, and the current-region
+           bracket feeding the footprint replay. *)
         r1_dls_allowed_units =
           [
             "Sb7_stm__Stm_stats";
@@ -180,6 +210,7 @@ let default =
             "Sb7_stm__Lsa";
             "Sb7_stm__Astm";
             "Sb7_runtime__Fine_runtime";
+            "Sb7_runtime__Region_ctx";
             "Sb7_sanitize__Trace";
             "Sb7_sanitize__Sanitize";
           ];
@@ -243,6 +274,9 @@ let default =
            builders; a missing ~writes makes the profile read-only and
            the runtimes dispatch it through the zero-log path. *)
         r4_registry_units = [ "Sb7_core__Operation" ];
+        (* Empty = the declaration heuristic; bin/sb7_lint substitutes
+           the generated table's pure-read set (see r4_ro_codes doc). *)
+        r4_ro_codes = [];
         r4_profiled_builders =
           [ "long_traversal"; "short_traversal"; "short_operation" ];
         r4_structural_builders = [ "structure_mod" ];
@@ -267,6 +301,26 @@ let default =
             ("Sb7_stm__Padded_atomic", None);
             ("Sb7_stm__Tl2", Some "cast_ref");
             ("Sb7_stm__Lsa", Some "cast_ref");
+          ];
+      };
+    r6 =
+      {
+        r6_prefixes = [ "Sb7_" ];
+        (* The harness wraps every operation body in R.atomic; the
+           uniform read-only dispatch goes through atomic_ro. *)
+        r6_atomic_idents = [ "R.atomic"; "R.atomic_ro" ];
+        r6_sinks =
+          [
+            (* Writing to a tvar always outlives the attempt. *)
+            ("R.write", 1, None);
+            (* Mutable-cell stores escape only when the cell itself is
+               defined outside the atomic scope. *)
+            ("Stdlib.:=", 1, Some 0);
+            ("Stdlib.Hashtbl.add", 2, Some 0);
+            ("Stdlib.Hashtbl.replace", 2, Some 0);
+            ("Stdlib.Queue.add", 0, Some 1);
+            ("Stdlib.Queue.push", 0, Some 1);
+            ("Stdlib.Stack.push", 0, Some 1);
           ];
       };
     strict_local = false;

@@ -28,6 +28,8 @@ let run ~(config : Lint_config.t) ~source_root ~paths () =
         raw := Rule_r1.check_dls u @ !raw;
       if Lint_config.in_r2_universe config name && Hashtbl.mem reachable name
       then raw := Rule_r2.check u @ !raw;
+      if Lint_config.in_r6_scope config name then
+        raw := Rule_r6.check config.Lint_config.r6 u @ !raw;
       (match Lint_config.r5_scope config name with
       | `Skip -> ()
       | `Check allowed_bindings ->
@@ -50,6 +52,18 @@ let run ~(config : Lint_config.t) ~source_root ~paths () =
       Hashtbl.add tables file t;
       t
   in
+  (* Load every scanned unit's suppression table up front, not only the
+     files that produced findings: a file whose findings have all been
+     fixed is exactly where a suppression goes stale, and on the
+     finding-driven path it would never be read. Unit sources and
+     finding locations record the same root-relative path, so the cache
+     key is shared. *)
+  List.iter
+    (fun u ->
+      match u.Cmt_unit.source with
+      | Some src -> ignore (table_for src)
+      | None -> ())
+    units;
   let notices, errors =
     List.partition
       (fun f -> f.Lint_finding.severity = Lint_finding.Notice)
@@ -105,6 +119,50 @@ let render_text result =
        (List.length result.suppressed)
        (List.length result.notices));
   Buffer.contents buf
+
+(* SARIF 2.1.0, the interchange format GitHub code scanning ingests
+   (CI uploads it with github/codeql-action/upload-sarif). One run, one
+   driver, one result per unsuppressed finding or notice; suppressed
+   findings are omitted — they carry an in-source justification
+   already. Regions are 1-based; module-level findings (line 0) clamp
+   to line 1. *)
+let render_sarif result =
+  let esc = Lint_finding.json_escape in
+  let rule_ids =
+    List.sort_uniq String.compare
+      (List.map
+         (fun f -> f.Lint_finding.rule)
+         (result.findings @ result.notices))
+  in
+  let rules =
+    String.concat ","
+      (List.map
+         (fun id ->
+           Printf.sprintf
+             {|{"id":"%s","shortDescription":{"text":"sb7-lint rule %s (see docs/LINT.md)"}}|}
+             (esc id) (esc id))
+         rule_ids)
+  in
+  let result_of f =
+    let level =
+      match f.Lint_finding.severity with
+      | Lint_finding.Error -> "error"
+      | Lint_finding.Notice -> "note"
+    in
+    Printf.sprintf
+      {|{"ruleId":"%s","level":"%s","message":{"text":"%s"},"locations":[{"physicalLocation":{"artifactLocation":{"uri":"%s"},"region":{"startLine":%d,"startColumn":%d}}}]}|}
+      (esc f.Lint_finding.rule) level
+      (esc f.Lint_finding.message)
+      (esc f.Lint_finding.file)
+      (max 1 f.Lint_finding.line)
+      (max 1 (f.Lint_finding.col + 1))
+  in
+  let results =
+    String.concat "," (List.map result_of (result.findings @ result.notices))
+  in
+  Printf.sprintf
+    {|{"$schema":"https://json.schemastore.org/sarif-2.1.0.json","version":"2.1.0","runs":[{"tool":{"driver":{"name":"sb7-lint","version":"1.0","rules":[%s]}},"results":[%s]}]}|}
+    rules results
 
 let render_json result =
   let arr fs = String.concat "," (List.map Lint_finding.to_json fs) in

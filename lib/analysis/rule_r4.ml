@@ -186,6 +186,7 @@ type registered_op = {
   op_code : string;
   op_run : (string * string) option;  (** resolved (unit, value) *)
   op_run_name : string;  (** as written, for messages *)
+  op_has_writes : bool;  (** a non-[None] [~writes] argument was passed *)
   op_loc : Location.t;
 }
 
@@ -206,10 +207,9 @@ let unwrap_option_arg e =
   | Texp_construct (_, { Types.cstr_name = "Some"; _ }, [ inner ]) -> inner
   | _ -> e
 
-(* Declared-read-only registrations in a registry unit: applications of
-   a profiled builder with no (non-[None]) [~writes] argument. *)
-let registered_read_only_ops (config : Lint_config.r4) ~units
-    (u : Cmt_unit.t) =
+(* Every profiled-builder registration in a registry unit, with
+   whether a (non-[None]) [~writes] argument was passed. *)
+let registered_ops (config : Lint_config.r4) ~units (u : Cmt_unit.t) =
   let aliases = collect_aliases ~units u.Cmt_unit.structure in
   let ops = ref [] in
   let handle_apply fn args loc =
@@ -248,8 +248,8 @@ let registered_read_only_ops (config : Lint_config.r4) ~units
               | _ -> acc)
             None args
         in
-        match (code, run, has_writes) with
-        | Some code, Some rp, false ->
+        match (code, run) with
+        | Some code, Some rp ->
           let resolved =
             match Cmt_unit.resolve_ref ~units rp with
             | Some target -> Some (target, last_component rp)
@@ -267,6 +267,7 @@ let registered_read_only_ops (config : Lint_config.r4) ~units
               op_code = code;
               op_run = resolved;
               op_run_name = Path.name rp;
+              op_has_writes = has_writes;
               op_loc = loc;
             }
             :: !ops
@@ -335,6 +336,22 @@ let check (config : Lint_config.r4) (all_units : Cmt_unit.t list) =
           Hashtbl.replace infos u.Cmt_unit.name
             (unit_info config ~units u))
       all_units;
+    (* Which registrations are read-only claims to verify: the codes
+       the generated footprint table infers as pure reads when
+       configured, the no-~writes declaration heuristic otherwise. *)
+    let claimed_ro op =
+      match config.r4_ro_codes with
+      | [] -> not op.op_has_writes
+      | codes -> List.mem op.op_code codes
+    in
+    let claim_source =
+      if config.r4_ro_codes = [] then "profile declares read-only (no ~writes)"
+      else "the footprint table infers pure-read"
+    in
+    let claim_fix =
+      if config.r4_ro_codes = [] then "fix the profile or the operation"
+      else "the sb7-footprint generator is unsound for this operation"
+    in
     let findings = ref [] in
     List.iter
       (fun u ->
@@ -343,7 +360,7 @@ let check (config : Lint_config.r4) (all_units : Cmt_unit.t list) =
             (fun op ->
               match op.op_run with
               | None -> ()
-              | Some target -> (
+              | Some target when claimed_ro op -> (
                 match find_write infos target with
                 | None -> ()
                 | Some (w_unit, w_value, what, w_loc) ->
@@ -352,13 +369,13 @@ let check (config : Lint_config.r4) (all_units : Cmt_unit.t list) =
                     Lint_finding.make ~rule:"profile-honesty" ~loc:op.op_loc
                       ~unit_name:u.Cmt_unit.name
                       (Printf.sprintf
-                         "operation %S: profile declares read-only (no \
-                          ~writes) but its run function %s reaches %s in \
-                          %s.%s (%s:%d) — fix the profile or the operation"
-                         op.op_code op.op_run_name what w_unit w_value file
-                         line)
-                    :: !findings))
-            (registered_read_only_ops config ~units u))
+                         "operation %S: %s but its run function %s reaches \
+                          %s in %s.%s (%s:%d) — %s"
+                         op.op_code claim_source op.op_run_name what w_unit
+                         w_value file line claim_fix)
+                    :: !findings)
+              | Some _ -> ())
+            (registered_ops config ~units u))
       all_units;
     List.rev !findings
   end

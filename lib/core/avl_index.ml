@@ -6,7 +6,10 @@
 
 module Make (R : Sb7_runtime.Runtime_intf.S) = struct
   let create ~name ~cmp : ('k, 'v) Index_intf.t =
-    let root = R.make Avl.empty in
+    let root =
+      Sb7_runtime.Region_ctx.with_region Sb7_runtime.Region.Indexes (fun () ->
+          R.make Avl.empty)
+    in
     {
       name;
       get = (fun k -> Avl.find cmp k (R.read root));

@@ -200,9 +200,15 @@ module Make (R : Sb7_runtime.Runtime_intf.S) = struct
   (** Returns the index together with its structural-invariant checker
       (used by the property tests). *)
   let create_with_check ~name ~cmp : ('k, 'v) Index_intf.t * (unit -> bool) =
-    let root = R.make (Leaf [||]) in
-    let root_ref = R.make root in
+    (* Node tvars are allocated both here and during splits inside
+       [put]; bracket both so every node carries the Indexes region. *)
+    let in_indexes f =
+      Sb7_runtime.Region_ctx.with_region Sb7_runtime.Region.Indexes f
+    in
+    let root = in_indexes (fun () -> R.make (Leaf [||])) in
+    let root_ref = in_indexes (fun () -> R.make root) in
     let put k v =
+      in_indexes @@ fun () ->
       let r = R.read root_ref in
       match insert cmp r k v with
       | None -> ()

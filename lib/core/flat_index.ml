@@ -19,7 +19,10 @@ module Make (R : Sb7_runtime.Runtime_intf.S) = struct
   let found cmp arr k i = i < Array.length arr && cmp (fst arr.(i)) k = 0
 
   let create ~name ~cmp : ('k, 'v) Index_intf.t =
-    let cells = R.make [||] in
+    let cells =
+      Sb7_runtime.Region_ctx.with_region Sb7_runtime.Region.Indexes (fun () ->
+          R.make [||])
+    in
     {
       name;
       get =

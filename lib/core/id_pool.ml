@@ -18,12 +18,13 @@ module Make (R : Sb7_runtime.Runtime_intf.S) = struct
   (** All IDs [1..capacity] initially free. *)
   let create ~name ~capacity =
     assert (capacity > 0);
-    {
-      pool_name = name;
-      capacity;
-      free = R.make (List.init capacity (fun i -> i + 1));
-      free_count = R.make capacity;
-    }
+    Sb7_runtime.Region_ctx.with_region Sb7_runtime.Region.Indexes (fun () ->
+        {
+          pool_name = name;
+          capacity;
+          free = R.make (List.init capacity (fun i -> i + 1));
+          free_count = R.make capacity;
+        })
 
   let capacity t = t.capacity
   let available t = R.read t.free_count

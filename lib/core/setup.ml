@@ -12,6 +12,13 @@ module Make (R : Sb7_runtime.Runtime_intf.S) = struct
   let eq_cp (a : T.composite_part) b = a.T.cp_id = b.T.cp_id
   let eq_ba (a : T.base_assembly) b = a.T.ba_id = b.T.ba_id
 
+  (* Every constructor below brackets its tvar allocations with the
+     abstract region the object belongs to, so the sanitizer's
+     instrumented runtime can record a region per tvar and the
+     [sb7-sanitize footprint] replay can cross-check accesses against
+     the static footprint table. See Sb7_runtime.Region_ctx. *)
+  let in_region r f = Sb7_runtime.Region_ctx.with_region r f
+
   type t = {
     params : Parameters.t;
     index_kind : Index_intf.kind;
@@ -74,19 +81,20 @@ module Make (R : Sb7_runtime.Runtime_intf.S) = struct
   let new_atomic_part setup rng ~id =
     let params = setup.params in
     let part : T.atomic_part =
-      {
-        ap_id = id;
-        ap_type = random_type rng params;
-        ap_build_date =
-          R.make
-            (Sb_random.in_range rng params.min_atomic_date
-               params.max_atomic_date);
-        ap_x = R.make (Sb_random.in_range rng 0 99_999);
-        ap_y = R.make (Sb_random.in_range rng 0 99_999);
-        ap_to = R.make [];
-        ap_from = R.make [];
-        ap_part_of = None;
-      }
+      in_region Sb7_runtime.Region.Atomic_parts (fun () ->
+          {
+            T.ap_id = id;
+            ap_type = random_type rng params;
+            ap_build_date =
+              R.make
+                (Sb_random.in_range rng params.min_atomic_date
+                   params.max_atomic_date);
+            ap_x = R.make (Sb_random.in_range rng 0 99_999);
+            ap_y = R.make (Sb_random.in_range rng 0 99_999);
+            ap_to = R.make [];
+            ap_from = R.make [];
+            ap_part_of = None;
+          })
     in
     setup.ap_id_index.put id part;
     date_index_add setup part (R.read part.T.ap_build_date);
@@ -140,28 +148,30 @@ module Make (R : Sb7_runtime.Runtime_intf.S) = struct
   let new_composite_part setup rng ~cp_id ~part_ids =
     let params = setup.params in
     let document : T.document =
-      {
-        doc_id = cp_id;
-        doc_title = Text.document_title ~part_id:cp_id;
-        doc_text =
-          R.make
-            (Text.generate
-               ~phrase:(Text.document_phrase ~part_id:cp_id)
-               ~size:params.document_size);
-        doc_part = None;
-      }
+      in_region Sb7_runtime.Region.Documents (fun () ->
+          {
+            T.doc_id = cp_id;
+            doc_title = Text.document_title ~part_id:cp_id;
+            doc_text =
+              R.make
+                (Text.generate
+                   ~phrase:(Text.document_phrase ~part_id:cp_id)
+                   ~size:params.document_size);
+            doc_part = None;
+          })
     in
     let parts = build_part_graph setup rng part_ids in
     let cp : T.composite_part =
-      {
-        cp_id;
-        cp_type = random_type rng params;
-        cp_build_date = R.make (composite_build_date rng params);
-        cp_document = document;
-        cp_used_in = R.make [];
-        cp_root_part = R.make parts.(0);
-        cp_parts = R.make (Array.to_list parts);
-      }
+      in_region Sb7_runtime.Region.Composite_parts (fun () ->
+          {
+            T.cp_id;
+            cp_type = random_type rng params;
+            cp_build_date = R.make (composite_build_date rng params);
+            cp_document = document;
+            cp_used_in = R.make [];
+            cp_root_part = R.make parts.(0);
+            cp_parts = R.make (Array.to_list parts);
+          })
     in
     (* sb7-lint: allow raw-mut -- set-once back-pointer closing the
        document/part cycle while the objects are still thread-private
@@ -204,13 +214,14 @@ module Make (R : Sb7_runtime.Runtime_intf.S) = struct
   let new_base_assembly setup rng ~id ~(parent : T.complex_assembly)
       ~components =
     let ba : T.base_assembly =
-      {
-        ba_id = id;
-        ba_type = random_type rng setup.params;
-        ba_build_date = R.make (assembly_build_date rng setup.params);
-        ba_components = R.make components;
-        ba_super = Some parent;
-      }
+      in_region Sb7_runtime.Region.Assemblies (fun () ->
+          {
+            T.ba_id = id;
+            ba_type = random_type rng setup.params;
+            ba_build_date = R.make (assembly_build_date rng setup.params);
+            ba_components = R.make components;
+            ba_super = Some parent;
+          })
     in
     List.iter
       (fun (cp : T.composite_part) -> B.add cp.T.cp_used_in ba)
@@ -237,14 +248,15 @@ module Make (R : Sb7_runtime.Runtime_intf.S) = struct
   let new_complex_assembly setup rng ~id ~(parent : T.complex_assembly option)
       ~level =
     let ca : T.complex_assembly =
-      {
-        ca_id = id;
-        ca_type = random_type rng setup.params;
-        ca_build_date = R.make (assembly_build_date rng setup.params);
-        ca_level = level;
-        ca_sub = R.make [];
-        ca_super = parent;
-      }
+      in_region Sb7_runtime.Region.Assemblies (fun () ->
+          {
+            T.ca_id = id;
+            ca_type = random_type rng setup.params;
+            ca_build_date = R.make (assembly_build_date rng setup.params);
+            ca_level = level;
+            ca_sub = R.make [];
+            ca_super = parent;
+          })
     in
     (match parent with
     | Some p -> R.write p.T.ca_sub (T.Complex ca :: R.read p.T.ca_sub)
@@ -267,29 +279,31 @@ module Make (R : Sb7_runtime.Runtime_intf.S) = struct
       (params : Parameters.t) : t =
     let rng = Sb_random.create ~seed in
     let module_manual : T.manual =
-      {
-        man_id = 1;
-        man_title = "Manual #1";
-        man_text =
-          R.make
-            (Text.generate
-               ~phrase:(Text.manual_phrase ~module_id:1)
-               ~size:params.manual_size);
-      }
+      in_region Sb7_runtime.Region.Manual (fun () ->
+          {
+            T.man_id = 1;
+            man_title = "Manual #1";
+            man_text =
+              R.make
+                (Text.generate
+                   ~phrase:(Text.manual_phrase ~module_id:1)
+                   ~size:params.manual_size);
+          })
     in
     let icmp = Int.compare and scmp = String.compare in
     let mk name cmp = Idx.create index_kind ~name ~cmp in
     (* The module record needs the design root, which needs the setup
        record (for indexes): build the root separately and stitch. *)
     let root : T.complex_assembly =
-      {
-        ca_id = 0 (* replaced below: ids come from the pool *);
-        ca_type = "type #0";
-        ca_build_date = R.make (assembly_build_date rng params);
-        ca_level = params.num_assm_levels;
-        ca_sub = R.make [];
-        ca_super = None;
-      }
+      in_region Sb7_runtime.Region.Assemblies (fun () ->
+          {
+            T.ca_id = 0 (* replaced below: ids come from the pool *);
+            ca_type = "type #0";
+            ca_build_date = R.make (assembly_build_date rng params);
+            ca_level = params.num_assm_levels;
+            ca_sub = R.make [];
+            ca_super = None;
+          })
     in
     let module_ : T.module_t =
       { mod_id = 1; mod_manual = module_manual; mod_design_root = root }

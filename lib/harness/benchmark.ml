@@ -26,6 +26,10 @@ type config = {
   only_op : string option;
       (** run a single named operation in isolation (OO7-style latency
           measurement) instead of the workload mix *)
+  dispatch : Dispatch.mode;
+      (** how operations are distributed over worker domains: every
+          worker samples the full mix, or workers get disjoint groups
+          from the static conflict matrix (see {!Dispatch}) *)
   scale : Parameters.t;
   scale_name : string;
   index_kind : Index_intf.kind;
@@ -37,6 +41,25 @@ type config = {
           to be wrapped in {!Sb7_sanitize.Sanitize.Make} (the harness
           flags an un-instrumented runtime as a finding) *)
 }
+
+(* Seeded footprint-escape bugs for `sb7-sanitize footprint --seeded`:
+   when armed, the worker injects one out-of-region access into every
+   execution of a chosen operation — a read of the manual's text during
+   OP2 (whose static may-read set is {indexes, atomic-parts}) or a
+   rewrite of it during OP9 (may-write {atomic-parts}). The injection
+   lives here in the harness, outside the sync-free core the footprint
+   analysis scans, so the static table stays honest and the dynamic
+   replay must catch the divergence on its own. *)
+module Unsafe = struct
+  let escape_read = ref false
+  let escape_write = ref false
+  let read_escape () = escape_read := true
+  let write_escape () = escape_write := true
+
+  let reset () =
+    escape_read := false;
+    escape_write := false
+end
 
 let default_config =
   {
@@ -50,6 +73,7 @@ let default_config =
     structure_mods = true;
     reduced_ops = false;
     only_op = None;
+    dispatch = Dispatch.Uniform;
     scale = Parameters.medium;
     scale_name = "medium";
     index_kind = Index_intf.Avl;
@@ -159,6 +183,20 @@ module Make (R : Sb7_runtime.Runtime_intf.S) = struct
       else Domain.cpu_relax ()
     done
 
+  (* The {!Unsafe} escapes, applied inside the operation's own atomic
+     block so the access is attributed to the op by the trace. The
+     rewrite writes the value back unchanged: semantically a no-op, but
+     a region violation all the same. *)
+  let inject_escape (op : I.Operation.t) (setup : I.Setup.t) =
+    let man_text =
+      lazy setup.I.Setup.module_.I.Setup.T.mod_manual.I.Setup.T.man_text
+    in
+    if !Unsafe.escape_read && String.equal op.code "OP2" then
+      ignore (Sys.opaque_identity (R.read (Lazy.force man_text)));
+    if !Unsafe.escape_write && String.equal op.code "OP9" then
+      let tv = Lazy.force man_text in
+      R.write tv (R.read tv)
+
   (* One worker thread: run operations until the stop flag rises (and,
      in max_ops mode, at most [budget] operations). *)
   let worker ~(ops : I.Operation.t array) ~cdf ~setup ~stop ~budget ~seed
@@ -179,7 +217,11 @@ module Make (R : Sb7_runtime.Runtime_intf.S) = struct
       let op = ops.(i) in
       let t0 = Unix.gettimeofday () in
       let ok =
-        match R.atomic ~profile:op.profile (fun () -> op.run rng setup) with
+        match
+          R.atomic ~profile:op.profile (fun () ->
+              inject_escape op setup;
+              op.run rng setup)
+        with
         | (_ : int) -> true
         | exception Sb7_core.Common.Operation_failed _ -> false
       in
@@ -199,6 +241,30 @@ module Make (R : Sb7_runtime.Runtime_intf.S) = struct
     let descs = Array.map describe ops in
     let expected = Workload.ratios ~mix:config.mix config.workload descs in
     let cdf = Workload.cdf expected in
+    (* Conflict-aware dispatch: workers sample disjoint operation
+       groups chosen from the static conflict matrix instead of the
+       full mix (single-domain runs have nothing to separate). *)
+    let groups =
+      match config.dispatch with
+      | Dispatch.Conflict_aware when config.threads > 1 ->
+        Some
+          (Dispatch.partition ~domains:config.threads ~descs ~ratios:expected)
+      | Dispatch.Conflict_aware | Dispatch.Uniform -> None
+    in
+    let conflict_pairs =
+      Dispatch.conflict_pairs ?groups ~domains:config.threads descs
+    in
+    let cdf_for worker =
+      match groups with
+      | None -> cdf
+      | Some groups ->
+        Workload.cdf (Dispatch.weights_for ~worker ~groups ~ratios:expected)
+    in
+    (* Stale region notes from an earlier run's structure would collide
+       with this run's recycled sids (see Trace.reset_notes). Cleared
+       before the structure is built so its notes are the only ones. *)
+    if config.sanitize && Option.is_none setup then
+      Sb7_sanitize.Trace.reset_notes ();
     let setup =
       match setup with
       | Some s -> s
@@ -213,7 +279,7 @@ module Make (R : Sb7_runtime.Runtime_intf.S) = struct
         List.init config.threads (fun i ->
             Domain.spawn (fun () ->
                 await_start ~ready ~go;
-                worker ~ops ~cdf ~setup ~stop ~budget:None
+                worker ~ops ~cdf:(cdf_for i) ~setup ~stop ~budget:None
                   ~seed:(config.seed + ((i + 1) * 104729))
                   ~histograms:false))
       in
@@ -243,7 +309,7 @@ module Make (R : Sb7_runtime.Runtime_intf.S) = struct
       List.init config.threads (fun i ->
           Domain.spawn (fun () ->
               await_start ~ready ~go;
-              worker ~ops ~cdf ~setup ~stop ~budget:config.max_ops
+              worker ~ops ~cdf:(cdf_for i) ~setup ~stop ~budget:config.max_ops
                 ~seed:(config.seed + ((i + 1) * 7919))
                 ~histograms:config.histograms))
     in
@@ -297,6 +363,8 @@ module Make (R : Sb7_runtime.Runtime_intf.S) = struct
       long_traversals = config.long_traversals;
       structure_mods = config.structure_mods;
       reduced_ops = config.reduced_ops;
+      dispatch = config.dispatch;
+      conflict_pairs;
       seed = config.seed;
       sanitizer;
     }

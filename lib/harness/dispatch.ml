@@ -1,0 +1,131 @@
+(* See dispatch.mli. *)
+
+module OF = Sb7_core.Op_footprint
+
+type mode =
+  | Uniform
+  | Conflict_aware
+
+let mode_to_string = function
+  | Uniform -> "uniform"
+  | Conflict_aware -> "conflict-aware"
+
+let mode_of_string s =
+  match String.lowercase_ascii s with
+  | "uniform" -> Ok Uniform
+  | "conflict-aware" | "conflict" | "ca" -> Ok Conflict_aware
+  | other ->
+    Error
+      (Printf.sprintf "unknown dispatch mode %S (expected uniform | conflict-aware)"
+         other)
+
+(* Pairwise conflict weight from the static table. Operations the table
+   does not know (synthetic test codes) are assumed to conflict with
+   everything — the conservative direction for a scheduler. *)
+let weight (a : Workload.op_desc) (b : Workload.op_desc) =
+  match (OF.find a.Workload.code, OF.find b.Workload.code) with
+  | Some ea, Some eb -> (
+    match OF.classify ea eb with
+    | `Write_write -> 4.
+    | `Read_write -> 1.
+    | `Read_read | `Disjoint -> 0.)
+  | _ -> 4.
+
+let conflicting a b = weight a b > 0.
+
+(* Greedy balanced clustering: place each operation (heaviest expected
+   share first) in the group it has the highest conflict affinity with,
+   under a load cap — conflicting operations end up on the SAME domain,
+   where program order serializes them for free, and what runs
+   concurrently across domains is as disjoint as the matrix allows.
+   Affinity and load are both weighted by the expected execution
+   ratios: a conflict between two rare operations matters less than one
+   between two hot ones. *)
+let partition ~domains ~(descs : Workload.op_desc array) ~ratios =
+  let n = Array.length descs in
+  let groups = Array.make n 0 in
+  let k = min domains (max 1 n) in
+  if k > 1 then begin
+    let order = Array.init n Fun.id in
+    Array.sort (fun i j -> compare ratios.(j) ratios.(i)) order;
+    let total = Array.fold_left ( +. ) 0. ratios in
+    (* 25% headroom over a perfectly even split: enough slack to keep a
+       conflict clique together, not enough to starve a domain. *)
+    let cap = total /. float_of_int k *. 1.25 in
+    let load = Array.make k 0. in
+    let members = Array.make k [] in
+    Array.iter
+      (fun i ->
+        let affinity g =
+          List.fold_left
+            (fun acc j ->
+              acc +. (ratios.(i) *. ratios.(j) *. weight descs.(i) descs.(j)))
+            0. members.(g)
+        in
+        let fits g = load.(g) +. ratios.(i) <= cap in
+        let best = ref 0 and best_score = ref neg_infinity in
+        for g = 0 to k - 1 do
+          (* Lexicographic: a fitting group always beats an overfull
+             one; within a tier, max affinity, then min load. *)
+          let score =
+            (if fits g then 1e6 else 0.) +. affinity g -. (1e-6 *. load.(g))
+          in
+          if score > !best_score then begin
+            best := g;
+            best_score := score
+          end
+        done;
+        groups.(i) <- !best;
+        load.(!best) <- load.(!best) +. ratios.(i);
+        members.(!best) <- i :: members.(!best))
+      order
+  end;
+  groups
+
+(* A group can come out empty (more domains than operations, or the
+   cap packing everything tightly); its workers fall back to the full
+   mix rather than spinning on a degenerate CDF. *)
+let weights_for ~worker ~groups ~ratios =
+  let n = Array.length ratios in
+  let g =
+    let distinct = Array.fold_left max 0 groups + 1 in
+    worker mod distinct
+  in
+  let w = Array.make n 0. in
+  let sum = ref 0. in
+  for i = 0 to n - 1 do
+    if groups.(i) = g && ratios.(i) > 0. then begin
+      w.(i) <- ratios.(i);
+      sum := !sum +. ratios.(i)
+    end
+  done;
+  if !sum <= 0. then Array.copy ratios
+  else begin
+    (* Renormalize: the sampler treats the weights as a distribution
+       (draws past the last cumulative value clamp to the final op). *)
+    let s = !sum in
+    Array.map (fun x -> x /. s) w
+  end
+
+(* Unordered pairs of operations that can run concurrently on distinct
+   domains and statically conflict. Under uniform dispatch any pair can
+   collide, the same operation against itself included; a partition
+   removes the same-group pairs (and every self pair). Zero when only
+   one domain runs. *)
+let conflict_pairs ?groups ~domains (descs : Workload.op_desc array) =
+  if domains <= 1 then 0
+  else begin
+    let n = Array.length descs in
+    let count = ref 0 in
+    for i = 0 to n - 1 do
+      for j = i to n - 1 do
+        let concurrent =
+          match groups with
+          | None -> true
+          | Some g -> g.(i) <> g.(j)
+        in
+        if concurrent && conflicting descs.(i) descs.(j) then incr count
+      done
+    done;
+    !count
+  end

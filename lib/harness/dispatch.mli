@@ -1,0 +1,46 @@
+(** Conflict-aware operation dispatch.
+
+    The sb7-footprint analysis (docs/FOOTPRINT.md) gives every
+    operation a static may-read / may-write footprint over the
+    abstract-region lattice, and every operation pair a conflict class.
+    This module turns that matrix into a scheduling policy: cluster
+    statically-conflicting operations onto the same worker domain —
+    where program order serializes them without a single abort — so the
+    operations running {e concurrently} are as disjoint as the matrix
+    allows. On write-heavy mixes this trades nothing but mix uniformity
+    for a lower abort rate; the quick bench records both
+    ([conflict_pairs], [abort_rate]) per mode. *)
+
+type mode =
+  | Uniform  (** every worker samples the full mix (the paper's §4 default) *)
+  | Conflict_aware
+      (** workers sample disjoint operation groups from the greedy
+          min-cross-conflict partition *)
+
+val mode_to_string : mode -> string
+val mode_of_string : string -> (mode, string) result
+
+(** Static conflict verdict for a pair, via {!Sb7_core.Op_footprint}
+    ([`Write_write] and [`Read_write] conflict); operations outside the
+    table conservatively conflict with everything. *)
+val conflicting : Workload.op_desc -> Workload.op_desc -> bool
+
+(** [partition ~domains ~descs ~ratios] assigns each operation a group
+    in [0, domains): greedy balanced clustering, heaviest expected
+    share first, maximizing ratio-weighted conflict affinity within a
+    group under a 25% load-headroom cap. *)
+val partition :
+  domains:int -> descs:Workload.op_desc array -> ratios:float array -> int array
+
+(** Per-worker sampling weights: the global ratios restricted to the
+    worker's group (workers cycle through the distinct groups), or the
+    full ratio vector when the group came out empty. *)
+val weights_for :
+  worker:int -> groups:int array -> ratios:float array -> float array
+
+(** Number of unordered operation pairs that can run concurrently on
+    distinct domains and statically conflict — same-op self pairs
+    included under uniform dispatch, same-group pairs excluded under a
+    partition, 0 when [domains <= 1]. *)
+val conflict_pairs :
+  ?groups:int array -> domains:int -> Workload.op_desc array -> int

@@ -20,6 +20,10 @@ type t = {
   long_traversals : bool;
   structure_mods : bool;
   reduced_ops : bool;
+  dispatch : Dispatch.mode;
+  conflict_pairs : int;
+      (* unordered statically-conflicting op pairs that could run
+         concurrently on distinct domains under this dispatch mode *)
   seed : int;
   sanitizer : Sb7_sanitize.Checker.verdict option;
       (* None when the run was not sanitized *)

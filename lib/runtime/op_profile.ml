@@ -44,6 +44,10 @@ type t = {
   reads : domain list;  (** domains accessed read-only *)
   writes : domain list;  (** domains updated; takes precedence over reads *)
   structural : bool;  (** structure-modification operation *)
+  ro_hint : bool option;
+      (** inferred pure-read verdict from the generated
+          [Sb7_core.Op_footprint] table; when present it overrides the
+          hand-declared [writes] for read-only dispatch *)
 }
 
 let assembly_levels lo hi =
@@ -52,10 +56,21 @@ let assembly_levels lo hi =
 
 let all_assembly_levels = assembly_levels 1 max_assembly_levels
 
-let make ~name ?(reads = []) ?(writes = []) ?(structural = false) () =
-  { op_name = name; reads; writes; structural }
+let make ~name ?(reads = []) ?(writes = []) ?(structural = false) ?ro () =
+  { op_name = name; reads; writes; structural; ro_hint = ro }
 
-let read_only t = t.writes = [] && not t.structural
+(* Read-only dispatch is profile-directed (the zero-log / snapshot
+   fast paths of the STM runtimes key on this). The statically inferred
+   pure-read verdict, when the operation is in the generated footprint
+   table, replaces the hand-declared [~writes] absence; structural
+   operations are never read-only regardless of the hint. The adaptive
+   demotion in Ro_dispatch remains the backstop for a wrong hint. *)
+let read_only t =
+  (not t.structural)
+  &&
+  match t.ro_hint with
+  | Some ro -> ro
+  | None -> t.writes = []
 
 (** Domains with the mode they must be locked in, sorted in canonical
     acquisition order. Write mode wins when a domain appears in both

@@ -32,6 +32,10 @@ type t = {
   reads : domain list;  (** domains accessed read-only *)
   writes : domain list;  (** domains updated; takes precedence over reads *)
   structural : bool;  (** structure-modification operation *)
+  ro_hint : bool option;
+      (** inferred pure-read verdict from the generated
+          [Sb7_core.Op_footprint] table; when present it overrides the
+          hand-declared [writes] for read-only dispatch *)
 }
 
 (** [assembly_levels lo hi] — the domains for levels [lo..hi]. *)
@@ -44,10 +48,13 @@ val make :
   ?reads:domain list ->
   ?writes:domain list ->
   ?structural:bool ->
+  ?ro:bool ->
   unit ->
   t
 
-(** No writes and not structural. *)
+(** Not structural, and pure-read: per the inferred [ro] hint when one
+    was supplied (the generated [Sb7_core.Op_footprint] table), else
+    per the hand-declared absence of writes. *)
 val read_only : t -> bool
 
 (** Domains with their lock modes, deduplicated (write wins), sorted in

@@ -102,7 +102,8 @@ let describe a =
   Printf.sprintf "domain %d attempt #%d (%s)" a.a_domain a.a_seq
     (outcome_name a.a_outcome)
 
-let arity = [| 3; 3; 4; 3; 1; 3; 3 |]
+(* begin; read; write; commit; rollback; acquire; release *)
+let arity = [| 4; 3; 4; 3; 1; 3; 3 |]
 
 let analyze ~profile (dump : Trace.dump) =
   let opacity = new_findings () in
@@ -648,3 +649,112 @@ let csv_cell v =
       (List.length v.opacity) (List.length v.races)
       (List.length v.lock_order)
       (List.length v.structural)
+
+(* ---- Footprint replay: every traced tvar access must fall inside the
+   operation's static may-footprint (lib/core/op_footprint.ml). The
+   table is passed in as data — op name -> (may-read mask, may-write
+   mask) over Region.to_int bit positions — so this module stays free
+   of a dependency on the core. ---------------------------------------- *)
+
+type fp_verdict = {
+  fp_domains : int;
+  fp_attempts : int;
+  fp_checked : int;  (** accesses with a known region and operation *)
+  fp_unknown_region : int;  (** accesses to tvars with no region note *)
+  fp_unknown_op : int;
+      (** accesses inside attempts whose operation is not in the table
+          (or whose begin predates op tagging) *)
+  fp_escape_count : int;
+  fp_escapes : string list;  (** deduplicated per (op, region, kind) *)
+}
+
+let fp_clean v = v.fp_escape_count = 0
+
+let footprint ~table ~region_name (dump : Trace.dump) =
+  let op_names = Hashtbl.create 64 in
+  List.iter (fun (id, name) -> Hashtbl.add op_names id name) dump.Trace.ops;
+  let sid_region = Hashtbl.create 4096 in
+  Array.iter
+    (fun (sid, region) ->
+      if region >= 0 then Hashtbl.replace sid_region sid region)
+    dump.Trace.regions;
+  let attempts = ref 0 in
+  let checked = ref 0 in
+  let unknown_region = ref 0 in
+  let unknown_op = ref 0 in
+  let escape_count = ref 0 in
+  let escapes = new_findings () in
+  let seen : (string * int * bool, unit) Hashtbl.t = Hashtbl.create 16 in
+  let escape ~op ~region ~write ~sid =
+    incr escape_count;
+    let key = (op, region, write) in
+    if not (Hashtbl.mem seen key) then begin
+      Hashtbl.add seen key ();
+      add_finding escapes
+        (Printf.sprintf
+           "footprint escape: operation %s %s tvar %d in region %s, \
+            outside its static may-%s set"
+           op
+           (if write then "wrote" else "read")
+           sid (region_name region)
+           (if write then "write" else "read"))
+    end
+  in
+  Array.iter
+    (fun stream ->
+      (* (name, read mask, write mask) of the current attempt's
+         operation; None when unknown or outside the table. *)
+      let cur = ref None in
+      let i = ref 0 in
+      let n = Array.length stream in
+      while !i < n do
+        let tag = stream.(!i) in
+        (if tag = Trace.tag_begin then begin
+           incr attempts;
+           cur :=
+             (match Hashtbl.find_opt op_names stream.(!i + 3) with
+             | None -> None
+             | Some name -> (
+               match table name with
+               | None -> None
+               | Some (rmask, wmask) -> Some (name, rmask, wmask)))
+         end
+         else if tag = Trace.tag_read || tag = Trace.tag_write then begin
+           let write = tag = Trace.tag_write in
+           match !cur with
+           | None -> incr unknown_op
+           | Some (op, rmask, wmask) -> (
+             let sid = stream.(!i + 1) in
+             match Hashtbl.find_opt sid_region sid with
+             | None -> incr unknown_region
+             | Some region ->
+               incr checked;
+               let mask = if write then wmask else rmask in
+               if mask land (1 lsl region) = 0 then
+                 escape ~op ~region ~write ~sid)
+         end);
+        i := !i + arity.(tag)
+      done)
+    dump.Trace.streams;
+  {
+    fp_domains = Array.length dump.Trace.streams;
+    fp_attempts = !attempts;
+    fp_checked = !checked;
+    fp_unknown_region = !unknown_region;
+    fp_unknown_op = !unknown_op;
+    fp_escape_count = !escape_count;
+    fp_escapes = close_findings escapes;
+  }
+
+let fp_summary v =
+  let b = Buffer.create 256 in
+  Buffer.add_string b
+    (Printf.sprintf
+       "footprint: %d domains, %d attempts, %d accesses checked (%d \
+        unknown-region, %d unknown-op), %d escape(s)\n"
+       v.fp_domains v.fp_attempts v.fp_checked v.fp_unknown_region
+       v.fp_unknown_op v.fp_escape_count);
+  List.iter
+    (fun m -> Buffer.add_string b (Printf.sprintf "    - %s\n" m))
+    v.fp_escapes;
+  Buffer.contents b

@@ -59,3 +59,36 @@ val summary : verdict -> string
 (** Single CSV field (no commas): ["off"] is the caller's business;
     here ["clean"] or ["flagged;opacity=N;races=N;order=N;structural=N"]. *)
 val csv_cell : verdict -> string
+
+(** {1 Footprint replay}
+
+    Cross-checks a trace against the statically inferred footprint
+    table (lib/core/op_footprint.ml): every read must fall in its
+    operation's may-read ∪ may-write region set, every write in the
+    may-write set. Tvars without a region note (created outside any
+    [Region_ctx.with_region] bracket) and attempts whose operation the
+    table does not know are counted, not flagged. *)
+
+type fp_verdict = {
+  fp_domains : int;
+  fp_attempts : int;
+  fp_checked : int;  (** accesses with a known region and operation *)
+  fp_unknown_region : int;  (** accesses to tvars with no region note *)
+  fp_unknown_op : int;
+      (** accesses inside attempts whose operation is not in the table *)
+  fp_escape_count : int;
+  fp_escapes : string list;  (** deduplicated per (op, region, kind) *)
+}
+
+(** [footprint ~table ~region_name dump] — [table] maps an operation
+    name to its (may-read, may-write) bitmasks over [Region.to_int]
+    bit positions (reads mask must already include writes);
+    [region_name] renders a region code for messages. *)
+val footprint :
+  table:(string -> (int * int) option) ->
+  region_name:(int -> string) ->
+  Trace.dump ->
+  fp_verdict
+
+val fp_clean : fp_verdict -> bool
+val fp_summary : fp_verdict -> string

@@ -39,7 +39,12 @@ module Make (R : Sb7_runtime.Runtime_intf.S) = struct
 
   let make v =
     let wid = if !Trace.on then Trace.next_wid () else 0 in
-    R.make { v; wid; sid = Sb7_stm.Tvar_id.fresh sids }
+    let sid = Sb7_stm.Tvar_id.fresh sids in
+    (* Region notes feed the [sb7-sanitize footprint] replay; recorded
+       unconditionally (setup runs with tracing off but its tvars live
+       through every traced phase). *)
+    Trace.note_region ~sid ~region:(Sb7_runtime.Region_ctx.current_code ());
+    R.make { v; wid; sid }
 
   let read tv =
     let c = R.read tv in
@@ -69,13 +74,14 @@ module Make (R : Sb7_runtime.Runtime_intf.S) = struct
       else begin
         let ro = Sb7_runtime.Op_profile.read_only profile in
         let structural = profile.Sb7_runtime.Op_profile.structural in
+        let op = Trace.intern_op profile.Sb7_runtime.Op_profile.op_name in
         incr depth;
         (* The runtime re-runs the closure on every internal retry
            (conflict, lock restart, read-only demotion), so each
            attempt gets its own begin event. *)
         match
           R.atomic ~profile (fun () ->
-              Trace.on_begin ~ro ~structural;
+              Trace.on_begin ~ro ~structural ~op;
               f ())
         with
         | result ->

@@ -16,6 +16,8 @@ let flag_structural = 2
 type dump = {
   streams : int array array;
   locks : (int * string) list;
+  ops : (int * string) list;
+  regions : (int * int) array;
 }
 
 type buf = {
@@ -35,6 +37,45 @@ let buf_key : buf Domain.DLS.key =
       buffers := b :: !buffers;
       Mutex.unlock registry_mutex;
       b)
+
+(* Region notes — (sid, region) pairs recorded at tvar creation — live
+   in their own per-domain buffers, separate from the event streams:
+   they are recorded even while tracing is off (the footprint replay
+   needs the region of every tvar, setup-created ones included) and
+   they survive {!reset} (resetting between warmup and measurement must
+   not orphan the structure's tvars). *)
+let note_buffers : buf list ref = ref []
+
+let note_key : buf Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      let b = { data = Array.make (1 lsl 12) 0; len = 0 } in
+      Mutex.lock registry_mutex;
+      note_buffers := b :: !note_buffers;
+      Mutex.unlock registry_mutex;
+      b)
+
+(* Operation-name interning for begin events: a handful of distinct
+   names, interned once per outer [atomic] call — a mutex here is off
+   the per-event hot path. Id 0 is reserved for "unknown". *)
+let ops_mutex = Mutex.create ()
+let ops_table : (string, int) Hashtbl.t = Hashtbl.create 64
+let ops_rev : (int * string) list ref = ref []
+let ops_next = ref 1
+
+let intern_op name =
+  Mutex.lock ops_mutex;
+  let id =
+    match Hashtbl.find_opt ops_table name with
+    | Some id -> id
+    | None ->
+      let id = !ops_next in
+      incr ops_next;
+      Hashtbl.add ops_table name id;
+      ops_rev := (id, name) :: !ops_rev;
+      id
+  in
+  Mutex.unlock ops_mutex;
+  id
 
 let reserve b n =
   let cap = Array.length b.data in
@@ -81,11 +122,19 @@ let append4 t a1 a2 a3 =
   b.data.(n + 3) <- a3;
   b.len <- n + 4
 
-let on_begin ~ro ~structural =
+let note_region ~sid ~region =
+  let b = Domain.DLS.get note_key in
+  reserve b 2;
+  let n = b.len in
+  b.data.(n) <- sid;
+  b.data.(n + 1) <- region;
+  b.len <- n + 2
+
+let on_begin ~ro ~structural ~op =
   let flags =
     (if ro then flag_ro else 0) lor if structural then flag_structural else 0
   in
-  append3 tag_begin flags (next_ts ())
+  append4 tag_begin flags (next_ts ()) op
 
 let on_read ~sid ~wid = append3 tag_read sid wid
 let on_write ~sid ~wid ~prev = append4 tag_write sid wid prev
@@ -116,7 +165,14 @@ let disable () =
   on := false;
   Sb7_rwlock.Lock_hooks.disable ()
 
+(* Event buffers only: region notes describe the still-live structure
+   and must survive into the next measurement phase's dump. *)
 let reset () = List.iter (fun b -> b.len <- 0) !buffers
+
+(* Sid allocators restart per Sanitize.Make instance, so notes from a
+   previous run's (now dead) structure would collide with the next
+   run's sids; the harness clears them before building a structure. *)
+let reset_notes () = List.iter (fun b -> b.len <- 0) !note_buffers
 
 let dump () =
   let streams =
@@ -125,7 +181,29 @@ let dump () =
     |> List.map (fun b -> Array.sub b.data 0 b.len)
     |> Array.of_list
   in
-  { streams; locks = Sb7_rwlock.Lock_hooks.registered_locks () }
+  let regions =
+    let total =
+      List.fold_left (fun acc b -> acc + (b.len / 2)) 0 !note_buffers
+    in
+    let out = Array.make total (0, 0) in
+    let k = ref 0 in
+    List.iter
+      (fun b ->
+        let m = b.len / 2 in
+        for j = 0 to m - 1 do
+          out.(!k + j) <- (b.data.(2 * j), b.data.((2 * j) + 1))
+        done;
+        k := !k + m)
+      !note_buffers;
+    out
+  in
+  let ops =
+    Mutex.lock ops_mutex;
+    let l = List.rev !ops_rev in
+    Mutex.unlock ops_mutex;
+    l
+  in
+  { streams; locks = Sb7_rwlock.Lock_hooks.registered_locks (); ops; regions }
 
 let save path d =
   let oc = open_out_bin path in

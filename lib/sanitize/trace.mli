@@ -13,8 +13,9 @@
 
     Events are flat int records, tag first:
 
-    - [tag_begin; flags; ts] — transaction attempt starts ([flags]:
-      bit 0 = declared read-only, bit 1 = structural)
+    - [tag_begin; flags; ts; op] — transaction attempt starts ([flags]:
+      bit 0 = declared read-only, bit 1 = structural; [op] an id
+      interned by {!intern_op}, 0 = unknown)
     - [tag_read; sid; wid] — read of tvar [sid] observing version [wid]
     - [tag_write; sid; wid; prev] — write creating version [wid] on
       top of version [prev]
@@ -39,10 +40,14 @@ val flag_ro : int
 val flag_structural : int
 
 (** A quiesced snapshot of all recorded streams, one per domain that
-    recorded anything, plus the registered lock names. *)
+    recorded anything, plus the registered lock names, the interned
+    operation names, and the [(sid, region)] tvar region notes — see
+    {!note_region}. *)
 type dump = {
   streams : int array array;
   locks : (int * string) list;
+  ops : (int * string) list;
+  regions : (int * int) array;
 }
 
 (** {1 Recording} *)
@@ -63,11 +68,27 @@ val disable : unit -> unit
 (** Drop all recorded events (buffers stay allocated). Quiesced only. *)
 val reset : unit -> unit
 
+(** Drop all region notes. Each [Sanitize.Make] instance restarts its
+    sid allocator, so a second sanitized run in the same process would
+    otherwise read the previous structure's stale notes; the harness
+    calls this before building a structure. Quiesced only. *)
+val reset_notes : unit -> unit
+
 (** Fresh global write id (> 0). Version id 0 is reserved for values
     written while tracing was off (initial values included). *)
 val next_wid : unit -> int
 
-val on_begin : ro:bool -> structural:bool -> unit
+(** Intern an operation name for begin events. Mutex-protected: call
+    once per outer [atomic], not per event. Ids are > 0. *)
+val intern_op : string -> int
+
+(** Record the abstract region ([Region.to_int] code, or
+    [Region_ctx.unknown]) of a freshly created tvar. Unlike the event
+    stream this records regardless of {!enabled} and survives {!reset}:
+    the structure built during setup outlives both. *)
+val note_region : sid:int -> region:int -> unit
+
+val on_begin : ro:bool -> structural:bool -> op:int -> unit
 val on_read : sid:int -> wid:int -> unit
 val on_write : sid:int -> wid:int -> prev:int -> unit
 val on_commit : unit -> unit

@@ -1,0 +1,52 @@
+(* R6 fixture: atomic blocks leaking state that must not outlive them.
+   A miniature runtime signature mirrors lib/core's functor parameter
+   so the sink and atomic identifiers print as "R.write"/"R.atomic".
+   Four tvar-escape findings are expected:
+   stash_closure, stash_named, leak_local, leak_to_outer. *)
+
+type 'a tvar = { mutable v : 'a }
+
+module type R_sig = sig
+  val make : 'a -> 'a tvar
+  val read : 'a tvar -> 'a
+  val write : 'a tvar -> 'a -> unit
+  val atomic : (unit -> 'a) -> 'a
+end
+
+module Make (R : R_sig) = struct
+  let cell = R.make 0
+  let thunk = R.make (fun () -> 0)
+  let outer_hook = ref (fun () -> 0)
+
+  (* 1. An inline closure capturing a transactional read, written to a
+     tvar: after an abort it replays a snapshot that never committed. *)
+  let stash_closure () =
+    R.atomic (fun () ->
+        let snapshot = R.read cell in
+        R.write thunk (fun () -> snapshot))
+
+  (* 2. Same escape through a let-bound closure. *)
+  let stash_named () =
+    R.atomic (fun () ->
+        let n = R.read cell in
+        let k () = n + 1 in
+        R.write thunk k)
+
+  (* 3. Transaction-local mutable state written to a tvar: retries
+     would share the one ref cell. (The [acc := ...] inside is NOT a
+     finding — the target is atomic-local and dies with the attempt.) *)
+  let shared = R.make (ref 0)
+
+  let leak_local () =
+    R.atomic (fun () ->
+        let acc = ref 0 in
+        acc := R.read cell;
+        R.write shared acc)
+
+  (* 4. A capturing closure stored into a cell defined outside the
+     atomic scope. *)
+  let leak_to_outer () =
+    R.atomic (fun () ->
+        let n = R.read cell in
+        outer_hook := fun () -> n)
+end

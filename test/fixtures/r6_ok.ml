@@ -1,0 +1,30 @@
+(* R6 fixture, clean side: every pattern here is legitimate and must
+   produce zero tvar-escape findings. *)
+
+module Make (R : R6_bad.R_sig) = struct
+  let cell = R.make 0
+  let thunk = R.make (fun () -> 0)
+
+  (* A constant closure captures nothing from the atomic scope: it can
+     carry no stale transactional state. *)
+  let store_constant () = R.atomic (fun () -> R.write thunk (fun () -> 42))
+
+  (* Local mutable scratch used and dropped inside the block; only its
+     immutable contents are committed. *)
+  let local_scratch () =
+    R.atomic (fun () ->
+        let acc = ref 0 in
+        acc := R.read cell;
+        R.write cell !acc;
+        !acc)
+
+  (* A capturing lambda that is consumed during the attempt (iteration
+     argument), never stored. *)
+  let iterate () =
+    R.atomic (fun () ->
+        let n = R.read cell in
+        List.iter (fun i -> R.write cell (i + n)) [ 1; 2; 3 ])
+
+  (* Sinks outside any atomic block are out of scope for R6. *)
+  let outside () = R.write thunk (fun () -> 1)
+end

@@ -1,0 +1,9 @@
+(* Stale-suppression fixture: a clean module carrying a suppression
+   that matches no finding. The engine must report it even though the
+   file produces zero findings (the table is preloaded per scanned
+   unit, not only on the finding-driven path), and sb7-lint
+   --strict-local must turn it into a non-zero exit. *)
+
+(* sb7-lint: allow raw-mut -- fixture: deliberately stale, the
+   mutation it once excused is gone *)
+let pure x = x + 1

@@ -49,6 +49,7 @@ let fixture_config : Lint_config.t =
     r4 =
       {
         r4_registry_units = [ "Lint_fixtures__R4_registry" ];
+        r4_ro_codes = [];
         r4_profiled_builders = [ "op" ];
         r4_structural_builders = [ "structure" ];
         r4_universe_prefixes = [ "Lint_fixtures__R4" ];
@@ -59,6 +60,12 @@ let fixture_config : Lint_config.t =
       {
         r5_prefixes = [ "Lint_fixtures__R5" ];
         r5_allowed = [ ("Lint_fixtures__R5_allowed", Some "cast_ref") ];
+      };
+    r6 =
+      {
+        r6_prefixes = [ "Lint_fixtures__R6" ];
+        r6_atomic_idents = [ "R.atomic" ];
+        r6_sinks = [ ("R.write", 1, None); ("Stdlib.:=", 1, Some 0) ];
       };
     strict_local = false;
   }
@@ -218,6 +225,49 @@ let test_r4_honest_ops_clean () =
     (List.length
        (List.filter (in_file "r4_helpers.ml") r.Lint_engine.findings))
 
+let test_stale_suppression_reported () =
+  let r = Lazy.force result in
+  (* The clean stale_suppress.ml unit produces no findings, so its
+     suppression table is only consulted through the per-unit preload;
+     the deliberately stale entry must still surface. *)
+  Alcotest.(check bool)
+    "stale suppression in a finding-free file is reported" true
+    (List.exists
+       (fun (file, _, rule) ->
+         Filename.basename file = "stale_suppress.ml" && rule = "raw-mut")
+       r.Lint_engine.stale_suppressions);
+  Alcotest.(check bool)
+    "used suppressions are not stale" true
+    (List.for_all
+       (fun (file, _, _) -> Filename.basename file <> "r1_suppressed.ml")
+       r.Lint_engine.stale_suppressions)
+
+let test_r6_fires () =
+  (* stash_closure, stash_named, leak_local, leak_to_outer. *)
+  check_count ~rule:"tvar-escape" ~file:"r6_bad.ml" 4
+
+let test_r6_findings_name_the_capture () =
+  let r = Lazy.force result in
+  let msgs =
+    List.filter_map
+      (fun (f : Lint_finding.t) ->
+        if f.rule = "tvar-escape" && in_file "r6_bad.ml" f then Some f.message
+        else None)
+      r.Lint_engine.findings
+  in
+  Alcotest.(check bool)
+    "the inline-closure finding names the captured binding" true
+    (List.exists (fun m -> contains ~sub:"\"snapshot\"" m) msgs);
+  Alcotest.(check bool)
+    "the local-mutable finding names the escaping ref" true
+    (List.exists (fun m -> contains ~sub:"\"acc\"" m) msgs)
+
+let test_r6_clean_module () =
+  let r = Lazy.force result in
+  Alcotest.(check int)
+    "no findings in r6_ok.ml" 0
+    (List.length (List.filter (in_file "r6_ok.ml") r.Lint_engine.findings))
+
 let test_r5_fires () =
   (* smuggle's Obj.magic, inspect's Obj.tag and Obj.repr. *)
   check_count ~rule:"obj-use" ~file:"r5_bad.ml" 3
@@ -252,6 +302,8 @@ let () =
           Alcotest.test_case "fixture units loaded" `Quick test_units_loaded;
           Alcotest.test_case "strict-local notices" `Quick
             test_strict_local_notices;
+          Alcotest.test_case "stale suppressions reported" `Quick
+            test_stale_suppression_reported;
         ] );
       ( "r1-runtime-bypass",
         [
@@ -287,5 +339,12 @@ let () =
             test_r4_findings_name_the_witness;
           Alcotest.test_case "honest profiles stay clean" `Quick
             test_r4_honest_ops_clean;
+        ] );
+      ( "r6-tvar-escape",
+        [
+          Alcotest.test_case "escapes fire" `Quick test_r6_fires;
+          Alcotest.test_case "findings name the capture" `Quick
+            test_r6_findings_name_the_capture;
+          Alcotest.test_case "clean module" `Quick test_r6_clean_module;
         ] );
     ]

@@ -11,7 +11,7 @@ module B = Sb7_harness.Benchmark
 
 (* -- Stream-building helpers ---------------------------------------- *)
 
-let begin_ ?(flags = 0) ts = [ Trace.tag_begin; flags; ts ]
+let begin_ ?(flags = 0) ?(op = 0) ts = [ Trace.tag_begin; flags; ts; op ]
 let read_ sid wid = [ Trace.tag_read; sid; wid ]
 let write_ sid wid prev = [ Trace.tag_write; sid; wid; prev ]
 let commit ts = [ Trace.tag_commit; ts; 0 ]
@@ -20,8 +20,8 @@ let acq ?(excl = true) uid = [ Trace.tag_acquire; uid; (if excl then 1 else 0) ]
 let rel ?(excl = true) uid = [ Trace.tag_release; uid; (if excl then 1 else 0) ]
 let stream evs = Array.of_list (List.concat evs)
 
-let dump ?(locks = []) streams : Trace.dump =
-  { Trace.streams = Array.of_list (List.map stream streams); locks }
+let dump ?(locks = []) ?(ops = []) ?(regions = [||]) streams : Trace.dump =
+  { Trace.streams = Array.of_list (List.map stream streams); locks; ops; regions }
 
 let stm_profile =
   {
@@ -36,6 +36,11 @@ let lock_profile ?(ranked = []) () =
     lockset = true;
     ranked_locks = ranked;
   }
+
+let contains s sub =
+  let n = String.length sub and m = String.length s in
+  let rec at i = i + n <= m && (String.sub s i n = sub || at (i + 1)) in
+  n = 0 || at 0
 
 let check_clean what v =
   Alcotest.(check bool)
@@ -327,6 +332,85 @@ let test_wrapper_records () =
   Alcotest.(check int) "both committed" 2 v.Checker.committed;
   check_clean "single-threaded wrapped run" v
 
+(* -- Footprint replay on hand-built streams ------------------------- *)
+
+(* Toy footprint table: one operation OPX that may read regions {0, 3}
+   and may write {3} (the may-read mask includes the writes, as the
+   generated table's [masks] accessor guarantees). *)
+let fp_table = function
+  | "OPX" -> Some ((1 lsl 0) lor (1 lsl 3), 1 lsl 3)
+  | _ -> None
+
+let fp_check ?(ops = [ (1, "OPX") ]) ?(regions = [||]) streams =
+  Checker.footprint ~table:fp_table ~region_name:string_of_int
+    (dump ~ops ~regions streams)
+
+let test_fp_clean_stream () =
+  let v =
+    fp_check
+      ~regions:[| (1, 0); (2, 3) |]
+      [ [ begin_ ~op:1 10; read_ 1 5; write_ 2 11 5; commit 12 ] ]
+  in
+  Alcotest.(check int) "one attempt" 1 v.Checker.fp_attempts;
+  Alcotest.(check int) "both accesses checked" 2 v.Checker.fp_checked;
+  Alcotest.(check bool) "clean" true (Checker.fp_clean v)
+
+let test_fp_read_escape () =
+  (* Region 4 is outside OPX's may-read set. *)
+  let v =
+    fp_check ~regions:[| (1, 4) |] [ [ begin_ ~op:1 10; read_ 1 5; commit 12 ] ]
+  in
+  Alcotest.(check int) "one escape" 1 v.Checker.fp_escape_count;
+  Alcotest.(check bool)
+    "escape names the op and kind" true
+    (match v.Checker.fp_escapes with
+    | [ m ] -> contains m "OPX" && contains m "may-read"
+    | _ -> false)
+
+let test_fp_write_outside_write_set () =
+  (* Region 0 is readable but NOT writable for OPX: a write there must
+     be flagged even though a read would pass. *)
+  let v =
+    fp_check
+      ~regions:[| (1, 0) |]
+      [ [ begin_ ~op:1 10; write_ 1 11 5; commit 12 ] ]
+  in
+  Alcotest.(check int) "one escape" 1 v.Checker.fp_escape_count;
+  Alcotest.(check bool)
+    "flagged as a write escape" true
+    (match v.Checker.fp_escapes with
+    | [ m ] -> contains m "may-write"
+    | _ -> false)
+
+let test_fp_unknowns_counted_not_flagged () =
+  let v =
+    fp_check
+      ~regions:[| (1, 0) |]
+      [
+        (* Known op, tvar without a region note. *)
+        [ begin_ ~op:1 10; read_ 9 5; commit 12 ];
+        (* Unknown op id: its accesses are counted, never flagged. *)
+        [ begin_ ~op:7 20; read_ 1 5; commit 22 ];
+      ]
+  in
+  Alcotest.(check int) "unknown region" 1 v.Checker.fp_unknown_region;
+  Alcotest.(check int) "unknown op" 1 v.Checker.fp_unknown_op;
+  Alcotest.(check int) "nothing checked" 0 v.Checker.fp_checked;
+  Alcotest.(check bool) "clean" true (Checker.fp_clean v)
+
+let test_fp_escapes_deduplicated () =
+  let v =
+    fp_check
+      ~regions:[| (1, 4); (2, 4) |]
+      [ [ begin_ ~op:1 10; read_ 1 5; read_ 2 6; commit 12 ] ]
+  in
+  (* Every escaping access is counted, but the report collapses to one
+     line per (op, region, kind). *)
+  Alcotest.(check int) "both escapes counted" 2 v.Checker.fp_escape_count;
+  Alcotest.(check int)
+    "one deduplicated finding" 1
+    (List.length v.Checker.fp_escapes)
+
 (* -- End to end: honest run clean, seeded bugs flagged -------------- *)
 
 let run_config =
@@ -375,6 +459,40 @@ let detect ~arm ~disarm ~category runtime_name =
         else go (i + 1) (duration *. 2.)
       in
       go 1 0.2)
+
+(* Property: for every registered runtime, a sanitized quick workload
+   at two domains replays through the static footprint table with zero
+   contradictions — the dynamic trace validates the whole-program
+   inference (docs/FOOTPRINT.md). *)
+let test_footprint_replay_all_runtimes () =
+  let region_name code =
+    match Sb7_runtime.Region.of_int code with
+    | Some r -> Sb7_runtime.Region.to_string r
+    | None -> Printf.sprintf "region#%d" code
+  in
+  List.iter
+    (fun (name, _) ->
+      let config =
+        if String.equal name "seq" then { run_config with B.threads = 1 }
+        else run_config
+      in
+      let (_ : Checker.verdict) = sanitized_run ~config name in
+      let v =
+        Checker.footprint ~table:Sb7_core.Op_footprint.masks ~region_name
+          (Trace.dump ())
+      in
+      Alcotest.(check bool)
+        (name ^ ": accesses were checked")
+        true
+        (v.Checker.fp_checked > 0);
+      Alcotest.(check int) (name ^ ": no unknown regions") 0
+        v.Checker.fp_unknown_region;
+      Alcotest.(check int) (name ^ ": no unknown ops") 0 v.Checker.fp_unknown_op;
+      if not (Checker.fp_clean v) then
+        Alcotest.failf "%s: footprint contradictions:\n%s" name
+          (Checker.fp_summary v))
+    Sb7_runtime.Registry.all;
+  Trace.reset ()
 
 let test_seeded_tl2_no_validation () =
   detect "tl2" ~category:`Opacity
@@ -434,10 +552,23 @@ let () =
           Alcotest.test_case "wrapper records when on" `Quick
             test_wrapper_records;
         ] );
+      ( "footprint",
+        [
+          Alcotest.test_case "clean stream" `Quick test_fp_clean_stream;
+          Alcotest.test_case "read escape" `Quick test_fp_read_escape;
+          Alcotest.test_case "write outside write set" `Quick
+            test_fp_write_outside_write_set;
+          Alcotest.test_case "unknowns counted not flagged" `Quick
+            test_fp_unknowns_counted_not_flagged;
+          Alcotest.test_case "escapes deduplicated" `Quick
+            test_fp_escapes_deduplicated;
+        ] );
       ( "end-to-end",
         [
           Alcotest.test_case "honest sanitized run clean" `Quick
             test_honest_run_clean;
+          Alcotest.test_case "footprint replay: all runtimes" `Quick
+            test_footprint_replay_all_runtimes;
           Alcotest.test_case "seeded: tl2 without validation" `Quick
             test_seeded_tl2_no_validation;
           Alcotest.test_case "seeded: medium dropped lock" `Quick
