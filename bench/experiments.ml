@@ -263,6 +263,10 @@ let quick (s : settings) =
       "ro_zero_log_commits";
       "ro_inline_revalidations";
       "ro_demotions";
+      "checkpoints";
+      "partial_aborts";
+      "reads_salvaged";
+      "resume_failures";
     ]
   in
   let results =
@@ -310,6 +314,28 @@ let quick (s : settings) =
               (threads, r))
             scaling_threads ))
       [ "tl2"; "lsa" ]
+  in
+  (* Long traversals + writers at 2 domains — the configuration the
+     checkpoint/partial-abort machinery targets (docs/PERF.md §7). One
+     binary, two runs per STM: the baseline flips
+     [Stm_intf.partial_abort_enabled] off, so "full abort" is the very
+     same code minus checkpoint salvage. Write-dominated keeps enough
+     concurrent committers to force mid-traversal conflicts. *)
+  let lt_settings = { s with duration = 0.6; warmup = 0.1 } in
+  let lt_variants =
+    [ ("tl2", false); ("tl2", true); ("lsa", false); ("lsa", true) ]
+  in
+  let lt_results =
+    List.map
+      (fun (runtime, checkpointed) ->
+        Sb7_stm.Stm_intf.partial_abort_enabled := checkpointed;
+        let r =
+          run_point lt_settings
+            (point ~runtime ~workload:W.Write_dominated ~threads:2 ())
+        in
+        Sb7_stm.Stm_intf.partial_abort_enabled := true;
+        ((runtime, checkpointed), r))
+      lt_variants
   in
   (* Uniform vs conflict-aware dispatch on the write-dominated mix at 2
      domains — the configuration the static conflict matrix targets
@@ -377,6 +403,23 @@ let quick (s : settings) =
         series)
     dispatch_results;
   Printf.printf
+    "\nlong traversals + writers, 2 domains, full abort vs checkpointed \
+     partial abort (mgc/Mgc = minor/major GC per 1k commits):\n";
+  Printf.printf "%-8s %-12s %10s %8s %8s %10s %10s %12s %9s %8s %8s\n"
+    "runtime" "mode" "ops/s" "commits" "aborts" "chkpoints" "part.abrt"
+    "rd.salvaged" "res.fail" "mgc/1k" "Mgc/1k";
+  List.iter
+    (fun ((runtime, checkpointed), r) ->
+      let c k = RR.counter r k in
+      Printf.printf
+        "%-8s %-12s %10.1f %8d %8d %10d %10d %12d %9d %8.2f %8.2f\n" runtime
+        (if checkpointed then "checkpoint" else "full-abort")
+        (RR.throughput r) (c "commits") (c "aborts") (c "checkpoints")
+        (c "partial_aborts") (c "reads_salvaged") (c "resume_failures")
+        (RR.minor_gc_per_1k_commits r)
+        (RR.major_gc_per_1k_commits r))
+    lt_results;
+  Printf.printf
     "\ndomain scaling, read-dominated (%.1fs per point, %d host cores; \
      imbalance = max per-domain commits / mean):\n"
     scaling_settings.duration
@@ -401,7 +444,7 @@ let quick (s : settings) =
     let oc = open_out path in
     let b = Buffer.create 2048 in
     Buffer.add_string b "{\n";
-    Buffer.add_string b "  \"schema\": \"sb7-bench-quick/4\",\n";
+    Buffer.add_string b "  \"schema\": \"sb7-bench-quick/5\",\n";
     Buffer.add_string b
       (Printf.sprintf
          "  \"scale\": %S,\n  \"workload\": %S,\n  \"threads\": 1,\n\
@@ -517,6 +560,31 @@ let quick (s : settings) =
           (Printf.sprintf "    ]}%s\n"
              (if i = List.length scaling_results - 1 then "" else ",")))
       scaling_results;
+    Buffer.add_string b "  ]},\n";
+    Buffer.add_string b
+      (Printf.sprintf
+         "  \"long_traversals\": {\"workload\": \"w\", \"threads\": 2, \
+          \"duration_s\": %.2f, \"host_cores\": %d, \"variants\": [\n"
+         lt_settings.duration
+         (Domain.recommended_domain_count ()));
+    List.iteri
+      (fun i ((runtime, checkpointed), r) ->
+        let c k = RR.counter r k in
+        Buffer.add_string b
+          (Printf.sprintf
+             "    {\"runtime\": %S, \"mode\": %S, \"ops_per_s\": %.1f, \
+              \"commits\": %d, \"aborts\": %d, \"checkpoints\": %d, \
+              \"partial_aborts\": %d, \"reads_salvaged\": %d, \
+              \"resume_failures\": %d, \"minor_gc_per_1k_commits\": %.3f, \
+              \"major_gc_per_1k_commits\": %.3f}%s\n"
+             runtime
+             (if checkpointed then "checkpoint" else "full-abort")
+             (RR.throughput r) (c "commits") (c "aborts") (c "checkpoints")
+             (c "partial_aborts") (c "reads_salvaged") (c "resume_failures")
+             (RR.minor_gc_per_1k_commits r)
+             (RR.major_gc_per_1k_commits r)
+             (if i = List.length lt_results - 1 then "" else ",")))
+      lt_results;
     Buffer.add_string b "  ]}\n}\n";
     Buffer.output_buffer oc b;
     close_out oc;

@@ -10,8 +10,10 @@
 
    - [seeded FIXTURE]: enable one deliberately planted bug
      (tl2-no-validation: TL2 commits and extends without validating its
-     read set; medium-drop-lock: the medium runtime silently skips its
-     first write lock) and demand that the checker flags it. A seeded
+     read set; tl2-unvalidated-resume: a partial abort salvages its
+     checkpoint prefix without validating it; medium-drop-lock: the
+     medium runtime silently skips its first write lock) and demand
+     that the checker flags it. A seeded
      run that comes back clean fails the command: the sanitizer did not
      bite. Detection is probabilistic — the bug needs an actual
      interleaving — so the run is retried with doubled duration a few
@@ -145,6 +147,19 @@ let fixtures =
       fx_name = "tl2-no-validation";
       fx_runtime = "tl2";
       fx_arm = Sb7_stm.Tl2.Unsafe.disable_validation;
+      fx_disarm = Sb7_stm.Tl2.Unsafe.reset;
+      fx_expected = (fun v -> v.Checker.opacity);
+      fx_expected_name = "opacity";
+    };
+    {
+      (* Partial-abort shortcut: rollback to the newest checkpoint
+         without validating the salvaged read-set prefix. The resumed
+         attempt can then straddle a concurrent commit — re-reads after
+         the resume observe newer versions than the salvaged prefix
+         did, which the checker reports as non-repeatable reads. *)
+      fx_name = "tl2-unvalidated-resume";
+      fx_runtime = "tl2";
+      fx_arm = Sb7_stm.Tl2.Unsafe.disable_resume_validation;
       fx_disarm = Sb7_stm.Tl2.Unsafe.reset;
       fx_expected = (fun v -> v.Checker.opacity);
       fx_expected_name = "opacity";
@@ -400,7 +415,8 @@ let seeded_cmd =
   let fixture_arg =
     Arg.(required & pos 0 (some fixture_conv) None
          & info [] ~docv:"FIXTURE"
-             ~doc:"tl2-no-validation | medium-drop-lock")
+             ~doc:"tl2-no-validation | tl2-unvalidated-resume | \
+                   medium-drop-lock")
   in
   Cmd.v (Cmd.info "seeded" ~doc)
     Term.(

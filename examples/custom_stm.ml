@@ -35,6 +35,13 @@ module Global_mutex_stm : Sb7_runtime.Runtime_intf.S = struct
       Mutex.unlock mutex;
       raise exn
 
+  (* A mutex never aborts, so there is nothing to checkpoint: declare
+     no capability and stub the API (the contract for any runtime that
+     keeps plain full-abort semantics). *)
+  let partial_abort = false
+  let checkpoint ~acc = ignore acc
+  let resume () = (0, 0)
+
   let stats () = [ ("operations", Atomic.get operations) ]
   let reset_stats () = Atomic.set operations 0
 end

@@ -32,14 +32,43 @@ module Make (R : Sb7_runtime.Runtime_intf.S) = struct
   (** Apply [visit_cp] to every composite part of every base assembly,
       depth-first from the design root — once per (assembly, part)
       reference, as composite parts are shared. Returns the summed
-      results. *)
+      results.
+
+      Checkpointed: each (base assembly, composite part) visit is one
+      resumable unit, and a watermark is recorded with [R.checkpoint]
+      at unit ENTRY — mark [k] stands for "k units completed" and its
+      read-set prefix excludes unit [k]'s own graph reads. That
+      placement matters: concurrent writers mostly invalidate the unit
+      currently being traversed, and an entry mark lets the rollback
+      salvage every completed unit while re-running only the
+      invalidated one (an exit mark would force the rollback past the
+      whole current unit's prefix). On a conflict the runtime rolls
+      back to the newest still-valid watermark and re-runs this
+      function, which consults [R.resume], skips the salvaged units
+      and does NOT re-record the live mark for the unit it resumes
+      at — re-checkpointing it would shift the mark/unit alignment.
+      Skeleton re-reads during the skip phase hit the retained
+      read-set prefix (dedup), so resuming costs the tree walk but
+      none of the per-part graph work. On runtimes without the
+      capability both calls are no-ops and this is the plain full
+      traversal. *)
   let traverse_composite_parts setup visit_cp =
-    let total = ref 0 in
+    let salvaged, saved = R.resume () in
+    (* [salvaged] marks mean marks 0..salvaged-1 are live; the newest,
+       mark salvaged-1, stands for salvaged-1 completed units. *)
+    let skip = if salvaged = 0 then 0 else salvaged - 1 in
+    let total = ref saved in
+    let unit_no = ref 0 in
     iter_assemblies setup.S.module_.T.mod_design_root
       ~on_complex:(fun _ -> ())
       ~on_base:(fun ba ->
         List.iter
-          (fun cp -> total := !total + visit_cp cp)
+          (fun cp ->
+            if !unit_no >= skip then begin
+              if !unit_no > skip || salvaged = 0 then R.checkpoint ~acc:!total;
+              total := !total + visit_cp cp
+            end;
+            incr unit_no)
           (R.read ba.T.ba_components));
     !total
 

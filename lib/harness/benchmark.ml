@@ -317,7 +317,10 @@ module Make (R : Sb7_runtime.Runtime_intf.S) = struct
       Domain.cpu_relax ()
     done;
     (* Clock starts when every domain is released, not when the first
-       one was spawned. *)
+       one was spawned. GC counters bracket the same window so the
+       per-1k-commits pressure columns cover exactly the measured
+       work. *)
+    let gc0 = Gc.quick_stat () in
     let t0 = Unix.gettimeofday () in
     Atomic.set go true;
     (match config.max_ops with
@@ -327,6 +330,7 @@ module Make (R : Sb7_runtime.Runtime_intf.S) = struct
       Atomic.set stop true);
     let parts = List.map Domain.join domains in
     let elapsed = Unix.gettimeofday () -. t0 in
+    let gc1 = Gc.quick_stat () in
     let stats =
       Stats.merge ~ops:(Array.length ops) ~histograms:config.histograms parts
     in
@@ -365,6 +369,10 @@ module Make (R : Sb7_runtime.Runtime_intf.S) = struct
       reduced_ops = config.reduced_ops;
       dispatch = config.dispatch;
       conflict_pairs;
+      minor_collections =
+        gc1.Gc.minor_collections - gc0.Gc.minor_collections;
+      major_collections =
+        gc1.Gc.major_collections - gc0.Gc.major_collections;
       seed = config.seed;
       sanitizer;
     }

@@ -12,7 +12,9 @@ let header_summary =
    reduced,elapsed_s,successes,failures,throughput_ops,started_ops,\
    commits,aborts,validation_steps,max_read_set,read_set_entries,\
    dedup_hits,bloom_skips,extensions,clock_reuses,ro_zero_log_commits,\
-   ro_inline_revalidations,ro_demotions,commit_imbalance,\
+   ro_inline_revalidations,ro_demotions,checkpoints,partial_aborts,\
+   reads_salvaged,resume_failures,minor_gc_per_1k_commits,\
+   major_gc_per_1k_commits,commit_imbalance,\
    per_domain_successes,seed,sanitizer"
 
 (* The STM counters exported per summary row; 0 for lock runtimes. *)
@@ -30,6 +32,10 @@ let summary_counters =
     "ro_zero_log_commits";
     "ro_inline_revalidations";
     "ro_demotions";
+    "checkpoints";
+    "partial_aborts";
+    "reads_salvaged";
+    "resume_failures";
   ]
 
 let escape field =
@@ -53,7 +59,9 @@ let summary_row (r : Run_result.t) =
           (fun k -> string_of_int (Run_result.counter r k))
           summary_counters))
   (* Semicolon-joined so the per-domain vector stays one CSV field. *)
-  ^ Printf.sprintf ",%.3f,%s,%d,%s"
+  ^ Printf.sprintf ",%.3f,%.3f,%.3f,%s,%d,%s"
+      (Run_result.minor_gc_per_1k_commits r)
+      (Run_result.major_gc_per_1k_commits r)
       (Run_result.commit_imbalance r)
       (String.concat ";"
          (Array.to_list (Array.map string_of_int r.per_domain_successes)))

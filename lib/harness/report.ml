@@ -123,6 +123,11 @@ let print_summary ppf (r : Run_result.t) =
     (Run_result.throughput r)
     (Run_result.attempts_throughput r);
   Format.fprintf ppf "Elapsed time:         %.2f s@." r.elapsed_s;
+  Format.fprintf ppf
+    "GC pressure:          %.2f minor / %.2f major collections per 1k \
+     commits@."
+    (Run_result.minor_gc_per_1k_commits r)
+    (Run_result.major_gc_per_1k_commits r);
   if r.threads > 1 then
     Format.fprintf ppf
       "Per-domain successes: [%s]  commit imbalance (max/mean): %.2f@."

@@ -24,6 +24,11 @@ type t = {
   conflict_pairs : int;
       (* unordered statically-conflicting op pairs that could run
          concurrently on distinct domains under this dispatch mode *)
+  minor_collections : int;
+      (* Gc.quick_stat delta over the measured window, observed from
+         the coordinating domain — a process-wide allocation-pressure
+         proxy, not an exact per-domain count *)
+  major_collections : int;
   seed : int;
   sanitizer : Sb7_sanitize.Checker.verdict option;
       (* None when the run was not sanitized *)
@@ -60,6 +65,19 @@ let commit_imbalance t =
       float_of_int mx /. (float_of_int total /. float_of_int n)
     end
   end
+
+(* GC pressure normalized per 1000 committed operations, so runs of
+   different lengths and throughputs compare directly; 0 when nothing
+   committed. *)
+let per_1k_commits t n =
+  let c = Stats.total_successes t.stats in
+  if c = 0 then 0. else 1000. *. float_of_int n /. float_of_int c
+
+(** Minor (resp. major) collections per 1000 successful operations
+    during the measured window. *)
+let minor_gc_per_1k_commits t = per_1k_commits t t.minor_collections
+
+let major_gc_per_1k_commits t = per_1k_commits t t.major_collections
 
 (** Started (successful or failed) operations per second. *)
 let attempts_throughput t =

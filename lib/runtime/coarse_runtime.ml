@@ -30,6 +30,12 @@ let atomic ~profile f =
   Counter.incr commits;
   result
 
+(* Lock-based execution holds its locks for the whole operation and
+   rolls back wholesale on restart: no partial abort. *)
+let partial_abort = false
+let checkpoint ~acc = ignore acc
+let resume () = (0, 0)
+
 let stats () =
   [
     ("read_acquisitions", Counter.get read_acquisitions);

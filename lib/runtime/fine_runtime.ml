@@ -213,6 +213,12 @@ let atomic ~profile f =
     in
     attempt ()
 
+(* Lock-based execution holds its locks for the whole operation and
+   rolls back wholesale on restart: no partial abort. *)
+let partial_abort = false
+let checkpoint ~acc = ignore acc
+let resume () = (0, 0)
+
 let stats () =
   [
     ("acquisitions", Counter.get acquisitions);

@@ -100,6 +100,12 @@ let atomic ~profile f =
     Rwlock.release structure_lock structure_mode;
     raise exn
 
+(* Lock-based execution holds its locks for the whole operation and
+   rolls back wholesale on restart: no partial abort. *)
+let partial_abort = false
+let checkpoint ~acc = ignore acc
+let resume () = (0, 0)
+
 let stats () =
   [
     ("read_acquisitions", Counter.get read_acquisitions);

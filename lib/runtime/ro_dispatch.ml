@@ -43,4 +43,12 @@ module Make (Stm : Sb7_stm.Stm_intf.S) = struct
         Stm.atomic f
     end
     else Stm.atomic f
+
+  (* Partial-abort capability, threaded through unchanged: checkpoints
+     placed by an operation that ends up on the [atomic_ro] path are
+     no-ops inside the STM (read-only transactions keep no read set to
+     salvage), so the same operation body works on both paths. *)
+  let partial_abort = Stm.partial_abort
+  let checkpoint = Stm.checkpoint
+  let resume = Stm.resume
 end

@@ -22,4 +22,13 @@ module Make (Stm : Sb7_stm.Stm_intf.S) : sig
   (** Clear the demotion registry (wire into the runtime's
       [reset_stats] so runs start from the declared profiles). *)
   val reset : unit -> unit
+
+  (** Checkpoint capability, forwarded from the STM so runtimes built
+      on this dispatcher expose it unchanged. On the [atomic_ro] path
+      the STM ignores checkpoints (no read set to salvage), which is
+      exactly right: those transactions never conflict-abort. *)
+  val partial_abort : bool
+
+  val checkpoint : acc:int -> unit
+  val resume : unit -> int * int
 end

@@ -29,6 +29,23 @@ module type S = sig
       release locks / roll back and propagate. *)
   val atomic : profile:Op_profile.t -> (unit -> 'a) -> 'a
 
+  (** Whether [atomic] can salvage work across conflicts via
+      checkpointed partial abort. Runtimes without the capability
+      (locks, seq, ASTM) keep full-abort semantics: [checkpoint] is a
+      no-op and [resume] always reports a fresh attempt. *)
+  val partial_abort : bool
+
+  (** [checkpoint ~acc] marks a resume point inside the current
+      transaction, saving the caller's integer accumulator. See
+      {!Sb7_stm.Stm_intf.S.checkpoint}; a no-op on runtimes where
+      [partial_abort] is [false]. *)
+  val checkpoint : acc:int -> unit
+
+  (** [resume ()] queries the current attempt's resume state:
+      [(units_to_skip, saved_acc)], [(0, 0)] on a fresh attempt. See
+      {!Sb7_stm.Stm_intf.S.resume}. *)
+  val resume : unit -> int * int
+
   (** Strategy-specific counters (lock acquisitions, STM commits and
       aborts, …) for reports; reset with [reset_stats]. *)
   val stats : unit -> (string * int) list

@@ -26,6 +26,12 @@ let atomic ~profile f =
   Counter.incr commits;
   result
 
+(* Sequential execution never conflicts, so there is nothing to
+   salvage: full-abort (trivially, no-abort) semantics. *)
+let partial_abort = false
+let checkpoint ~acc = ignore acc
+let resume () = (0, 0)
+
 let stats () =
   [
     ("operations", Counter.get operations);

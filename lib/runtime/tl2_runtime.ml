@@ -15,6 +15,9 @@ let make = Stm.make
 let read = Stm.read
 let write = Stm.write
 let atomic = D.atomic
+let partial_abort = D.partial_abort
+let checkpoint = D.checkpoint
+let resume = D.resume
 
 let stats () = Sb7_stm.Stm_stats.to_assoc (Stm.stats ())
 

@@ -102,15 +102,18 @@ let describe a =
   Printf.sprintf "domain %d attempt #%d (%s)" a.a_domain a.a_seq
     (outcome_name a.a_outcome)
 
-(* begin; read; write; commit; rollback; acquire; release *)
-let arity = [| 4; 3; 4; 3; 1; 3; 3 |]
+(* begin; read; write; commit; rollback; acquire; release; partial *)
+let arity = [| 4; 3; 4; 3; 1; 3; 3; 3 |]
 
 let analyze ~profile (dump : Trace.dump) =
   let opacity = new_findings () in
   let races = new_findings () in
   let order = new_findings () in
 
-  (* ---- Pass 1: slice streams into attempts. ------------------------ *)
+  (* ---- Pass 1: slice streams into attempts. A [tag_partial] event
+     truncates the running attempt's event log to a kept prefix, so
+     the per-sid read/write tables can only be built once the attempt
+     finishes — the events are collected in order first. ------------- *)
   let attempts_rev = ref [] in
   let n_attempts = ref 0 in
   let events = ref 0 in
@@ -118,11 +121,62 @@ let analyze ~profile (dump : Trace.dump) =
     (fun dom stream ->
       let cur = ref None in
       let seq = ref 0 in
+      (* Ordered event log of the current attempt (reused across
+         attempts of the stream). *)
+      let r_sid = ref (Array.make 64 0) and r_wid = ref (Array.make 64 0) in
+      let nr = ref 0 in
+      let w_sid = ref (Array.make 16 0)
+      and w_wid = ref (Array.make 16 0)
+      and w_prev = ref (Array.make 16 0) in
+      let nw = ref 0 in
+      let push_r sid wid =
+        if !nr = Array.length !r_sid then begin
+          r_sid := Array.append !r_sid (Array.make !nr 0);
+          r_wid := Array.append !r_wid (Array.make !nr 0)
+        end;
+        !r_sid.(!nr) <- sid;
+        !r_wid.(!nr) <- wid;
+        incr nr
+      in
+      let push_w sid wid prev =
+        if !nw = Array.length !w_sid then begin
+          w_sid := Array.append !w_sid (Array.make !nw 0);
+          w_wid := Array.append !w_wid (Array.make !nw 0);
+          w_prev := Array.append !w_prev (Array.make !nw 0)
+        end;
+        !w_sid.(!nw) <- sid;
+        !w_wid.(!nw) <- wid;
+        !w_prev.(!nw) <- prev;
+        incr nw
+      in
       let finish outcome =
         match !cur with
         | None -> ()
         | Some a ->
           a.a_outcome <- outcome;
+          for j = 0 to !nw - 1 do
+            Hashtbl.replace a.a_own !w_wid.(j) ();
+            a.a_writes <- (!w_sid.(j), !w_wid.(j), !w_prev.(j)) :: a.a_writes
+          done;
+          (* Replay the retained reads in order: first non-own wid per
+             sid, any later different wid is a non-repeatable read.
+             (Own-wid reads can be classified after the fact because
+             wids are created at write time — a read can never observe
+             an own write that has not happened yet.) *)
+          for j = 0 to !nr - 1 do
+            let sid = !r_sid.(j) and wid = !r_wid.(j) in
+            if not (Hashtbl.mem a.a_own wid) then begin
+              match Hashtbl.find_opt a.a_reads sid with
+              | None -> Hashtbl.add a.a_reads sid wid
+              | Some w0 when w0 = wid -> ()
+              | Some w0 ->
+                add_finding opacity
+                  (Printf.sprintf
+                     "non-repeatable read: %s saw tvar %d at version %d, \
+                      then at version %d, without writing it"
+                     (describe a) sid w0 wid)
+            end
+          done;
           cur := None
       in
       let i = ref 0 in
@@ -141,34 +195,29 @@ let analyze ~profile (dump : Trace.dump) =
            in
            incr n_attempts;
            attempts_rev := a :: !attempts_rev;
-           cur := Some a
+           cur := Some a;
+           nr := 0;
+           nw := 0
          end
          else if tag = Trace.tag_read then begin
            match !cur with
            | None -> () (* read outside any attempt: nothing to check *)
-           | Some a ->
-             let sid = stream.(!i + 1) and wid = stream.(!i + 2) in
-             if not (Hashtbl.mem a.a_own wid) then begin
-               match Hashtbl.find_opt a.a_reads sid with
-               | None -> Hashtbl.add a.a_reads sid wid
-               | Some w0 when w0 = wid -> ()
-               | Some w0 ->
-                 add_finding opacity
-                   (Printf.sprintf
-                      "non-repeatable read: %s saw tvar %d at version %d, \
-                       then at version %d, without writing it"
-                      (describe a) sid w0 wid)
-             end
+           | Some _ -> push_r stream.(!i + 1) stream.(!i + 2)
          end
          else if tag = Trace.tag_write then begin
            match !cur with
            | None -> ()
-           | Some a ->
-             let sid = stream.(!i + 1)
-             and wid = stream.(!i + 2)
-             and prev = stream.(!i + 3) in
-             a.a_writes <- (sid, wid, prev) :: a.a_writes;
-             Hashtbl.replace a.a_own wid ()
+           | Some _ -> push_w stream.(!i + 1) stream.(!i + 2) stream.(!i + 3)
+         end
+         else if tag = Trace.tag_partial then begin
+           (* Partial abort: only the announced event prefix survives;
+              the same attempt continues. min-guard against malformed
+              (synthetic) traces claiming more than was logged. *)
+           match !cur with
+           | None -> ()
+           | Some _ ->
+             nr := min !nr stream.(!i + 1);
+             nw := min !nw stream.(!i + 2)
          end
          else if tag = Trace.tag_commit then finish Committed
          else if tag = Trace.tag_rollback then finish Rolledback);

@@ -9,6 +9,7 @@ let tag_commit = 3
 let tag_rollback = 4
 let tag_acquire = 5
 let tag_release = 6
+let tag_partial = 7
 
 let flag_ro = 1
 let flag_structural = 2
@@ -140,6 +141,13 @@ let on_read ~sid ~wid = append3 tag_read sid wid
 let on_write ~sid ~wid ~prev = append4 tag_write sid wid prev
 let on_commit () = append3 tag_commit (next_ts ()) 0
 let on_rollback () = append1 tag_rollback
+
+(* A partial abort: the attempt rolled back to a checkpoint, keeping
+   its first [reads_kept] read events and [writes_kept] write events;
+   everything it logged after them was discarded and the attempt
+   continues in place (no begin event follows). *)
+let on_partial ~reads_kept ~writes_kept =
+  append3 tag_partial reads_kept writes_kept
 
 (* Commit records 3 ints with a trailing 0 so every tag has a fixed
    arity; the checker skips by arity. *)

@@ -23,6 +23,11 @@
     - [tag_rollback] — the attempt rolled back with an exception
     - [tag_acquire; uid; excl] / [tag_release; uid; excl] — lock
       transitions (from {!Sb7_rwlock.Lock_hooks})
+    - [tag_partial; reads_kept; writes_kept] — the attempt partially
+      aborted to a checkpoint: its first [reads_kept] read events and
+      [writes_kept] write events stand, every later access it logged
+      was rolled back, and the SAME attempt continues after this event
+      (no new [tag_begin])
 
     An attempt that ends with neither commit nor rollback before the
     next [tag_begin] in the same stream was aborted and retried by the
@@ -35,6 +40,7 @@ val tag_commit : int
 val tag_rollback : int
 val tag_acquire : int
 val tag_release : int
+val tag_partial : int
 
 val flag_ro : int
 val flag_structural : int
@@ -93,6 +99,10 @@ val on_read : sid:int -> wid:int -> unit
 val on_write : sid:int -> wid:int -> prev:int -> unit
 val on_commit : unit -> unit
 val on_rollback : unit -> unit
+
+(** Record a partial abort: the running attempt kept its first
+    [reads_kept] read and [writes_kept] write events and continues. *)
+val on_partial : reads_kept:int -> writes_kept:int -> unit
 
 (** Snapshot the streams. Quiesced only. *)
 val dump : unit -> dump

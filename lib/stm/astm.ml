@@ -314,5 +314,12 @@ let atomic_ro f = atomic f
 
 let record_ro_demotion () = Stm_stats.record_ro_demotion global_stats
 
+(* No checkpointing either: partial abort would soften the abort-storm
+   pathology this STM exists to demonstrate. Full-abort semantics are
+   preserved by the no-op capability stubs. *)
+let partial_abort = false
+let checkpoint ~acc = ignore acc
+let resume () = (0, 0)
+
 let stats () = Stm_stats.snapshot global_stats
 let reset_stats () = Stm_stats.reset global_stats

@@ -63,6 +63,12 @@ let cast_ref : type a. a tvar -> wentry -> a ref =
 
 type read_entry = { r_id : int; r_vlock : int Atomic.t; r_version : int }
 
+(* Saved value of a buffered write overwritten after a checkpoint; see
+   the twin comment in Tl2. *)
+type undo_entry = U : { slot : 'a ref; saved : 'a } -> undo_entry
+
+let dummy_undo = U { slot = ref 0; saved = 0 }
+
 type mode =
   | Update
   | Snapshot
@@ -83,6 +89,21 @@ type tx = {
   mutable dedup_hits : int;
   mutable bloom_skips : int;
   mutable extensions : int;
+  (* Checkpoint / partial-abort state (update mode only; snapshot
+     transactions never validate, so checkpointing them is a no-op).
+     Same layout as Tl2. *)
+  mutable mark_reads : int array;
+  mutable mark_wlog : int array;
+  mutable mark_undo : int array;
+  mutable mark_acc : int array;
+  mutable nmarks : int;
+  mutable wlog : int array;
+  mutable nwlog : int;
+  mutable undo : undo_entry array;
+  mutable nundo : int;
+  mutable ncheckpoints : int;
+  mutable resume_marks : int;
+  mutable resume_acc : int;
 }
 
 let clock = Global_clock.create ()
@@ -123,6 +144,18 @@ let fresh_tx () =
     dedup_hits = 0;
     bloom_skips = 0;
     extensions = 0;
+    mark_reads = Array.make 16 0;
+    mark_wlog = Array.make 16 0;
+    mark_undo = Array.make 16 0;
+    mark_acc = Array.make 16 0;
+    nmarks = 0;
+    wlog = Array.make 16 0;
+    nwlog = 0;
+    undo = Array.make 16 dummy_undo;
+    nundo = 0;
+    ncheckpoints = 0;
+    resume_marks = 0;
+    resume_acc = 0;
   }
 
 let bloom_bit id =
@@ -321,11 +354,29 @@ let write tv v =
       raise Stm_intf.Write_in_read_only
     | Update -> (
       match Hashtbl.find_opt tx.writes tv.id with
-      | Some entry -> cast_ref tv entry := v
+      | Some entry ->
+        let slot = cast_ref tv entry in
+        if tx.nmarks > 0 then begin
+          if tx.nundo = Array.length tx.undo then begin
+            let bigger = Array.make (2 * tx.nundo) dummy_undo in
+            Array.blit tx.undo 0 bigger 0 tx.nundo;
+            tx.undo <- bigger
+          end;
+          tx.undo.(tx.nundo) <- U { slot; saved = !slot };
+          tx.nundo <- tx.nundo + 1
+        end;
+        slot := v
       | None ->
         tx.wbloom <- tx.wbloom lor bloom_bit tv.id;
         Hashtbl.add tx.writes tv.id
-          (W { tv; value = ref v; locked_from = 0; locked = false })))
+          (W { tv; value = ref v; locked_from = 0; locked = false });
+        if tx.nwlog = Array.length tx.wlog then begin
+          let bigger = Array.make (2 * tx.nwlog) 0 in
+          Array.blit tx.wlog 0 bigger 0 tx.nwlog;
+          tx.wlog <- bigger
+        end;
+        tx.wlog.(tx.nwlog) <- tv.id;
+        tx.nwlog <- tx.nwlog + 1))
 
 let unlock_acquired tx =
   Hashtbl.iter
@@ -392,7 +443,8 @@ let flush_tx_stats tx =
   Stm_stats.record_validation global_stats ~steps:tx.validation_steps;
   Stm_stats.record_read_set global_stats ~size:tx.nreads;
   Stm_stats.record_tx_log global_stats ~dedup_hits:tx.dedup_hits
-    ~bloom_skips:tx.bloom_skips ~extensions:tx.extensions
+    ~bloom_skips:tx.bloom_skips ~extensions:tx.extensions;
+  Stm_stats.record_checkpoints global_stats ~count:tx.ncheckpoints
 
 let reset_tx tx mode =
   tx.mode <- mode;
@@ -405,12 +457,106 @@ let reset_tx tx mode =
   tx.dedup_hits <- 0;
   tx.bloom_skips <- 0;
   tx.extensions <- 0;
+  tx.nmarks <- 0;
+  tx.nwlog <- 0;
+  Array.fill tx.undo 0 tx.nundo dummy_undo;
+  tx.nundo <- 0;
+  tx.ncheckpoints <- 0;
+  tx.resume_marks <- 0;
+  tx.resume_acc <- 0;
   (* Same shrink guard as Tl2.reset_tx (64-entry floor, 2^16 ceiling),
      dedup cache shrinking symmetrically. *)
   if Array.length tx.reads > 1 lsl 16 then begin
     tx.reads <- Array.make initial_reads dummy_read;
     tx.dedup_ids <- Array.make initial_dedup (-1);
     tx.dedup_epochs <- Array.make initial_dedup 0
+  end
+
+let partial_abort = true
+
+(* Checkpoint / resume / partial rollback: the update-mode machinery is
+   the same ordered-watermark design as Tl2 (see the comments there);
+   snapshot transactions never validate, so [checkpoint] ignores them
+   and their conflicts (ring evictions) always full-abort. *)
+let checkpoint ~acc =
+  let state = current () in
+  match state.active with
+  | None -> ()
+  | Some tx ->
+    if tx.mode = Update && !Stm_intf.partial_abort_enabled then begin
+      let n = tx.nmarks in
+      if n = Array.length tx.mark_reads then begin
+        let grow a = Array.append a (Array.make n 0) in
+        tx.mark_reads <- grow tx.mark_reads;
+        tx.mark_wlog <- grow tx.mark_wlog;
+        tx.mark_undo <- grow tx.mark_undo;
+        tx.mark_acc <- grow tx.mark_acc
+      end;
+      tx.mark_reads.(n) <- tx.nreads;
+      tx.mark_wlog.(n) <- tx.nwlog;
+      tx.mark_undo.(n) <- tx.nundo;
+      tx.mark_acc.(n) <- acc;
+      tx.nmarks <- n + 1;
+      tx.ncheckpoints <- tx.ncheckpoints + 1
+    end
+
+let resume () =
+  let state = current () in
+  match state.active with
+  | None -> (0, 0)
+  | Some tx -> (tx.resume_marks, tx.resume_acc)
+
+let try_partial_rollback tx =
+  if tx.nmarks = 0 || not !Stm_intf.partial_abort_enabled then false
+  else begin
+    let now = Global_clock.now clock in
+    let p = ref 0 in
+    (try
+       while !p < tx.nreads do
+         let e = tx.reads.(!p) in
+         if Atomic.get e.r_vlock <> e.r_version then raise Exit;
+         incr p
+       done
+     with Exit -> ());
+    tx.validation_steps <- tx.validation_steps + !p + 1;
+    let mark = ref (tx.nmarks - 1) in
+    while !mark >= 0 && tx.mark_reads.(!mark) > !p do
+      decr mark
+    done;
+    let mark = !mark in
+    if mark < 0 then begin
+      Stm_stats.record_resume_failure global_stats;
+      false
+    end
+    else begin
+      tx.nreads <- tx.mark_reads.(mark);
+      for j = tx.nwlog - 1 downto tx.mark_wlog.(mark) do
+        Hashtbl.remove tx.writes tx.wlog.(j)
+      done;
+      tx.nwlog <- tx.mark_wlog.(mark);
+      for j = tx.nundo - 1 downto tx.mark_undo.(mark) do
+        (match tx.undo.(j) with U u -> u.slot := u.saved);
+        tx.undo.(j) <- dummy_undo
+      done;
+      tx.nundo <- tx.mark_undo.(mark);
+      let bloom = ref 0 in
+      for j = 0 to tx.nwlog - 1 do
+        bloom := !bloom lor bloom_bit tx.wlog.(j)
+      done;
+      tx.wbloom <- !bloom;
+      tx.epoch <- tx.epoch + 1;
+      for i = 0 to tx.nreads - 1 do
+        let id = tx.reads.(i).r_id in
+        tx.dedup_ids.(id land (Array.length tx.dedup_ids - 1)) <- id;
+        tx.dedup_epochs.(id land (Array.length tx.dedup_ids - 1)) <- tx.epoch
+      done;
+      tx.nmarks <- mark + 1;
+      tx.resume_marks <- mark + 1;
+      tx.resume_acc <- tx.mark_acc.(mark);
+      tx.rv <- now;
+      Stm_stats.record_partial_abort global_stats ~reads_salvaged:tx.nreads;
+      true
+    end
   end
 
 let atomic_in_mode mode f =
@@ -426,9 +572,11 @@ let atomic_in_mode mode f =
         state.spare <- Some tx;
         tx
     in
-    let rec attempt () =
-      reset_tx tx mode;
-      state.active <- Some tx;
+    let rec attempt ~fresh () =
+      if fresh then begin
+        reset_tx tx mode;
+        state.active <- Some tx
+      end;
       match
         let result = f () in
         commit tx;
@@ -440,17 +588,20 @@ let atomic_in_mode mode f =
         Backoff.reset tx.backoff;
         result
       | exception Conflict ->
-        state.active <- None;
-        flush_tx_stats tx;
-        Stm_stats.record_abort global_stats;
-        Backoff.once tx.backoff;
-        attempt ()
+        if try_partial_rollback tx then attempt ~fresh:false ()
+        else begin
+          state.active <- None;
+          flush_tx_stats tx;
+          Stm_stats.record_abort global_stats;
+          Backoff.once tx.backoff;
+          attempt ~fresh:true ()
+        end
       | exception exn ->
         state.active <- None;
         flush_tx_stats tx;
         raise exn
     in
-    attempt ()
+    attempt ~fresh:true ()
 
 let atomic f = atomic_in_mode Update f
 

@@ -13,6 +13,13 @@ exception Conflict
     [atomic]'s conflict retry already imposes). *)
 exception Write_in_read_only
 
+(** Master switch for checkpointed partial abort, shared by the
+    substrates that implement it (TL2, LSA). On by default; the bench
+    harness flips it off to measure the full-abort baseline on the same
+    binary. Read once per conflict, so flipping it mid-transaction is
+    harmless (the next conflict sees the new value). *)
+let partial_abort_enabled = ref true
+
 module type S = sig
   val name : string
 
@@ -50,6 +57,30 @@ module type S = sig
   val atomic_ro : (unit -> 'a) -> 'a
 
   val in_transaction : unit -> bool
+
+  (** Whether this STM supports checkpointed partial abort. When
+      [false], [checkpoint] is a no-op and [resume] always returns
+      [(0, 0)]: callers keep full-abort semantics unchanged. *)
+  val partial_abort : bool
+
+  (** [checkpoint ~acc] records a watermark over the ordered read set
+      (and the write log) together with the caller's integer
+      accumulator [acc]. On a later conflict the transaction validates
+      the read-set prefix, rolls back only past the last valid
+      watermark, re-extends its read version and re-runs the closure —
+      which must consult {!resume} to skip the salvaged work. A no-op
+      outside a transaction, in read-only mode, or when the substrate
+      lacks the capability. *)
+  val checkpoint : acc:int -> unit
+
+  (** [resume ()] is an idempotent query of the current attempt's
+      resume state: [(marks, acc)] where [marks] is the number of
+      checkpoints salvaged by a partial abort ([0] on a fresh attempt —
+      run from the start) and [acc] the accumulator saved with the last
+      salvaged watermark. Closures driven through [checkpoint] must
+      call this on entry and skip their first [marks] checkpointed
+      units. *)
+  val resume : unit -> int * int
 
   (** Hook for the runtime dispatch layer: account one adaptive
       demotion (a declared-read-only operation that wrote) in this

@@ -12,6 +12,10 @@ type snapshot = {
   ro_zero_log_commits : int;
   ro_inline_revalidations : int;
   ro_demotions : int;
+  checkpoints : int;
+  partial_aborts : int;
+  reads_salvaged : int;
+  resume_failures : int;
 }
 
 (* Per-domain shard: plain mutable fields, allocated cache-line padded
@@ -32,6 +36,10 @@ type shard = {
   mutable s_ro_zero_log_commits : int;
   mutable s_ro_inline_revalidations : int;
   mutable s_ro_demotions : int;
+  mutable s_checkpoints : int;
+  mutable s_partial_aborts : int;
+  mutable s_reads_salvaged : int;
+  mutable s_resume_failures : int;
 }
 
 type t = {
@@ -57,6 +65,10 @@ let fresh_shard () =
       s_ro_zero_log_commits = 0;
       s_ro_inline_revalidations = 0;
       s_ro_demotions = 0;
+      s_checkpoints = 0;
+      s_partial_aborts = 0;
+      s_reads_salvaged = 0;
+      s_resume_failures = 0;
     }
 
 (* First record_* call on a domain claims a shard: recycled from the
@@ -140,6 +152,29 @@ let record_ro_demotion t =
   let s = shard t in
   s.s_ro_demotions <- s.s_ro_demotions + 1
 
+(* Flushed per attempt alongside record_tx_log rather than one DLS
+   lookup per checkpoint mark. *)
+let record_checkpoints t ~count =
+  if count > 0 then begin
+    let s = shard t in
+    s.s_checkpoints <- s.s_checkpoints + count
+  end
+
+(* A partial abort salvages the validated read-set prefix: the attempt
+   rolls back to its last valid watermark instead of restarting, and
+   [reads_salvaged] counts the read entries it kept. *)
+let record_partial_abort t ~reads_salvaged =
+  let s = shard t in
+  s.s_partial_aborts <- s.s_partial_aborts + 1;
+  s.s_reads_salvaged <- s.s_reads_salvaged + reads_salvaged
+
+(* A conflict arrived while checkpoints existed but even the earliest
+   watermark's prefix failed validation: the attempt fell back to a
+   full abort. *)
+let record_resume_failure t =
+  let s = shard t in
+  s.s_resume_failures <- s.s_resume_failures + 1
+
 let zero : snapshot =
   {
     commits = 0;
@@ -155,6 +190,10 @@ let zero : snapshot =
     ro_zero_log_commits = 0;
     ro_inline_revalidations = 0;
     ro_demotions = 0;
+    checkpoints = 0;
+    partial_aborts = 0;
+    reads_salvaged = 0;
+    resume_failures = 0;
   }
 
 let add_shard (acc : snapshot) (s : shard) : snapshot =
@@ -173,6 +212,10 @@ let add_shard (acc : snapshot) (s : shard) : snapshot =
     ro_inline_revalidations =
       acc.ro_inline_revalidations + s.s_ro_inline_revalidations;
     ro_demotions = acc.ro_demotions + s.s_ro_demotions;
+    checkpoints = acc.checkpoints + s.s_checkpoints;
+    partial_aborts = acc.partial_aborts + s.s_partial_aborts;
+    reads_salvaged = acc.reads_salvaged + s.s_reads_salvaged;
+    resume_failures = acc.resume_failures + s.s_resume_failures;
   }
 
 (* Plain reads of another domain's shard fields are racy but
@@ -201,7 +244,11 @@ let reset t =
       s.s_clock_reuses <- 0;
       s.s_ro_zero_log_commits <- 0;
       s.s_ro_inline_revalidations <- 0;
-      s.s_ro_demotions <- 0)
+      s.s_ro_demotions <- 0;
+      s.s_checkpoints <- 0;
+      s.s_partial_aborts <- 0;
+      s.s_reads_salvaged <- 0;
+      s.s_resume_failures <- 0)
     t.shards;
   Mutex.unlock t.registry_lock
 
@@ -221,6 +268,10 @@ let add (a : snapshot) (b : snapshot) : snapshot =
     ro_inline_revalidations =
       a.ro_inline_revalidations + b.ro_inline_revalidations;
     ro_demotions = a.ro_demotions + b.ro_demotions;
+    checkpoints = a.checkpoints + b.checkpoints;
+    partial_aborts = a.partial_aborts + b.partial_aborts;
+    reads_salvaged = a.reads_salvaged + b.reads_salvaged;
+    resume_failures = a.resume_failures + b.resume_failures;
   }
 
 let to_assoc (s : snapshot) =
@@ -238,13 +289,19 @@ let to_assoc (s : snapshot) =
     ("ro_zero_log_commits", s.ro_zero_log_commits);
     ("ro_inline_revalidations", s.ro_inline_revalidations);
     ("ro_demotions", s.ro_demotions);
+    ("checkpoints", s.checkpoints);
+    ("partial_aborts", s.partial_aborts);
+    ("reads_salvaged", s.reads_salvaged);
+    ("resume_failures", s.resume_failures);
   ]
 
 let pp ppf (s : snapshot) =
   Format.fprintf ppf
     "commits=%d aborts=%d ro_commits=%d validation_steps=%d max_read_set=%d \
      read_set_entries=%d dedup_hits=%d bloom_skips=%d extensions=%d \
-     clock_reuses=%d ro_zero_log=%d ro_revalidations=%d ro_demotions=%d"
+     clock_reuses=%d ro_zero_log=%d ro_revalidations=%d ro_demotions=%d \
+     checkpoints=%d partial_aborts=%d reads_salvaged=%d resume_failures=%d"
     s.commits s.aborts s.read_only_commits s.validation_steps s.max_read_set
     s.read_set_entries s.dedup_hits s.bloom_skips s.extensions s.clock_reuses
     s.ro_zero_log_commits s.ro_inline_revalidations s.ro_demotions
+    s.checkpoints s.partial_aborts s.reads_salvaged s.resume_failures

@@ -43,6 +43,19 @@ type snapshot = {
       (** declared-read-only operations that attempted a write, raised
           [Write_in_read_only] and were demoted to update mode by the
           runtime dispatch layer *)
+  checkpoints : int;
+      (** watermarks recorded by [S.checkpoint] inside update
+          transactions (no-op calls outside a transaction or in
+          read-only mode are not counted) *)
+  partial_aborts : int;
+      (** conflicts resolved by rolling back to the last valid
+          watermark and resuming, instead of restarting the attempt *)
+  reads_salvaged : int;
+      (** read-set entries kept (prefix-validated) across all partial
+          aborts — the work a full abort would have thrown away *)
+  resume_failures : int;
+      (** conflicts where checkpoints existed but even the earliest
+          watermark's prefix was invalid, forcing a full abort *)
 }
 
 type t
@@ -76,6 +89,17 @@ val record_ro_revalidation : t -> unit
     mode (called by the runtime dispatch layer via
     [S.record_ro_demotion]). *)
 val record_ro_demotion : t -> unit
+
+(** Flush one attempt's checkpoint-mark tally (batched like
+    [record_tx_log]; zero counts are free). *)
+val record_checkpoints : t -> count:int -> unit
+
+(** Account one partial abort that kept [reads_salvaged] prefix
+    entries of the read set. *)
+val record_partial_abort : t -> reads_salvaged:int -> unit
+
+(** Account a fallback to full abort despite live checkpoints. *)
+val record_resume_failure : t -> unit
 
 (** Read all counters into a consistent-enough snapshot. *)
 val snapshot : t -> snapshot

@@ -76,6 +76,14 @@ let cast_ref : type a. a tvar -> wentry -> a ref =
 
 type read_entry = { r_id : int; r_vlock : int Atomic.t; r_version : int }
 
+(* Saved value of a buffered write that was overwritten after a
+   checkpoint: rolling back to the watermark replays these in reverse
+   to restore the write buffer's state at mark time. Existential like
+   [wentry]; no coercion needed — the payload never leaves the pair. *)
+type undo_entry = U : { slot : 'a ref; saved : 'a } -> undo_entry
+
+let dummy_undo = U { slot = ref 0; saved = 0 }
+
 type tx = {
   mutable rv : int;
   mutable reads : read_entry array;
@@ -94,6 +102,22 @@ type tx = {
   mutable dedup_hits : int;
   mutable bloom_skips : int;
   mutable extensions : int;
+  (* Checkpoint / partial-abort state. Marks are ordered watermarks
+     over the read set and write log; [wlog] records buffered tvar ids
+     in first-buffer order so post-watermark write entries can be
+     dropped; [undo] restores overwritten buffer values. *)
+  mutable mark_reads : int array; (* per mark: nreads watermark *)
+  mutable mark_wlog : int array; (* per mark: write-log watermark *)
+  mutable mark_undo : int array; (* per mark: undo-log watermark *)
+  mutable mark_acc : int array; (* per mark: caller's accumulator *)
+  mutable nmarks : int;
+  mutable wlog : int array; (* buffered tvar ids, insertion order *)
+  mutable nwlog : int;
+  mutable undo : undo_entry array;
+  mutable nundo : int;
+  mutable ncheckpoints : int; (* checkpoint calls this attempt (stats) *)
+  mutable resume_marks : int; (* marks salvaged by the last partial abort *)
+  mutable resume_acc : int; (* accumulator saved with the salvaged mark *)
 }
 
 let clock = Global_clock.create ()
@@ -126,6 +150,18 @@ let fresh_tx () =
     dedup_hits = 0;
     bloom_skips = 0;
     extensions = 0;
+    mark_reads = Array.make 16 0;
+    mark_wlog = Array.make 16 0;
+    mark_undo = Array.make 16 0;
+    mark_acc = Array.make 16 0;
+    nmarks = 0;
+    wlog = Array.make 16 0;
+    nwlog = 0;
+    undo = Array.make 16 dummy_undo;
+    nundo = 0;
+    ncheckpoints = 0;
+    resume_marks = 0;
+    resume_acc = 0;
   }
 
 (* Two bit positions in a 63-bit word, derived from a multiplicative
@@ -204,7 +240,18 @@ let push_read tx entry =
 module Unsafe = struct
   let no_validation = ref false
   let disable_validation () = no_validation := true
-  let reset () = no_validation := false
+
+  (* Second seeded fixture: partial aborts salvage the newest watermark
+     blindly, skipping the read-set prefix validation, so a resumed
+     attempt continues on top of a snapshot a concurrent committer
+     already invalidated. The opacity checker must flag the resulting
+     stale reads; never set outside sanitizer fixtures. *)
+  let unvalidated_resume = ref false
+  let disable_resume_validation () = unvalidated_resume := true
+
+  let reset () =
+    no_validation := false;
+    unvalidated_resume := false
 end
 
 (* Check every read entry is still at its recorded version. Entries we
@@ -311,11 +358,33 @@ let write tv v =
     else tv.content <- v
   | Some tx -> (
     match Hashtbl.find_opt tx.writes tv.id with
-    | Some entry -> cast_ref tv entry := v
+    | Some entry ->
+      let slot = cast_ref tv entry in
+      (* With live checkpoints, save the overwritten buffer value so a
+         rollback to an earlier watermark can restore it. *)
+      if tx.nmarks > 0 then begin
+        if tx.nundo = Array.length tx.undo then begin
+          let bigger = Array.make (2 * tx.nundo) dummy_undo in
+          Array.blit tx.undo 0 bigger 0 tx.nundo;
+          tx.undo <- bigger
+        end;
+        tx.undo.(tx.nundo) <- U { slot; saved = !slot };
+        tx.nundo <- tx.nundo + 1
+      end;
+      slot := v
     | None ->
       tx.wbloom <- tx.wbloom lor bloom_bit tv.id;
       Hashtbl.add tx.writes tv.id
-        (W { tv; value = ref v; locked_from = 0; locked = false }))
+        (W { tv; value = ref v; locked_from = 0; locked = false });
+      (* Insertion-order log: lets a partial abort drop exactly the
+         entries buffered past a watermark. *)
+      if tx.nwlog = Array.length tx.wlog then begin
+        let bigger = Array.make (2 * tx.nwlog) 0 in
+        Array.blit tx.wlog 0 bigger 0 tx.nwlog;
+        tx.wlog <- bigger
+      end;
+      tx.wlog.(tx.nwlog) <- tv.id;
+      tx.nwlog <- tx.nwlog + 1)
 
 let unlock_acquired tx =
   Hashtbl.iter
@@ -382,7 +451,8 @@ let flush_tx_stats tx =
   Stm_stats.record_validation global_stats ~steps:tx.validation_steps;
   Stm_stats.record_read_set global_stats ~size:tx.nreads;
   Stm_stats.record_tx_log global_stats ~dedup_hits:tx.dedup_hits
-    ~bloom_skips:tx.bloom_skips ~extensions:tx.extensions
+    ~bloom_skips:tx.bloom_skips ~extensions:tx.extensions;
+  Stm_stats.record_checkpoints global_stats ~count:tx.ncheckpoints
 
 let reset_tx tx =
   tx.rv <- Global_clock.now clock;
@@ -394,12 +464,129 @@ let reset_tx tx =
   tx.dedup_hits <- 0;
   tx.bloom_skips <- 0;
   tx.extensions <- 0;
+  tx.nmarks <- 0;
+  tx.nwlog <- 0;
+  Array.fill tx.undo 0 tx.nundo dummy_undo; (* drop value references *)
+  tx.nundo <- 0;
+  tx.ncheckpoints <- 0;
+  tx.resume_marks <- 0;
+  tx.resume_acc <- 0;
   (* Shrink a read set that ballooned in a previous long transaction so
      per-op memory stays bounded; the dedup cache shrinks with it. *)
   if Array.length tx.reads > 1 lsl 16 then begin
     tx.reads <- Array.make initial_reads dummy_read;
     tx.dedup_ids <- Array.make initial_dedup (-1);
     tx.dedup_epochs <- Array.make initial_dedup 0
+  end
+
+let partial_abort = true
+
+(* Record a watermark: current read-set size, write-log length, undo
+   length, and the caller's accumulator. A no-op outside an update
+   transaction or with partial abort disabled, so full-abort runs pay
+   nothing. *)
+let checkpoint ~acc =
+  let state = current () in
+  match state.active with
+  | None -> ()
+  | Some tx ->
+    if !Stm_intf.partial_abort_enabled then begin
+      let n = tx.nmarks in
+      if n = Array.length tx.mark_reads then begin
+        let grow a = Array.append a (Array.make n 0) in
+        tx.mark_reads <- grow tx.mark_reads;
+        tx.mark_wlog <- grow tx.mark_wlog;
+        tx.mark_undo <- grow tx.mark_undo;
+        tx.mark_acc <- grow tx.mark_acc
+      end;
+      tx.mark_reads.(n) <- tx.nreads;
+      tx.mark_wlog.(n) <- tx.nwlog;
+      tx.mark_undo.(n) <- tx.nundo;
+      tx.mark_acc.(n) <- acc;
+      tx.nmarks <- n + 1;
+      tx.ncheckpoints <- tx.ncheckpoints + 1
+    end
+
+let resume () =
+  let state = current () in
+  match state.active with
+  | None -> (0, 0)
+  | Some tx -> (tx.resume_marks, tx.resume_acc)
+
+(* Conflict with live checkpoints: find the longest valid read-set
+   prefix, roll back to the newest watermark inside it, and re-extend
+   [rv]. Returns [true] when the attempt can resume (the closure will
+   skip [resume_marks] checkpointed units), [false] to fall back to a
+   full abort. No commit locks are held here — every [Conflict] raise
+   site releases them first. *)
+let try_partial_rollback tx =
+  if tx.nmarks = 0 || not !Stm_intf.partial_abort_enabled then false
+  else begin
+    (* Sample the clock BEFORE validating (same ordering as [extend]):
+       a commit that lands after the sample is > [now] and will be
+       caught by the per-read rv check later. *)
+    let now = Global_clock.now clock in
+    let mark =
+      if !Unsafe.unvalidated_resume then tx.nmarks - 1
+      else begin
+        (* First invalid read position; everything before it is intact. *)
+        let p = ref 0 in
+        (try
+           while !p < tx.nreads do
+             let e = tx.reads.(!p) in
+             if Atomic.get e.r_vlock <> e.r_version then raise Exit;
+             incr p
+           done
+         with Exit -> ());
+        tx.validation_steps <- tx.validation_steps + !p + 1;
+        (* Newest mark whose watermark fits inside the valid prefix. *)
+        let m = ref (tx.nmarks - 1) in
+        while !m >= 0 && tx.mark_reads.(!m) > !p do
+          decr m
+        done;
+        !m
+      end
+    in
+    if mark < 0 then begin
+      Stm_stats.record_resume_failure global_stats;
+      false
+    end
+    else begin
+      (* Truncate the read set to the watermark and drop the write
+         entries buffered past it (insertion order makes the suffix
+         exact), undoing overwrites of retained entries in reverse. *)
+      tx.nreads <- tx.mark_reads.(mark);
+      for j = tx.nwlog - 1 downto tx.mark_wlog.(mark) do
+        Hashtbl.remove tx.writes tx.wlog.(j)
+      done;
+      tx.nwlog <- tx.mark_wlog.(mark);
+      for j = tx.nundo - 1 downto tx.mark_undo.(mark) do
+        (match tx.undo.(j) with U u -> u.slot := u.saved);
+        tx.undo.(j) <- dummy_undo
+      done;
+      tx.nundo <- tx.mark_undo.(mark);
+      let bloom = ref 0 in
+      for j = 0 to tx.nwlog - 1 do
+        bloom := !bloom lor bloom_bit tx.wlog.(j)
+      done;
+      tx.wbloom <- !bloom;
+      (* Invalidate the dedup cache, then re-claim the retained prefix
+         so its re-reads still dedup; truncated ids will re-log. *)
+      tx.epoch <- tx.epoch + 1;
+      for i = 0 to tx.nreads - 1 do
+        let id = tx.reads.(i).r_id in
+        tx.dedup_ids.(id land (Array.length tx.dedup_ids - 1)) <- id;
+        tx.dedup_epochs.(id land (Array.length tx.dedup_ids - 1)) <- tx.epoch
+      done;
+      tx.nmarks <- mark + 1;
+      tx.resume_marks <- mark + 1;
+      tx.resume_acc <- tx.mark_acc.(mark);
+      (* The prefix just validated at [now]: adopt it as the new read
+         version so resumed reads post-dating the old rv don't refire. *)
+      tx.rv <- now;
+      Stm_stats.record_partial_abort global_stats ~reads_salvaged:tx.nreads;
+      true
+    end
   end
 
 let atomic f =
@@ -422,9 +609,11 @@ let atomic f =
         state.spare <- Some tx;
         tx
     in
-    let rec attempt () =
-      reset_tx tx;
-      state.active <- Some tx;
+    let rec attempt ~fresh () =
+      if fresh then begin
+        reset_tx tx;
+        state.active <- Some tx
+      end;
       match
         let result = f () in
         commit tx;
@@ -436,11 +625,20 @@ let atomic f =
         Backoff.reset tx.backoff;
         result
       | exception Conflict ->
-        state.active <- None;
-        flush_tx_stats tx;
-        Stm_stats.record_abort global_stats;
-        Backoff.once tx.backoff;
-        attempt ()
+        if try_partial_rollback tx then
+          (* Partial abort: the descriptor keeps its validated prefix
+             and stays active; re-run the closure, which consults
+             [resume] and skips the salvaged checkpointed units. Not
+             counted as an abort and no backoff — the conflicting
+             window was already rolled past. *)
+          attempt ~fresh:false ()
+        else begin
+          state.active <- None;
+          flush_tx_stats tx;
+          Stm_stats.record_abort global_stats;
+          Backoff.once tx.backoff;
+          attempt ~fresh:true ()
+        end
       | exception exn ->
         (* The rv check on every read gives opacity: the view that
            produced [exn] was consistent, so roll back (discard the
@@ -449,7 +647,7 @@ let atomic f =
         flush_tx_stats tx;
         raise exn
     in
-    attempt ()
+    attempt ~fresh:true ()
 
 let atomic_ro f =
   let state = current () in

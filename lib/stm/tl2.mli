@@ -32,5 +32,14 @@ include Stm_intf.S
     [sb7_sanitize seeded] CI fixture only — never in benchmarks. *)
 module Unsafe : sig
   val disable_validation : unit -> unit
+
+  (** Second seeded bug, for the partial-abort machinery: resume from
+      the newest checkpoint {e without} validating that the read-set
+      prefix is still current — the classic unsound shortcut a
+      partial-abort implementation is tempted by. The salvaged prefix
+      may then span a concurrent commit, so the resumed attempt runs
+      (and can commit) on an inconsistent snapshot. *)
+  val disable_resume_validation : unit -> unit
+
   val reset : unit -> unit
 end

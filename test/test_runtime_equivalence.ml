@@ -202,6 +202,100 @@ let test_demotion () =
   Demote_lsa.run ~expect_demotions:1 ();
   Demote_astm.run ~expect_demotions:0 ()
 
+(* Checkpointed partial abort: a long ordered scan invalidated
+   mid-flight must salvage its checkpoint prefix and still compute
+   exactly what a full restart computes — same value, same counters
+   telling the opposite story about how it got there. *)
+module Checkpoint_probe (R : Sb7_runtime.Runtime_intf.S) = struct
+  let n = 100
+  let conflict_at = 60 (* scan position where the writer is released *)
+
+  (* One scan transaction over [n] tvars, one checkpoint per element
+     (mirroring Nav.traverse_composite_parts). On the first pass only,
+     after [conflict_at] elements, a helper domain commits writes to
+     tvar 10 (already read — invalidates the prefix past position 10)
+     and tvar 80 (not yet read — forces the scanner's next extension
+     to notice). The scanner's next read of tvar 80 then raises
+     Conflict: checkpointed, it must roll back to the mark after
+     element 9 and resume; full-abort, it restarts from scratch. *)
+  let run ~checkpointed () =
+    R.reset_stats ();
+    let tvars = Array.init n (fun i -> R.make (i + 1)) in
+    let trigger = Atomic.make false and done_ = Atomic.make false in
+    let fired = ref false in
+    let profile name =
+      Sb7_runtime.Op_profile.make ~name
+        ~writes:[ Sb7_runtime.Op_profile.Atomic_parts ]
+        ()
+    in
+    let helper =
+      Domain.spawn (fun () ->
+          while not (Atomic.get trigger) do
+            Domain.cpu_relax ()
+          done;
+          R.atomic ~profile:(profile "cp-writer") (fun () ->
+              R.write tvars.(10) 1_000;
+              R.write tvars.(80) 2_000);
+          Atomic.set done_ true)
+    in
+    Sb7_stm.Stm_intf.partial_abort_enabled := checkpointed;
+    let total =
+      R.atomic ~profile:(profile "cp-scanner") (fun () ->
+          let skip, saved = R.resume () in
+          let sum = ref saved in
+          for i = skip to n - 1 do
+            sum := !sum + R.read tvars.(i);
+            R.checkpoint ~acc:!sum;
+            if i = conflict_at && not !fired then begin
+              fired := true;
+              Atomic.set trigger true;
+              while not (Atomic.get done_) do
+                Domain.cpu_relax ()
+              done
+            end
+          done;
+          !sum)
+    in
+    Sb7_stm.Stm_intf.partial_abort_enabled := true;
+    Domain.join helper;
+    let expected = ref 0 in
+    for i = 0 to n - 1 do
+      expected :=
+        !expected
+        + (if i = 10 then 1_000 else if i = 80 then 2_000 else i + 1)
+    done;
+    Alcotest.(check int)
+      (Printf.sprintf "%s scan total (checkpointed=%b)" R.name checkpointed)
+      !expected total;
+    let c k = Option.value (List.assoc_opt k (R.stats ())) ~default:0 in
+    (c "partial_aborts", c "reads_salvaged", c "aborts")
+end
+
+module Cp_tl2 = Checkpoint_probe (Sb7_runtime.Tl2_runtime)
+module Cp_lsa = Checkpoint_probe (Sb7_runtime.Lsa_runtime)
+
+let test_checkpoint_resume () =
+  List.iter
+    (fun (name, run) ->
+      (* Checkpointed: the conflict is resolved by partial abort — the
+         10-entry prefix before the invalidated read survives and no
+         full abort is charged for it. *)
+      let partial_aborts, reads_salvaged, aborts = run ~checkpointed:true () in
+      Alcotest.(check int) (name ^ " one partial abort") 1 partial_aborts;
+      Alcotest.(check int) (name ^ " salvaged the 10-read prefix") 10
+        reads_salvaged;
+      Alcotest.(check int) (name ^ " no full abort when salvaging") 0 aborts;
+      (* Full-abort baseline: same scenario, same result, opposite
+         counters. *)
+      let partial_aborts, reads_salvaged, aborts = run ~checkpointed:false () in
+      Alcotest.(check int) (name ^ " no partial abort when disabled") 0
+        partial_aborts;
+      Alcotest.(check int) (name ^ " nothing salvaged when disabled") 0
+        reads_salvaged;
+      Alcotest.(check bool) (name ^ " full abort charged instead") true
+        (aborts >= 1))
+    [ ("tl2", Cp_tl2.run); ("lsa", Cp_lsa.run) ]
+
 let () =
   Alcotest.run "runtime_equivalence"
     [
@@ -215,5 +309,7 @@ let () =
             test_ro_paths_exercised;
           Alcotest.test_case "mis-declared profiles demote cleanly" `Quick
             test_demotion;
+          Alcotest.test_case "checkpoint resume matches full restart" `Quick
+            test_checkpoint_resume;
         ] );
     ]

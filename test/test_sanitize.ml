@@ -16,6 +16,7 @@ let read_ sid wid = [ Trace.tag_read; sid; wid ]
 let write_ sid wid prev = [ Trace.tag_write; sid; wid; prev ]
 let commit ts = [ Trace.tag_commit; ts; 0 ]
 let rollback = [ Trace.tag_rollback ]
+let partial_ reads_kept writes_kept = [ Trace.tag_partial; reads_kept; writes_kept ]
 let acq ?(excl = true) uid = [ Trace.tag_acquire; uid; (if excl then 1 else 0) ]
 let rel ?(excl = true) uid = [ Trace.tag_release; uid; (if excl then 1 else 0) ]
 let stream evs = Array.of_list (List.concat evs)
@@ -200,6 +201,59 @@ let test_concurrent_commits_no_false_positive () =
   in
   check_clean "unordered concurrent commits"
     (Checker.analyze ~profile:stm_profile d)
+
+(* -- Partial aborts (checkpoint rollback) on hand-built streams ----- *)
+
+let test_partial_rollback_discards_stale_read () =
+  (* Domain 0 advances tvar 2 from version 20 to 21. Domain 1's first
+     pass saw 2@20; the partial abort kept only its first read event
+     (tvar 1), so the re-read observing 2@21 is fresh, not a repeat.
+     Without the truncation this exact stream is a non-repeatable
+     read (the next test). *)
+  let d =
+    dump
+      [
+        [
+          begin_ 1; write_ 1 10 0; write_ 2 20 0; commit 2;
+          begin_ 3; write_ 2 21 20; commit 4;
+        ];
+        [ begin_ 5; read_ 1 10; read_ 2 20; partial_ 1 0; read_ 2 21; commit 6 ];
+      ]
+  in
+  let v = Checker.analyze ~profile:stm_profile d in
+  check_clean "validated partial rollback" v;
+  (* The partial abort continues the SAME attempt: 2 committers on
+     domain 0 plus the one resumed scanner. *)
+  Alcotest.(check int) "no extra attempt for the resume" 3 v.Checker.attempts
+
+let test_partial_rollback_oversalvage_flagged () =
+  (* Same history, but the partial abort claims BOTH reads survived —
+     the unvalidated-resume bug. The retained 2@20 plus the resumed
+     read 2@21 is a non-repeatable read. *)
+  let d =
+    dump
+      [
+        [
+          begin_ 1; write_ 1 10 0; write_ 2 20 0; commit 2;
+          begin_ 3; write_ 2 21 20; commit 4;
+        ];
+        [ begin_ 5; read_ 1 10; read_ 2 20; partial_ 2 0; read_ 2 21; commit 6 ];
+      ]
+  in
+  expect ~category:`Opacity ~mentions:"non-repeatable"
+    (Checker.analyze ~profile:stm_profile d)
+
+let test_partial_rollback_discards_write () =
+  (* The attempt's first write is undone by the partial abort; its
+     replacement legitimately continues version 0's chain. If the
+     truncation did not discard the write event, the two writes would
+     fork the chain and be flagged as a lost update. *)
+  let d =
+    dump [ [ begin_ 1; write_ 1 10 0; partial_ 0 0; write_ 1 11 0; commit 2 ] ]
+  in
+  let v = Checker.analyze ~profile:stm_profile d in
+  check_clean "discarded write" v;
+  Alcotest.(check int) "still one attempt" 1 v.Checker.attempts
 
 (* -- Lockset + lock-order on hand-built streams --------------------- *)
 
@@ -504,6 +558,15 @@ let test_seeded_medium_drop_lock () =
     ~arm:Sb7_runtime.Medium_runtime.Unsafe.drop_first_write_lock
     ~disarm:Sb7_runtime.Medium_runtime.Unsafe.reset
 
+(* Partial aborts that resume without validating the salvaged prefix:
+   the resumed attempt straddles the conflicting commit, which the
+   opacity analyses must flag (write-dominated + long traversals so
+   mid-traversal conflicts actually happen). *)
+let test_seeded_tl2_unvalidated_resume () =
+  detect "tl2" ~category:`Opacity
+    ~arm:Sb7_stm.Tl2.Unsafe.disable_resume_validation
+    ~disarm:Sb7_stm.Tl2.Unsafe.reset
+
 let () =
   Alcotest.run "sanitize"
     [
@@ -525,6 +588,12 @@ let () =
             test_consistent_aborted_attempt_clean;
           Alcotest.test_case "concurrent commits: no false positive" `Quick
             test_concurrent_commits_no_false_positive;
+          Alcotest.test_case "partial rollback discards stale read" `Quick
+            test_partial_rollback_discards_stale_read;
+          Alcotest.test_case "partial over-salvage flagged" `Quick
+            test_partial_rollback_oversalvage_flagged;
+          Alcotest.test_case "partial rollback discards write" `Quick
+            test_partial_rollback_discards_write;
         ] );
       ( "lockset",
         [
@@ -573,5 +642,7 @@ let () =
             test_seeded_tl2_no_validation;
           Alcotest.test_case "seeded: medium dropped lock" `Quick
             test_seeded_medium_drop_lock;
+          Alcotest.test_case "seeded: tl2 unvalidated resume" `Quick
+            test_seeded_tl2_unvalidated_resume;
         ] );
     ]

@@ -91,6 +91,43 @@ let test_counts_survive_domain_exit () =
   Alcotest.(check int) "8 waves x 25 commits" 200
     (Stats.snapshot stats).Stats.commits
 
+(* Exhaustiveness: one call to every record function must leave every
+   exported counter non-zero, and reset must zero them all. A counter
+   added to the record but forgotten in the shard fold, in [reset] or
+   in [to_assoc] fails here instead of silently exporting 0 (or a
+   stale value) forever. *)
+let test_every_counter_recorded_and_reset () =
+  let stats = Stats.create () in
+  spawn_hammers stats
+    [
+      (fun st ->
+        Stats.record_commit st ~read_only:true;
+        Stats.record_abort st;
+        Stats.record_validation st ~steps:3;
+        Stats.record_read_set st ~size:5;
+        Stats.record_tx_log st ~dedup_hits:1 ~bloom_skips:1 ~extensions:1;
+        Stats.record_clock_reuse st;
+        Stats.record_ro_commit st;
+        Stats.record_ro_revalidation st;
+        Stats.record_ro_demotion st;
+        Stats.record_checkpoints st ~count:2;
+        Stats.record_partial_abort st ~reads_salvaged:4;
+        Stats.record_resume_failure st);
+    ];
+  let live = Stats.to_assoc (Stats.snapshot stats) in
+  Alcotest.(check bool) "at least the 16 known counters" true
+    (List.length live >= 16);
+  List.iter
+    (fun (k, v) ->
+      if v = 0 then
+        Alcotest.failf "counter %s untouched by the all-paths recording" k)
+    live;
+  Stats.reset stats;
+  List.iter
+    (fun (k, v) ->
+      if v <> 0 then Alcotest.failf "counter %s survived reset with %d" k v)
+    (Stats.to_assoc (Stats.snapshot stats))
+
 let () =
   Alcotest.run "stm_stats"
     [
@@ -100,5 +137,7 @@ let () =
           Alcotest.test_case "reset" `Quick test_reset;
           Alcotest.test_case "counts survive domain exit" `Quick
             test_counts_survive_domain_exit;
+          Alcotest.test_case "every counter recorded and reset" `Quick
+            test_every_counter_recorded_and_reset;
         ] );
     ]
