@@ -247,7 +247,9 @@ let quick (s : settings) =
     "Quick perf snapshot — fixed-seed, single-thread, bounded op count \
      (tiny scale, no long traversals)";
   let max_ops = 400 in
-  let runtimes = [ "seq"; "coarse"; "medium"; "fine"; "tl2"; "lsa"; "astm" ] in
+  (* Every registered strategy, in registry order — the sweep (and the
+     JSON trajectory) picks up new runtimes automatically. *)
+  let runtimes = Sb7_runtime.Registry.names in
   let s = { s with scale = Sb7_core.Parameters.tiny; scale_name = "tiny" } in
   let counter_keys =
     [
@@ -267,6 +269,8 @@ let quick (s : settings) =
       "partial_aborts";
       "reads_salvaged";
       "resume_failures";
+      "epoch_decisions";
+      "substrate_switches";
     ]
   in
   let results =
@@ -336,6 +340,43 @@ let quick (s : settings) =
         Sb7_stm.Stm_intf.partial_abort_enabled := true;
         ((runtime, checkpointed), r))
       lt_variants
+  in
+  (* Phase change: read-dominated then write-dominated at 2 domains —
+     the configuration the adaptive tournament targets (docs/PERF.md
+     §8). Per-phase totals are summed per runtime; substrate_switches
+     comes from the runtime counters captured at the end of each phase
+     (Benchmark.run resets runtime stats per run, so the two phases
+     are summed here, not double-counted). *)
+  let phase_settings = { s with duration = 0.4; warmup = 0.1 } in
+  let phase_workloads = [ W.Read_dominated; W.Write_dominated ] in
+  let phase_results =
+    List.map
+      (fun runtime ->
+        ( runtime,
+          List.map
+            (fun workload ->
+              let r =
+                run_point phase_settings
+                  (point ~runtime ~workload ~threads:2
+                     ~long_traversals:false ())
+              in
+              (workload, r))
+            phase_workloads ))
+      [ "tournament"; "tl2"; "norec"; "etl" ]
+  in
+  (* Committed ops per second across both phases (op counts summed,
+     windows summed), plus the adaptive counters. *)
+  let phase_totals series =
+    let ops, elapsed, switches, decisions =
+      List.fold_left
+        (fun (ops, el, sw, dec) ((_ : W.kind), r) ->
+          ( ops +. (RR.throughput r *. r.RR.elapsed_s),
+            el +. r.RR.elapsed_s,
+            sw + RR.counter r "substrate_switches",
+            dec + RR.counter r "epoch_decisions" ))
+        (0., 0., 0, 0) series
+    in
+    ((if elapsed > 0. then ops /. elapsed else 0.), switches, decisions)
   in
   (* Uniform vs conflict-aware dispatch on the write-dominated mix at 2
      domains — the configuration the static conflict matrix targets
@@ -420,6 +461,25 @@ let quick (s : settings) =
         (RR.major_gc_per_1k_commits r))
     lt_results;
   Printf.printf
+    "\nphase change, 2 domains: read-dominated then write-dominated \
+     (adaptive tournament vs static substrates; ops/s over both \
+     phases):\n";
+  Printf.printf "%-12s %12s %12s %12s %10s %10s\n" "runtime" "ops/s"
+    "read.ops/s" "write.ops/s" "switches" "epochs";
+  List.iter
+    (fun (runtime, series) ->
+      let total, switches, decisions = phase_totals series in
+      let per_phase w =
+        match List.assoc_opt w series with
+        | Some r -> RR.throughput r
+        | None -> 0.
+      in
+      Printf.printf "%-12s %12.1f %12.1f %12.1f %10d %10d\n" runtime total
+        (per_phase W.Read_dominated)
+        (per_phase W.Write_dominated)
+        switches decisions)
+    phase_results;
+  Printf.printf
     "\ndomain scaling, read-dominated (%.1fs per point, %d host cores; \
      imbalance = max per-domain commits / mean):\n"
     scaling_settings.duration
@@ -444,7 +504,7 @@ let quick (s : settings) =
     let oc = open_out path in
     let b = Buffer.create 2048 in
     Buffer.add_string b "{\n";
-    Buffer.add_string b "  \"schema\": \"sb7-bench-quick/5\",\n";
+    Buffer.add_string b "  \"schema\": \"sb7-bench-quick/6\",\n";
     Buffer.add_string b
       (Printf.sprintf
          "  \"scale\": %S,\n  \"workload\": %S,\n  \"threads\": 1,\n\
@@ -585,6 +645,32 @@ let quick (s : settings) =
              (RR.major_gc_per_1k_commits r)
              (if i = List.length lt_results - 1 then "" else ",")))
       lt_results;
+    Buffer.add_string b "  ]},\n";
+    Buffer.add_string b
+      (Printf.sprintf
+         "  \"phase_mix\": {\"phases\": [\"r\", \"w\"], \"threads\": 2, \
+          \"duration_s\": %.2f, \"host_cores\": %d, \"strategies\": [\n"
+         phase_settings.duration
+         (Domain.recommended_domain_count ()));
+    List.iteri
+      (fun i (runtime, series) ->
+        let total, switches, decisions = phase_totals series in
+        let per_phase w =
+          match List.assoc_opt w series with
+          | Some r -> RR.throughput r
+          | None -> 0.
+        in
+        Buffer.add_string b
+          (Printf.sprintf
+             "    {\"runtime\": %S, \"ops_per_s\": %.1f, \
+              \"read_ops_per_s\": %.1f, \"write_ops_per_s\": %.1f, \
+              \"substrate_switches\": %d, \"epoch_decisions\": %d}%s\n"
+             runtime total
+             (per_phase W.Read_dominated)
+             (per_phase W.Write_dominated)
+             switches decisions
+             (if i = List.length phase_results - 1 then "" else ",")))
+      phase_results;
     Buffer.add_string b "  ]}\n}\n";
     Buffer.output_buffer oc b;
     close_out oc;

@@ -88,6 +88,44 @@ let stm_tests =
                Array.iter (fun c -> ignore (L.read c)) lsa_cells)));
   ]
 
+(* NOrec vs TL2 on the read path, and ETL vs TL2 on a write-then-reread
+   mix. norec-read-64 pays one global seqlock load per read but no
+   per-tvar vlock probe; tl2-read-64 is the per-tvar pre/post vlock
+   protocol. etl-write-conflict updates in place, so the re-reads of
+   its own writes are plain loads; tl2-write-conflict buffers the
+   writes and must bloom-probe (and hash-hit) them on every re-read. *)
+let substrate_tests =
+  let module T = Sb7_stm.Tl2 in
+  let module N = Sb7_stm.Norec in
+  let module E = Sb7_stm.Etl in
+  let tl2_cells = Array.init 64 T.make in
+  let norec_cells = Array.init 64 N.make in
+  let etl_cells = Array.init 64 E.make in
+  [
+    Test.make ~name:"norec-read-64"
+      (Staged.stage (fun () ->
+           N.atomic (fun () ->
+               Array.iter (fun c -> ignore (N.read c)) norec_cells)));
+    Test.make ~name:"tl2-read-64"
+      (Staged.stage (fun () ->
+           T.atomic (fun () ->
+               Array.iter (fun c -> ignore (T.read c)) tl2_cells)));
+    Test.make ~name:"etl-write-conflict"
+      (Staged.stage (fun () ->
+           E.atomic (fun () ->
+               for i = 0 to 7 do
+                 E.write etl_cells.(i) (E.read etl_cells.(i) + 1)
+               done;
+               Array.iter (fun c -> ignore (E.read c)) etl_cells)));
+    Test.make ~name:"tl2-write-conflict"
+      (Staged.stage (fun () ->
+           T.atomic (fun () ->
+               for i = 0 to 7 do
+                 T.write tl2_cells.(i) (T.read tl2_cells.(i) + 1)
+               done;
+               Array.iter (fun c -> ignore (T.read c)) tl2_cells)));
+  ]
+
 (* --- Sanitizer wrapper overhead (tracing OFF) ----------------------
 
    The disabled wrapper's marginal cost per access is one indirect
@@ -238,7 +276,8 @@ let tests () =
        op_test "Q6";
        op_test "SM3";
      ]
-    @ text_tests @ stm_tests @ sanitize_tests @ scaling_tests)
+    @ text_tests @ stm_tests @ substrate_tests @ sanitize_tests
+    @ scaling_tests)
 
 let run () =
   Bench_common.print_header

@@ -11,7 +11,9 @@
    - [seeded FIXTURE]: enable one deliberately planted bug
      (tl2-no-validation: TL2 commits and extends without validating its
      read set; tl2-unvalidated-resume: a partial abort salvages its
-     checkpoint prefix without validating it; medium-drop-lock: the
+     checkpoint prefix without validating it; norec-skip-revalidation:
+     NOrec adopts new sequence numbers and commits without its
+     value-based validation pass; medium-drop-lock: the
      medium runtime silently skips its first write lock) and demand
      that the checker flags it. A seeded
      run that comes back clean fails the command: the sanitizer did not
@@ -161,6 +163,20 @@ let fixtures =
       fx_runtime = "tl2";
       fx_arm = Sb7_stm.Tl2.Unsafe.disable_resume_validation;
       fx_disarm = Sb7_stm.Tl2.Unsafe.reset;
+      fx_expected = (fun v -> v.Checker.opacity);
+      fx_expected_name = "opacity";
+    };
+    {
+      (* NOrec with value-based revalidation skipped: reads adopt the
+         current global sequence number without checking that every
+         previously read location still holds the value observed, and
+         commits publish without the closing validation pass. A
+         transaction straddling a concurrent commit then mixes
+         snapshots, which the checker reports as non-repeatable reads. *)
+      fx_name = "norec-skip-revalidation";
+      fx_runtime = "norec";
+      fx_arm = Sb7_stm.Norec.Unsafe.disable_revalidation;
+      fx_disarm = Sb7_stm.Norec.Unsafe.reset;
       fx_expected = (fun v -> v.Checker.opacity);
       fx_expected_name = "opacity";
     };
@@ -416,7 +432,7 @@ let seeded_cmd =
     Arg.(required & pos 0 (some fixture_conv) None
          & info [] ~docv:"FIXTURE"
              ~doc:"tl2-no-validation | tl2-unvalidated-resume | \
-                   medium-drop-lock")
+                   norec-skip-revalidation | medium-drop-lock")
   in
   Cmd.v (Cmd.info "seeded" ~doc)
     Term.(

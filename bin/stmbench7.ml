@@ -44,10 +44,14 @@ let workload =
                  write-dominated.")
 
 let strategy =
+  (* The listing is generated from the runtime registry so the CLI
+     never drifts from what [Driver.run] accepts. *)
+  let doc =
+    Printf.sprintf "Synchronization strategy: %s."
+      (String.concat " | " Sb7_runtime.Registry.names)
+  in
   Arg.(value & opt string "coarse"
-       & info [ "g"; "strategy" ] ~docv:"STRATEGY"
-           ~doc:"Synchronization strategy: seq | coarse | medium | fine | \
-                 tl2 | lsa | astm.")
+       & info [ "g"; "strategy" ] ~docv:"STRATEGY" ~doc)
 
 let no_traversals =
   Arg.(value & flag & info [ "no-traversals" ]

@@ -208,8 +208,11 @@ let default =
             "Sb7_stm__Tvar_id";
             "Sb7_stm__Tl2";
             "Sb7_stm__Lsa";
+            "Sb7_stm__Norec";
+            "Sb7_stm__Etl";
             "Sb7_stm__Astm";
             "Sb7_runtime__Fine_runtime";
+            "Sb7_runtime__Tournament_runtime";
             "Sb7_runtime__Region_ctx";
             "Sb7_sanitize__Trace";
             "Sb7_sanitize__Sanitize";
@@ -294,13 +297,15 @@ let default =
         (* The sanctioned Obj sites, each documented in DESIGN.md §3
            ("Typed transaction logs"):
            Padded_atomic exists to defeat false sharing and is Obj
-           throughout; the TL2/LSA word-based stores need one cast per
-           module to erase tvar payload types. *)
+           throughout; the TL2/LSA/NOrec word-based stores need one
+           cast per module to erase tvar payload types (ETL writes
+           through in place and needs none). *)
         r5_allowed =
           [
             ("Sb7_stm__Padded_atomic", None);
             ("Sb7_stm__Tl2", Some "cast_ref");
             ("Sb7_stm__Lsa", Some "cast_ref");
+            ("Sb7_stm__Norec", Some "cast_ref");
           ];
       };
     r6 =

@@ -13,9 +13,10 @@ let header_summary =
    commits,aborts,validation_steps,max_read_set,read_set_entries,\
    dedup_hits,bloom_skips,extensions,clock_reuses,ro_zero_log_commits,\
    ro_inline_revalidations,ro_demotions,checkpoints,partial_aborts,\
-   reads_salvaged,resume_failures,minor_gc_per_1k_commits,\
+   reads_salvaged,resume_failures,epoch_decisions,substrate_switches,\
+   minor_gc_per_1k_commits,\
    major_gc_per_1k_commits,commit_imbalance,\
-   per_domain_successes,seed,sanitizer"
+   per_domain_successes,seed,champion_occupancy,sanitizer"
 
 (* The STM counters exported per summary row; 0 for lock runtimes. *)
 let summary_counters =
@@ -36,6 +37,8 @@ let summary_counters =
     "partial_aborts";
     "reads_salvaged";
     "resume_failures";
+    "epoch_decisions";
+    "substrate_switches";
   ]
 
 let escape field =
@@ -59,13 +62,21 @@ let summary_row (r : Run_result.t) =
           (fun k -> string_of_int (Run_result.counter r k))
           summary_counters))
   (* Semicolon-joined so the per-domain vector stays one CSV field. *)
-  ^ Printf.sprintf ",%.3f,%.3f,%.3f,%s,%d,%s"
+  ^ Printf.sprintf ",%.3f,%.3f,%.3f,%s,%d,%s,%s"
       (Run_result.minor_gc_per_1k_commits r)
       (Run_result.major_gc_per_1k_commits r)
       (Run_result.commit_imbalance r)
       (String.concat ";"
          (Array.to_list (Array.map string_of_int r.per_domain_successes)))
       r.seed
+      (* Tournament champion occupancy, "name:epochs" semicolon-joined
+         (one comma-free field); "-" for the single-substrate
+         runtimes. *)
+      (match Run_result.champion_occupancy r with
+      | [] -> "-"
+      | occ ->
+        String.concat ";"
+          (List.map (fun (n, e) -> Printf.sprintf "%s:%d" n e) occ))
       (* comma-free by construction (Checker.csv_cell) *)
       (match r.sanitizer with
       | None -> "off"

@@ -39,6 +39,19 @@ type t = {
 let counter t name =
   Option.value (List.assoc_opt name t.runtime_counters) ~default:0
 
+(* Tournament champion-occupancy breakdown: the meta-runtime exports
+   one ["champion_epochs_<substrate>"] counter per substrate; strip
+   the prefix and keep declaration order. Empty for every
+   single-substrate runtime. *)
+let champion_occupancy t =
+  let prefix = "champion_epochs_" in
+  List.filter_map
+    (fun (k, v) ->
+      if String.starts_with ~prefix k then
+        Some (String.sub k (String.length prefix) (String.length k - String.length prefix), v)
+      else None)
+    t.runtime_counters
+
 let op_index t code =
   let found = ref None in
   Array.iteri (fun i (o : Workload.op_desc) -> if String.equal o.code code then found := Some i) t.ops;

@@ -1,0 +1,26 @@
+(** The encounter-time-locking STM as a benchmark runtime: writers
+    lock each tvar at first write and update in place with an undo
+    log, turning commit-time write conflicts into early aborts.
+    Read-only operations go through {!Ro_dispatch}'s zero-log mode;
+    checkpointed partial abort is supported over the undo log. *)
+
+module Stm = Sb7_stm.Etl
+module D = Ro_dispatch.Make (Stm)
+
+let name = Stm.name
+
+type 'a tvar = 'a Stm.tvar
+
+let make = Stm.make
+let read = Stm.read
+let write = Stm.write
+let atomic = D.atomic
+let partial_abort = D.partial_abort
+let checkpoint = D.checkpoint
+let resume = D.resume
+
+let stats () = Sb7_stm.Stm_stats.to_assoc (Stm.stats ())
+
+let reset_stats () =
+  D.reset ();
+  Stm.reset_stats ()

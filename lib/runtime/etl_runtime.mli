@@ -1,0 +1,3 @@
+(** See the implementation header for the strategy description. *)
+
+include Runtime_intf.S

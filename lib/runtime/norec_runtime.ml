@@ -1,0 +1,27 @@
+(** The NOrec STM as a benchmark runtime: value-based validation
+    against a single global sequence lock, no per-tvar metadata.
+    Read-only operations run through {!Ro_dispatch} in NOrec's
+    zero-log snapshot mode (one global load per read); a lying
+    profile is demoted to update mode after one clean restart. No
+    partial abort — checkpoints are accepted as no-ops. *)
+
+module Stm = Sb7_stm.Norec
+module D = Ro_dispatch.Make (Stm)
+
+let name = Stm.name
+
+type 'a tvar = 'a Stm.tvar
+
+let make = Stm.make
+let read = Stm.read
+let write = Stm.write
+let atomic = D.atomic
+let partial_abort = D.partial_abort
+let checkpoint = D.checkpoint
+let resume = D.resume
+
+let stats () = Sb7_stm.Stm_stats.to_assoc (Stm.stats ())
+
+let reset_stats () =
+  D.reset ();
+  Stm.reset_stats ()

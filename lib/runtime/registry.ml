@@ -10,7 +10,10 @@ let all : (string * packed) list =
     ("fine", (module Fine_runtime));
     ("tl2", (module Tl2_runtime));
     ("lsa", (module Lsa_runtime));
+    ("norec", (module Norec_runtime));
+    ("etl", (module Etl_runtime));
     ("astm", (module Astm_runtime));
+    ("tournament", (module Tournament_runtime));
   ]
 
 let names = List.map fst all

@@ -2,8 +2,10 @@
 
 type packed = (module Runtime_intf.S)
 
-(** All strategies, in presentation order:
-    seq, coarse, medium, fine, tl2, lsa, astm. *)
+(** All strategies, in presentation order: seq, coarse, medium, fine,
+    tl2, lsa, norec, etl, astm, tournament. The single registration
+    point — the CLI listings, the quick bench's strategy sweep and the
+    sanitizer's check loop all derive from this list. *)
 val all : (string * packed) list
 
 val names : string list

@@ -27,7 +27,10 @@ let medium_ranks =
          (Printf.sprintf "domain-%d" i, i + 1))
 
 let profile_of_runtime = function
-  | "tl2" | "lsa" | "astm" ->
+  | "tl2" | "lsa" | "norec" | "etl" | "astm" | "tournament" ->
+    (* ETL's encounter-time vlocks and the tournament's substrate
+       locks are internal to the STMs, invisible to the trace: races
+       surface through the opacity analyses, not the lockset. *)
     { rollback_on_failure = true; lockset = false; ranked_locks = [] }
   | "fine" ->
     (* per-tvar locks are anonymous: raced-checked but rank-exempt *)

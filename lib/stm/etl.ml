@@ -1,0 +1,585 @@
+(* An encounter-time-locking (ETL) software transactional memory in
+   the style of TinySTM's write-through mode (Felber, Fetzer, Riegel,
+   PPoPP'08; the TinySTM exemplar referenced in SNIPPETS.md §3).
+
+   Same per-tvar versioned-lock word and global version clock as
+   {!Tl2}; the difference is WHEN writes take effect:
+   - a writer acquires the tvar's vlock at its FIRST write (encounter
+     time), stores the new value in place, and keeps the lock until
+     commit or abort;
+   - an undo log (old values, in first-write order) restores contents
+     on abort, and the lock is released back at the version it was
+     taken at;
+   - commit is just read-set validation (unless the clock never moved)
+     plus releasing every held lock at the new write version — the
+     values are already in place.
+
+   Compared to TL2's lazy buffering this converts late commit-time
+   write conflicts into early aborts: a second writer touching a
+   locked tvar conflicts at ITS first write, before doing the rest of
+   its work — the winning trade on write-dominated structural phases.
+   Reads of tvars the transaction already locked are plain content
+   loads (the in-place value is the transaction's own), cheaper than
+   TL2's write-buffer hash probe.
+
+   Reads of foreign tvars are exactly TL2's: vlock sandwich, dedup
+   cache, timestamp extension — except that validation must accept the
+   transaction's own encounter-time locks (a logged version [v] whose
+   vlock now reads [v + 1] owned by us is intact).
+
+   Partial abort: the undo log doubles as the rollback journal. A
+   checkpoint records read-set / write-log / undo watermarks; rolling
+   back to a mark restores post-mark undo entries in reverse and
+   releases (and drops) the locks acquired past the mark, keeping the
+   pre-mark locks held — the resumed attempt continues writing through
+   them.
+
+   Memory-model note: in-place stores race with other domains' content
+   reads; OCaml guarantees no tearing, and the vlock sandwich means a
+   foreign reader that overlaps our lock window observes an odd vlock
+   (or a version change) and conflicts/retries rather than using the
+   uncommitted value. *)
+
+exception Conflict = Stm_intf.Conflict
+
+let name = "etl"
+
+type 'a tvar = {
+  id : int;
+  vlock : int Atomic.t; (* even = version, odd = locked (version+1) *)
+  mutable content : 'a;
+}
+
+(* An encounter-time lock held by the transaction. Existential like
+   {!Tl2.wentry}, but with no buffered value (the content is written
+   through in place) the payload never needs to be recovered: no
+   coercion, no [Obj]. *)
+type wentry = W : { tv : 'a tvar; locked_from : int } -> wentry
+
+type read_entry = { r_id : int; r_vlock : int Atomic.t; r_version : int }
+
+(* Journal of overwritten contents, in store order; an abort replays
+   it in reverse so the first-write entry restores last. *)
+type undo_entry = U : { tv : 'a tvar; saved : 'a } -> undo_entry
+
+let dummy_undo = U { tv = { id = -1; vlock = Atomic.make 0; content = 0 }; saved = 0 }
+
+type tx = {
+  mutable rv : int;
+  mutable reads : read_entry array;
+  mutable nreads : int;
+  (* Read-set dedup, identical to {!Tl2}'s direct-mapped cache. *)
+  mutable dedup_ids : int array;
+  mutable dedup_epochs : int array;
+  mutable epoch : int;
+  writes : (int, wentry) Hashtbl.t; (* tvars whose lock we hold *)
+  mutable wbloom : int;
+  backoff : Backoff.t;
+  mutable validation_steps : int;
+  mutable dedup_hits : int;
+  mutable bloom_skips : int;
+  mutable extensions : int;
+  (* Checkpoint state; see {!Tl2}. [wlog] records locked tvar ids in
+     acquisition order so a partial abort can release exactly the
+     post-watermark locks. *)
+  mutable mark_reads : int array;
+  mutable mark_wlog : int array;
+  mutable mark_undo : int array;
+  mutable mark_acc : int array;
+  mutable nmarks : int;
+  mutable wlog : int array;
+  mutable nwlog : int;
+  mutable undo : undo_entry array;
+  mutable nundo : int;
+  mutable ncheckpoints : int;
+  mutable resume_marks : int;
+  mutable resume_acc : int;
+}
+
+let clock = Global_clock.create ()
+let global_stats = Stm_stats.create ()
+let tvar_ids = Tvar_id.create ()
+
+let make v = { id = Tvar_id.fresh tvar_ids; vlock = Atomic.make 0; content = v }
+
+let dummy_read = { r_id = -1; r_vlock = Atomic.make 0; r_version = 0 }
+
+let initial_reads = 64
+let initial_dedup = 2 * initial_reads
+
+let fresh_tx () =
+  {
+    rv = 0;
+    reads = Array.make initial_reads dummy_read;
+    nreads = 0;
+    dedup_ids = Array.make initial_dedup (-1);
+    dedup_epochs = Array.make initial_dedup 0;
+    epoch = 0;
+    writes = Hashtbl.create 64;
+    wbloom = 0;
+    backoff = Backoff.for_domain ();
+    validation_steps = 0;
+    dedup_hits = 0;
+    bloom_skips = 0;
+    extensions = 0;
+    mark_reads = Array.make 16 0;
+    mark_wlog = Array.make 16 0;
+    mark_undo = Array.make 16 0;
+    mark_acc = Array.make 16 0;
+    nmarks = 0;
+    wlog = Array.make 16 0;
+    nwlog = 0;
+    undo = Array.make 16 dummy_undo;
+    nundo = 0;
+    ncheckpoints = 0;
+    resume_marks = 0;
+    resume_acc = 0;
+  }
+
+let bloom_bit id =
+  let h = id * 0x9E3779B9 in
+  (1 lsl (h land 31)) lor (1 lsl (31 + ((h lsr 5) land 31)))
+
+type domain_state = {
+  mutable active : tx option;
+  mutable spare : tx option;
+  mutable ro_rv : int;
+}
+
+let current_key : domain_state Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> { active = None; spare = None; ro_rv = -1 })
+
+let current () = Domain.DLS.get current_key
+
+let in_transaction () =
+  let state = current () in
+  state.ro_rv >= 0
+  ||
+  match state.active with
+  | None -> false
+  | Some _ -> true
+
+let dedup_seen tx id =
+  let slot = id land (Array.length tx.dedup_ids - 1) in
+  if tx.dedup_epochs.(slot) = tx.epoch && tx.dedup_ids.(slot) = id then true
+  else begin
+    tx.dedup_ids.(slot) <- id;
+    tx.dedup_epochs.(slot) <- tx.epoch;
+    false
+  end
+
+let push_read tx entry =
+  let n = tx.nreads in
+  if n = Array.length tx.reads then begin
+    let bigger = Array.make (2 * n) dummy_read in
+    Array.blit tx.reads 0 bigger 0 n;
+    tx.reads <- bigger;
+    let size = 2 * Array.length tx.dedup_ids in
+    let ids = Array.make size (-1) and epochs = Array.make size tx.epoch in
+    for i = 0 to n - 1 do
+      let id = tx.reads.(i).r_id in
+      ids.(id land (size - 1)) <- id
+    done;
+    ids.(entry.r_id land (size - 1)) <- entry.r_id;
+    tx.dedup_ids <- ids;
+    tx.dedup_epochs <- epochs
+  end;
+  tx.reads.(n) <- entry;
+  tx.nreads <- n + 1
+
+(* Whether the transaction holds [id]'s encounter-time lock. *)
+let owns tx id = Hashtbl.mem tx.writes id
+
+(* Read-set validation, always own-lock aware: an entry logged at
+   version [v] whose vlock now reads [v + 1] is intact if WE hold the
+   lock (it was acquired at exactly the logged version — a foreign
+   commit in between would have bumped the version past [v]). *)
+let read_set_valid tx =
+  let ok = ref true in
+  let i = ref 0 in
+  while !ok && !i < tx.nreads do
+    let e = tx.reads.(!i) in
+    let cur = Atomic.get e.r_vlock in
+    if cur <> e.r_version then
+      if not (cur = e.r_version + 1 && owns tx e.r_id) then ok := false;
+    incr i
+  done;
+  tx.validation_steps <- tx.validation_steps + !i;
+  !ok
+
+let extend tx =
+  let now = Global_clock.now clock in
+  if read_set_valid tx then begin
+    tx.rv <- now;
+    tx.extensions <- tx.extensions + 1
+  end
+  else raise Conflict
+
+let rec tx_read : type a. tx -> a tvar -> a =
+ fun tx tv ->
+  let v1 = Atomic.get tv.vlock in
+  if v1 land 1 = 1 then raise Conflict (* foreign encounter-time lock *)
+  else begin
+    let value = tv.content in
+    let v2 = Atomic.get tv.vlock in
+    if v1 <> v2 then raise Conflict
+    else if v1 > tx.rv then begin
+      extend tx;
+      tx_read tx tv
+    end
+    else begin
+      if dedup_seen tx tv.id then tx.dedup_hits <- tx.dedup_hits + 1
+      else push_read tx { r_id = tv.id; r_vlock = tv.vlock; r_version = v1 };
+      value
+    end
+  end
+
+exception Ro_restart
+
+(* Zero-log read-only mode, identical to {!Tl2}'s: an odd vlock is a
+   writer in its (here: potentially long) lock window — restart the
+   closure rather than spin it out, since an encounter-time lock can
+   be held for the writer's whole transaction. *)
+let ro_read : type a. domain_state -> a tvar -> a =
+ fun state tv ->
+  let v1 = Atomic.get tv.vlock in
+  if v1 land 1 = 1 then raise Ro_restart
+  else begin
+    let value = tv.content in
+    let v2 = Atomic.get tv.vlock in
+    if v1 <> v2 then raise Ro_restart
+    else if v1 > state.ro_rv then raise Ro_restart
+    else value
+  end
+
+let read tv =
+  let state = current () in
+  match state.active with
+  | None -> if state.ro_rv >= 0 then ro_read state tv else tv.content
+  | Some tx ->
+    if tx.wbloom = 0 then tx_read tx tv
+    else begin
+      let bits = bloom_bit tv.id in
+      if tx.wbloom land bits <> bits then begin
+        tx.bloom_skips <- tx.bloom_skips + 1;
+        tx_read tx tv
+      end
+      else if owns tx tv.id then
+        (* Own lock held: the in-place content is this transaction's
+           pending value — no probe of a write buffer, no log entry. *)
+        tv.content
+      else tx_read tx tv (* bloom false positive *)
+    end
+
+let push_undo tx entry =
+  if tx.nundo = Array.length tx.undo then begin
+    let bigger = Array.make (2 * tx.nundo) dummy_undo in
+    Array.blit tx.undo 0 bigger 0 tx.nundo;
+    tx.undo <- bigger
+  end;
+  tx.undo.(tx.nundo) <- entry;
+  tx.nundo <- tx.nundo + 1
+
+(* Acquire [tv]'s lock at encounter time. A foreign lock or a lost CAS
+   race is an immediate conflict (the early abort ETL is about); a
+   version newer than [rv] forces a timestamp extension first, so the
+   lock is always taken at a version within the validated snapshot. *)
+let rec acquire tx tv =
+  let v = Atomic.get tv.vlock in
+  if v land 1 = 1 then raise Conflict
+  else if v > tx.rv then begin
+    extend tx;
+    acquire tx tv
+  end
+  else if Atomic.compare_and_set tv.vlock v (v + 1) then v
+  else raise Conflict
+
+let write tv v =
+  let state = current () in
+  match state.active with
+  | None ->
+    if state.ro_rv >= 0 then raise Stm_intf.Write_in_read_only
+    else tv.content <- v
+  | Some tx ->
+    if owns tx tv.id then begin
+      (* Re-store through a lock already held: journal the overwritten
+         value only if a checkpoint might roll back to it. *)
+      if tx.nmarks > 0 then push_undo tx (U { tv; saved = tv.content });
+      tv.content <- v
+    end
+    else begin
+      let locked_from = acquire tx tv in
+      Hashtbl.add tx.writes tv.id (W { tv; locked_from });
+      tx.wbloom <- tx.wbloom lor bloom_bit tv.id;
+      if tx.nwlog = Array.length tx.wlog then begin
+        let bigger = Array.make (2 * tx.nwlog) 0 in
+        Array.blit tx.wlog 0 bigger 0 tx.nwlog;
+        tx.wlog <- bigger
+      end;
+      tx.wlog.(tx.nwlog) <- tv.id;
+      tx.nwlog <- tx.nwlog + 1;
+      (* First write always journals: any abort must restore this. *)
+      push_undo tx (U { tv; saved = tv.content });
+      tv.content <- v
+    end
+
+(* Full rollback: restore journalled contents in reverse (the
+   first-write entry lands last), then release every held lock back at
+   its acquisition version. Restore-before-release matters: once the
+   vlock returns to an even value, foreign readers will use the
+   content. Clears the lock table — the caller must not release
+   again. *)
+let rollback tx =
+  for j = tx.nundo - 1 downto 0 do
+    (match tx.undo.(j) with U u -> u.tv.content <- u.saved);
+    tx.undo.(j) <- dummy_undo
+  done;
+  tx.nundo <- 0;
+  Hashtbl.iter
+    (fun _ (W w) -> Atomic.set w.tv.vlock w.locked_from)
+    tx.writes;
+  Hashtbl.reset tx.writes;
+  tx.wbloom <- 0;
+  tx.nwlog <- 0
+
+(* Commit: values are already in place and every written tvar is
+   locked, so all that is left is read validation (skippable iff our
+   clock tick proves nothing else committed since [rv]) and releasing
+   the locks at the new write version. A validation failure leaves the
+   locks HELD and raises — the [atomic] conflict handler owns the
+   rollback, because it may instead salvage a checkpointed prefix. *)
+let commit tx =
+  if Hashtbl.length tx.writes = 0 then
+    Stm_stats.record_commit global_stats ~read_only:true
+  else begin
+    let wv, unique =
+      match Global_clock.tick_or_reuse clock with
+      | Ticked wv -> (wv, true)
+      | Reused wv ->
+        Stm_stats.record_clock_reuse global_stats;
+        (wv, false)
+    in
+    if not (unique && wv = tx.rv + 2) && not (read_set_valid tx) then
+      raise Conflict;
+    Hashtbl.iter (fun _ (W w) -> Atomic.set w.tv.vlock wv) tx.writes;
+    Hashtbl.reset tx.writes;
+    Array.fill tx.undo 0 tx.nundo dummy_undo;
+    tx.nundo <- 0;
+    Stm_stats.record_commit global_stats ~read_only:false
+  end
+
+let flush_tx_stats tx =
+  Stm_stats.record_validation global_stats ~steps:tx.validation_steps;
+  Stm_stats.record_read_set global_stats ~size:tx.nreads;
+  Stm_stats.record_tx_log global_stats ~dedup_hits:tx.dedup_hits
+    ~bloom_skips:tx.bloom_skips ~extensions:tx.extensions;
+  Stm_stats.record_checkpoints global_stats ~count:tx.ncheckpoints
+
+(* Precondition: no locks held and no live undo entries (commit or
+   rollback ran). *)
+let reset_tx tx =
+  tx.rv <- Global_clock.now clock;
+  tx.nreads <- 0;
+  tx.wbloom <- 0;
+  tx.nwlog <- 0;
+  tx.epoch <- tx.epoch + 1;
+  tx.validation_steps <- 0;
+  tx.dedup_hits <- 0;
+  tx.bloom_skips <- 0;
+  tx.extensions <- 0;
+  tx.nmarks <- 0;
+  tx.ncheckpoints <- 0;
+  tx.resume_marks <- 0;
+  tx.resume_acc <- 0;
+  if Array.length tx.reads > 1 lsl 16 then begin
+    tx.reads <- Array.make initial_reads dummy_read;
+    tx.dedup_ids <- Array.make initial_dedup (-1);
+    tx.dedup_epochs <- Array.make initial_dedup 0
+  end
+
+let partial_abort = true
+
+let checkpoint ~acc =
+  let state = current () in
+  match state.active with
+  | None -> ()
+  | Some tx ->
+    if !Stm_intf.partial_abort_enabled then begin
+      let n = tx.nmarks in
+      if n = Array.length tx.mark_reads then begin
+        let grow a = Array.append a (Array.make n 0) in
+        tx.mark_reads <- grow tx.mark_reads;
+        tx.mark_wlog <- grow tx.mark_wlog;
+        tx.mark_undo <- grow tx.mark_undo;
+        tx.mark_acc <- grow tx.mark_acc
+      end;
+      tx.mark_reads.(n) <- tx.nreads;
+      tx.mark_wlog.(n) <- tx.nwlog;
+      tx.mark_undo.(n) <- tx.nundo;
+      tx.mark_acc.(n) <- acc;
+      tx.nmarks <- n + 1;
+      tx.ncheckpoints <- tx.ncheckpoints + 1
+    end
+
+let resume () =
+  let state = current () in
+  match state.active with
+  | None -> (0, 0)
+  | Some tx -> (tx.resume_marks, tx.resume_acc)
+
+(* Partial abort. Unlike {!Tl2}, this can run with encounter-time
+   locks (including the commit-failure path's) still held: the prefix
+   validation is own-lock aware, the undo suffix restores in-place
+   stores past the chosen mark, and exactly the locks acquired past
+   the mark are released and dropped — pre-mark locks stay held for
+   the resumed attempt. *)
+let try_partial_rollback tx =
+  if tx.nmarks = 0 || not !Stm_intf.partial_abort_enabled then false
+  else begin
+    (* Clock sample BEFORE validating (same ordering as [extend]). *)
+    let now = Global_clock.now clock in
+    (* First invalid read position; everything before it is intact. *)
+    let p = ref 0 in
+    (try
+       while !p < tx.nreads do
+         let e = tx.reads.(!p) in
+         let cur = Atomic.get e.r_vlock in
+         if
+           cur <> e.r_version
+           && not (cur = e.r_version + 1 && owns tx e.r_id)
+         then raise Exit;
+         incr p
+       done
+     with Exit -> ());
+    tx.validation_steps <- tx.validation_steps + !p + 1;
+    let m = ref (tx.nmarks - 1) in
+    while !m >= 0 && tx.mark_reads.(!m) > !p do
+      decr m
+    done;
+    let mark = !m in
+    if mark < 0 then begin
+      Stm_stats.record_resume_failure global_stats;
+      false
+    end
+    else begin
+      (* Restore the undo suffix first (it covers both the dropped
+         tvars' contents and post-mark overwrites of retained ones),
+         THEN release the post-mark locks: contents must be back
+         before a vlock goes even. *)
+      for j = tx.nundo - 1 downto tx.mark_undo.(mark) do
+        (match tx.undo.(j) with U u -> u.tv.content <- u.saved);
+        tx.undo.(j) <- dummy_undo
+      done;
+      tx.nundo <- tx.mark_undo.(mark);
+      for j = tx.nwlog - 1 downto tx.mark_wlog.(mark) do
+        let id = tx.wlog.(j) in
+        (match Hashtbl.find_opt tx.writes id with
+        | Some (W w) -> Atomic.set w.tv.vlock w.locked_from
+        | None -> assert false);
+        Hashtbl.remove tx.writes id
+      done;
+      tx.nwlog <- tx.mark_wlog.(mark);
+      tx.nreads <- tx.mark_reads.(mark);
+      let bloom = ref 0 in
+      for j = 0 to tx.nwlog - 1 do
+        bloom := !bloom lor bloom_bit tx.wlog.(j)
+      done;
+      tx.wbloom <- !bloom;
+      tx.epoch <- tx.epoch + 1;
+      for i = 0 to tx.nreads - 1 do
+        let id = tx.reads.(i).r_id in
+        tx.dedup_ids.(id land (Array.length tx.dedup_ids - 1)) <- id;
+        tx.dedup_epochs.(id land (Array.length tx.dedup_ids - 1)) <- tx.epoch
+      done;
+      tx.nmarks <- mark + 1;
+      tx.resume_marks <- mark + 1;
+      tx.resume_acc <- tx.mark_acc.(mark);
+      tx.rv <- now;
+      Stm_stats.record_partial_abort global_stats ~reads_salvaged:tx.nreads;
+      true
+    end
+  end
+
+let atomic f =
+  let state = current () in
+  if state.ro_rv >= 0 then f () (* nested inside [atomic_ro]: flatten *)
+  else
+    match state.active with
+    | Some _ -> f () (* nested: flatten *)
+    | None ->
+      let tx =
+        match state.spare with
+        | Some tx -> tx
+        | None ->
+          let tx = fresh_tx () in
+          state.spare <- Some tx;
+          tx
+      in
+      let rec attempt ~fresh () =
+        if fresh then begin
+          reset_tx tx;
+          state.active <- Some tx
+        end;
+        match
+          let result = f () in
+          commit tx;
+          result
+        with
+        | result ->
+          state.active <- None;
+          flush_tx_stats tx;
+          Backoff.reset tx.backoff;
+          result
+        | exception Conflict ->
+          (* Conflicts can arrive with encounter-time locks held (from
+             [acquire], [extend] and commit validation alike): either
+             salvage a checkpointed prefix — which releases only the
+             post-mark locks — or roll everything back. *)
+          if try_partial_rollback tx then attempt ~fresh:false ()
+          else begin
+            rollback tx;
+            state.active <- None;
+            flush_tx_stats tx;
+            Stm_stats.record_abort global_stats;
+            Backoff.once tx.backoff;
+            attempt ~fresh:true ()
+          end
+        | exception exn ->
+          (* The rv check on every read gives opacity: the view that
+             produced [exn] was consistent. Restore the in-place
+             stores, release the locks, propagate. *)
+          rollback tx;
+          state.active <- None;
+          flush_tx_stats tx;
+          raise exn
+      in
+      attempt ~fresh:true ()
+
+let atomic_ro f =
+  let state = current () in
+  if state.ro_rv >= 0 then f () (* nested ro: flatten *)
+  else
+    match state.active with
+    | Some _ -> f () (* inside an update transaction: flatten *)
+    | None ->
+      let rec attempt () =
+        state.ro_rv <- Global_clock.now clock;
+        match f () with
+        | result ->
+          state.ro_rv <- -1;
+          Stm_stats.record_ro_commit global_stats;
+          result
+        | exception Ro_restart ->
+          state.ro_rv <- -1;
+          Stm_stats.record_ro_revalidation global_stats;
+          attempt ()
+        | exception exn ->
+          state.ro_rv <- -1;
+          raise exn
+      in
+      attempt ()
+
+let record_ro_demotion () = Stm_stats.record_ro_demotion global_stats
+
+let stats () = Stm_stats.snapshot global_stats
+let reset_stats () = Stm_stats.reset global_stats

@@ -1,0 +1,11 @@
+(** ETL: TinySTM-style encounter-time locking with write-through.
+    Writers take the per-tvar versioned lock at their FIRST write,
+    store in place, and journal old values in an undo log; commit is
+    read validation plus releasing the locks at the new write version.
+    Late commit-time write conflicts become early aborts — the
+    complement of {!Tl2}'s lazy buffering on write-dominated phases.
+    Implements checkpointed partial abort over the undo log
+    ([partial_abort = true]): rolling back to a watermark restores the
+    post-mark stores and releases only the post-mark locks. *)
+
+include Stm_intf.S

@@ -1,0 +1,364 @@
+(* A NOrec-style software transactional memory (Dalessandro, Spear,
+   Scott, PPoPP'10 — "NOrec: streamlining STM by abolishing ownership
+   records"; see also the Manticore/Chapel NOrec exemplars referenced
+   in SNIPPETS.md §1–2).
+
+   The design is the polar opposite of {!Tl2}'s per-tvar metadata:
+   - tvars carry NO version word and NO lock — just an id (for the
+     write-set hash/bloom) and the mutable content;
+   - consistency comes from a single global sequence lock: even =
+     stable, odd = a committer is in its write-back window;
+   - the read log stores (tvar, observed value) pairs and is
+     revalidated BY VALUE whenever the sequence lock is observed to
+     have moved — a transaction whose every logged value is still the
+     current content may advance its read version instead of aborting
+     (value-based validation admits ABA, which is exactly NOrec's
+     semantics: if the values match, the new snapshot is
+     indistinguishable);
+   - commit serializes writers through the sequence lock: CAS rv ->
+     rv+1, write back in place, release at rv+2. Read-only
+     transactions commit without touching the lock at all.
+
+   The zero-metadata reads make uncontended short transactions and
+   read-dominated phases cheaper than TL2 (no vlock sandwich, one
+   global load per read), at the price of serialized writers and
+   whole-log revalidation on every clock movement — the trade the
+   tournament runtime exploits per phase.
+
+   Partial abort is not supported ([partial_abort = false]): a NOrec
+   read log has no per-entry version to validate a prefix against —
+   value-based prefix validation cannot distinguish "still valid at
+   the old snapshot" from "valid again at a newer one", which is fine
+   for whole-transaction extension but breaks the checkpoint
+   contract's monotonic read-version story. Checkpoints are accepted
+   as no-ops and [resume] always reports a fresh attempt.
+
+   Memory-model note: tvar contents are plain mutable fields, read
+   concurrently with a committer's in-place write-back. Such races are
+   memory-safe in OCaml (no tearing); the acquire/release ordering of
+   the [Atomic] sequence-lock operations around write-back and the
+   re-check of the lock after every content read ensure a reader
+   either observes a value consistent with its read version or
+   revalidates. *)
+
+exception Conflict = Stm_intf.Conflict
+
+let name = "norec"
+
+type 'a tvar = {
+  id : int; (* unique; identity witness for the typed-log coercion *)
+  mutable content : 'a;
+}
+
+(* The global sequence lock. Even values are snapshot timestamps; a
+   committer holds the lock by CASing rv -> rv+1 and releases it at
+   rv+2. Padded: every read samples it and every commit CASes it. *)
+let seqlock = Padded_atomic.make 0
+
+let global_stats = Stm_stats.create ()
+let tvar_ids = Tvar_id.create ()
+let make v = { id = Tvar_id.fresh tvar_ids; content = v }
+
+(* A logged read: the tvar and the value observed. Existential like
+   {!Tl2.wentry}; the payload never leaves the pair (validation is a
+   physical-equality check inside the match). *)
+type rentry = R : { tv : 'a tvar; seen : 'a } -> rentry
+
+(* A buffered write. The payload type is recovered in [cast_ref],
+   justified by the uniqueness of tvar ids: equal ids imply physical
+   equality of the tvars and hence equality of the hidden types (same
+   argument as {!Tl2.cast_ref}; documented in DESIGN.md §3). *)
+type wentry = W : { tv : 'a tvar; value : 'a ref } -> wentry
+
+let cast_ref : type a. a tvar -> wentry -> a ref =
+ fun tv (W w) ->
+  assert (w.tv.id = tv.id);
+  (Obj.magic w.value : a ref)
+
+let dummy_read = R { tv = { id = -1; content = 0 }; seen = 0 }
+
+type tx = {
+  mutable rv : int; (* sequence-lock value this snapshot is valid at *)
+  mutable reads : rentry array;
+  mutable nreads : int;
+  writes : (int, wentry) Hashtbl.t;
+  mutable wbloom : int; (* word-sized bloom over buffered tvar ids *)
+  backoff : Backoff.t;
+  mutable validation_steps : int;
+  mutable bloom_skips : int;
+  mutable extensions : int; (* value revalidations that advanced rv *)
+}
+
+let initial_reads = 64
+
+let fresh_tx () =
+  {
+    rv = 0;
+    reads = Array.make initial_reads dummy_read;
+    nreads = 0;
+    writes = Hashtbl.create 64;
+    wbloom = 0;
+    backoff = Backoff.for_domain ();
+    validation_steps = 0;
+    bloom_skips = 0;
+    extensions = 0;
+  }
+
+(* Same two-bit word bloom as {!Tl2}. *)
+let bloom_bit id =
+  let h = id * 0x9E3779B9 in
+  (1 lsl (h land 31)) lor (1 lsl (31 + ((h lsr 5) land 31)))
+
+type domain_state = {
+  mutable active : tx option;
+  mutable spare : tx option;
+  mutable ro_rv : int; (* snapshot of a zero-log read-only tx, or -1 *)
+}
+
+let current_key : domain_state Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> { active = None; spare = None; ro_rv = -1 })
+
+let current () = Domain.DLS.get current_key
+
+let in_transaction () =
+  let state = current () in
+  state.ro_rv >= 0
+  ||
+  match state.active with
+  | None -> false
+  | Some _ -> true
+
+(* Seeded-bug fixture for the sanitizer (docs/SANITIZER.md): when set,
+   the value-list revalidation that NOrec owes every observed clock
+   change is skipped — the transaction silently adopts the new
+   timestamp, so later reads see post-snapshot state next to
+   pre-snapshot reads, and commits land on inconsistent read sets.
+   The opacity checker must flag the non-repeatable reads this
+   produces; never set outside sanitizer fixtures. *)
+module Unsafe = struct
+  let skip_revalidation = ref false
+  let disable_revalidation () = skip_revalidation := true
+  let reset () = skip_revalidation := false
+end
+
+let rec wait_even () =
+  let t = Padded_atomic.get seqlock in
+  if t land 1 = 1 then begin
+    Domain.cpu_relax ();
+    wait_even ()
+  end
+  else t
+
+(* Value-based validation: wait out any in-flight write-back, check
+   every logged value is still the current content, and confirm the
+   lock did not move during the pass (a moved lock means a committer
+   overlapped the scan — rescan at its timestamp). Returns the
+   timestamp the log is valid at; raises [Conflict] on a changed
+   value. ABA (a value changed and changed back) passes by design. *)
+let rec validate tx =
+  let time = wait_even () in
+  if !Unsafe.skip_revalidation then time
+  else begin
+    let ok = ref true in
+    let i = ref 0 in
+    while !ok && !i < tx.nreads do
+      (match tx.reads.(!i) with
+      | R r -> if not (r.tv.content == r.seen) then ok := false);
+      incr i
+    done;
+    tx.validation_steps <- tx.validation_steps + !i;
+    if not !ok then raise Conflict
+    else if Padded_atomic.get seqlock <> time then validate tx
+    else time
+  end
+
+let push_read tx entry =
+  let n = tx.nreads in
+  if n = Array.length tx.reads then begin
+    let bigger = Array.make (2 * n) dummy_read in
+    Array.blit tx.reads 0 bigger 0 n;
+    tx.reads <- bigger
+  end;
+  tx.reads.(n) <- entry;
+  tx.nreads <- n + 1
+
+(* The NOrec read protocol: read the content, and as long as the
+   sequence lock has moved since [rv], revalidate the whole log (which
+   advances [rv] on success) and re-read. The post-read lock check is
+   what makes the (value, timestamp) pair consistent. *)
+let tx_read : type a. tx -> a tvar -> a =
+ fun tx tv ->
+  let v = ref tv.content in
+  while Padded_atomic.get seqlock <> tx.rv do
+    let time = validate tx in
+    tx.rv <- time;
+    tx.extensions <- tx.extensions + 1;
+    v := tv.content
+  done;
+  push_read tx (R { tv; seen = !v });
+  !v
+
+(* Raised by a zero-log read when the snapshot is stale; [atomic_ro]
+   re-snapshots and re-runs the closure. Never escapes this module. *)
+exception Ro_restart
+
+(* Zero-log read-only read: no log is kept, so a moved sequence lock
+   cannot be revalidated — restart the closure at a fresh snapshot
+   instead (counted as [ro_inline_revalidations]). Uncontended
+   read-only work thus costs ONE global load per read and nothing at
+   commit: NOrec's best case. *)
+let ro_read : type a. domain_state -> a tvar -> a =
+ fun state tv ->
+  let v = tv.content in
+  if Padded_atomic.get seqlock <> state.ro_rv then raise Ro_restart else v
+
+let read tv =
+  let state = current () in
+  match state.active with
+  | None -> if state.ro_rv >= 0 then ro_read state tv else tv.content
+  | Some tx ->
+    if tx.wbloom = 0 then tx_read tx tv
+    else begin
+      let bits = bloom_bit tv.id in
+      if tx.wbloom land bits <> bits then begin
+        (* Definitely never buffered: skip the hash probe. *)
+        tx.bloom_skips <- tx.bloom_skips + 1;
+        tx_read tx tv
+      end
+      else
+        match Hashtbl.find_opt tx.writes tv.id with
+        | Some entry -> !(cast_ref tv entry)
+        | None -> tx_read tx tv (* bloom false positive *)
+    end
+
+let write tv v =
+  let state = current () in
+  match state.active with
+  | None ->
+    if state.ro_rv >= 0 then raise Stm_intf.Write_in_read_only
+    else tv.content <- v
+  | Some tx -> (
+    match Hashtbl.find_opt tx.writes tv.id with
+    | Some entry -> cast_ref tv entry := v
+    | None ->
+      tx.wbloom <- tx.wbloom lor bloom_bit tv.id;
+      Hashtbl.add tx.writes tv.id (W { tv; value = ref v }))
+
+(* Writer commit: acquire the sequence lock at exactly [rv] (so the
+   snapshot is known intact), write back in place, release two ticks
+   up. A lost CAS means somebody committed since [rv]: revalidate (by
+   value) to advance [rv] and try again — the only abort is a changed
+   value. Read-only update-mode transactions (empty write set) are
+   already serializable at [rv] and commit for free. *)
+let commit tx =
+  if Hashtbl.length tx.writes = 0 then
+    Stm_stats.record_commit global_stats ~read_only:true
+  else begin
+    while not (Padded_atomic.compare_and_set seqlock tx.rv (tx.rv + 1)) do
+      let time = validate tx in
+      tx.rv <- time
+    done;
+    Hashtbl.iter (fun _ (W w) -> w.tv.content <- !(w.value)) tx.writes;
+    Padded_atomic.set seqlock (tx.rv + 2);
+    Stm_stats.record_commit global_stats ~read_only:false
+  end
+
+let flush_tx_stats tx =
+  Stm_stats.record_validation global_stats ~steps:tx.validation_steps;
+  Stm_stats.record_read_set global_stats ~size:tx.nreads;
+  Stm_stats.record_tx_log global_stats ~dedup_hits:0
+    ~bloom_skips:tx.bloom_skips ~extensions:tx.extensions
+
+let reset_tx tx =
+  tx.rv <- wait_even ();
+  Array.fill tx.reads 0 tx.nreads dummy_read; (* drop value references *)
+  tx.nreads <- 0;
+  Hashtbl.reset tx.writes;
+  tx.wbloom <- 0;
+  tx.validation_steps <- 0;
+  tx.bloom_skips <- 0;
+  tx.extensions <- 0;
+  (* Shrink a read log that ballooned in a previous long transaction so
+     per-op memory stays bounded. *)
+  if Array.length tx.reads > 1 lsl 16 then
+    tx.reads <- Array.make initial_reads dummy_read
+
+(* No partial abort: a value-based read log has no per-entry version,
+   so a prefix cannot be revalidated against a monotonic read version
+   the way the checkpoint contract requires (see module comment). *)
+let partial_abort = false
+let checkpoint ~acc:_ = ()
+let resume () = (0, 0)
+
+let atomic f =
+  let state = current () in
+  if state.ro_rv >= 0 then f () (* nested inside [atomic_ro]: flatten *)
+  else
+    match state.active with
+    | Some _ -> f () (* nested: flatten *)
+    | None ->
+      let tx =
+        match state.spare with
+        | Some tx -> tx
+        | None ->
+          let tx = fresh_tx () in
+          state.spare <- Some tx;
+          tx
+      in
+      let rec attempt () =
+        reset_tx tx;
+        state.active <- Some tx;
+        match
+          let result = f () in
+          commit tx;
+          result
+        with
+        | result ->
+          state.active <- None;
+          flush_tx_stats tx;
+          Backoff.reset tx.backoff;
+          result
+        | exception Conflict ->
+          state.active <- None;
+          flush_tx_stats tx;
+          Stm_stats.record_abort global_stats;
+          Backoff.once tx.backoff;
+          attempt ()
+        | exception exn ->
+          (* Every read was validated against the sequence lock, so
+             the view that produced [exn] was a consistent snapshot:
+             discard the write buffer and propagate. *)
+          state.active <- None;
+          flush_tx_stats tx;
+          raise exn
+      in
+      attempt ()
+
+let atomic_ro f =
+  let state = current () in
+  if state.ro_rv >= 0 then f () (* nested ro: flatten *)
+  else
+    match state.active with
+    | Some _ -> f () (* inside an update transaction: flatten *)
+    | None ->
+      let rec attempt () =
+        state.ro_rv <- wait_even ();
+        match f () with
+        | result ->
+          state.ro_rv <- -1;
+          Stm_stats.record_ro_commit global_stats;
+          result
+        | exception Ro_restart ->
+          state.ro_rv <- -1;
+          Stm_stats.record_ro_revalidation global_stats;
+          attempt ()
+        | exception exn ->
+          state.ro_rv <- -1;
+          raise exn
+      in
+      attempt ()
+
+let record_ro_demotion () = Stm_stats.record_ro_demotion global_stats
+
+let stats () = Stm_stats.snapshot global_stats
+let reset_stats () = Stm_stats.reset global_stats

@@ -1,0 +1,22 @@
+(** NOrec: value-based validation against a single global sequence
+    lock — no per-tvar version metadata at all. Reads log (tvar,
+    observed value) pairs and revalidate the whole log by physical
+    equality whenever the sequence lock moves; writers serialize
+    through the lock at commit. Cheapest reads of the substrate family
+    on low-contention and read-dominated phases; writers serialize
+    globally. No partial abort ([partial_abort = false]): a value
+    log has no per-entry version to validate a prefix against. *)
+
+include Stm_intf.S
+
+(** Seeded-bug switches for the sanitizer fixtures; see
+    docs/SANITIZER.md. Never use outside `sb7-sanitize seeded`. *)
+module Unsafe : sig
+  (** Skip the value-list revalidation owed on every observed clock
+      change (reads silently adopt the new timestamp; commits skip
+      validation): the opacity checker must flag the resulting
+      non-repeatable reads. *)
+  val disable_revalidation : unit -> unit
+
+  val reset : unit -> unit
+end

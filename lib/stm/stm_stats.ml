@@ -16,6 +16,8 @@ type snapshot = {
   partial_aborts : int;
   reads_salvaged : int;
   resume_failures : int;
+  epoch_decisions : int;
+  substrate_switches : int;
 }
 
 (* Per-domain shard: plain mutable fields, allocated cache-line padded
@@ -40,6 +42,8 @@ type shard = {
   mutable s_partial_aborts : int;
   mutable s_reads_salvaged : int;
   mutable s_resume_failures : int;
+  mutable s_epoch_decisions : int;
+  mutable s_substrate_switches : int;
 }
 
 type t = {
@@ -69,6 +73,8 @@ let fresh_shard () =
       s_partial_aborts = 0;
       s_reads_salvaged = 0;
       s_resume_failures = 0;
+      s_epoch_decisions = 0;
+      s_substrate_switches = 0;
     }
 
 (* First record_* call on a domain claims a shard: recycled from the
@@ -175,6 +181,19 @@ let record_resume_failure t =
   let s = shard t in
   s.s_resume_failures <- s.s_resume_failures + 1
 
+(* Adaptive meta-runtime events (the tournament runtime): an epoch
+   decision is one end-of-epoch policy evaluation; a substrate switch
+   is a decision that crowned a new champion (and paid the quiesce +
+   migration fence). Recorded into the meta-runtime's own instance —
+   the substrates themselves never touch these. *)
+let record_epoch_decision t =
+  let s = shard t in
+  s.s_epoch_decisions <- s.s_epoch_decisions + 1
+
+let record_substrate_switch t =
+  let s = shard t in
+  s.s_substrate_switches <- s.s_substrate_switches + 1
+
 let zero : snapshot =
   {
     commits = 0;
@@ -194,6 +213,8 @@ let zero : snapshot =
     partial_aborts = 0;
     reads_salvaged = 0;
     resume_failures = 0;
+    epoch_decisions = 0;
+    substrate_switches = 0;
   }
 
 let add_shard (acc : snapshot) (s : shard) : snapshot =
@@ -216,6 +237,8 @@ let add_shard (acc : snapshot) (s : shard) : snapshot =
     partial_aborts = acc.partial_aborts + s.s_partial_aborts;
     reads_salvaged = acc.reads_salvaged + s.s_reads_salvaged;
     resume_failures = acc.resume_failures + s.s_resume_failures;
+    epoch_decisions = acc.epoch_decisions + s.s_epoch_decisions;
+    substrate_switches = acc.substrate_switches + s.s_substrate_switches;
   }
 
 (* Plain reads of another domain's shard fields are racy but
@@ -248,7 +271,9 @@ let reset t =
       s.s_checkpoints <- 0;
       s.s_partial_aborts <- 0;
       s.s_reads_salvaged <- 0;
-      s.s_resume_failures <- 0)
+      s.s_resume_failures <- 0;
+      s.s_epoch_decisions <- 0;
+      s.s_substrate_switches <- 0)
     t.shards;
   Mutex.unlock t.registry_lock
 
@@ -272,6 +297,8 @@ let add (a : snapshot) (b : snapshot) : snapshot =
     partial_aborts = a.partial_aborts + b.partial_aborts;
     reads_salvaged = a.reads_salvaged + b.reads_salvaged;
     resume_failures = a.resume_failures + b.resume_failures;
+    epoch_decisions = a.epoch_decisions + b.epoch_decisions;
+    substrate_switches = a.substrate_switches + b.substrate_switches;
   }
 
 let to_assoc (s : snapshot) =
@@ -293,6 +320,8 @@ let to_assoc (s : snapshot) =
     ("partial_aborts", s.partial_aborts);
     ("reads_salvaged", s.reads_salvaged);
     ("resume_failures", s.resume_failures);
+    ("epoch_decisions", s.epoch_decisions);
+    ("substrate_switches", s.substrate_switches);
   ]
 
 let pp ppf (s : snapshot) =
@@ -300,8 +329,10 @@ let pp ppf (s : snapshot) =
     "commits=%d aborts=%d ro_commits=%d validation_steps=%d max_read_set=%d \
      read_set_entries=%d dedup_hits=%d bloom_skips=%d extensions=%d \
      clock_reuses=%d ro_zero_log=%d ro_revalidations=%d ro_demotions=%d \
-     checkpoints=%d partial_aborts=%d reads_salvaged=%d resume_failures=%d"
+     checkpoints=%d partial_aborts=%d reads_salvaged=%d resume_failures=%d \
+     epoch_decisions=%d substrate_switches=%d"
     s.commits s.aborts s.read_only_commits s.validation_steps s.max_read_set
     s.read_set_entries s.dedup_hits s.bloom_skips s.extensions s.clock_reuses
     s.ro_zero_log_commits s.ro_inline_revalidations s.ro_demotions
     s.checkpoints s.partial_aborts s.reads_salvaged s.resume_failures
+    s.epoch_decisions s.substrate_switches

@@ -56,6 +56,12 @@ type snapshot = {
   resume_failures : int;
       (** conflicts where checkpoints existed but even the earliest
           watermark's prefix was invalid, forcing a full abort *)
+  epoch_decisions : int;
+      (** tournament-runtime epoch boundaries at which the champion
+          policy was (re-)evaluated *)
+  substrate_switches : int;
+      (** epoch decisions that crowned a new champion substrate and
+          paid the quiesce + tvar-migration fence *)
 }
 
 type t
@@ -100,6 +106,14 @@ val record_partial_abort : t -> reads_salvaged:int -> unit
 
 (** Account a fallback to full abort despite live checkpoints. *)
 val record_resume_failure : t -> unit
+
+(** Account one tournament epoch decision (recorded by the
+    meta-runtime into its own stats instance, never by a substrate). *)
+val record_epoch_decision : t -> unit
+
+(** Account one champion switch (an epoch decision that changed the
+    dispatched substrate). *)
+val record_substrate_switch : t -> unit
 
 (** Read all counters into a consistent-enough snapshot. *)
 val snapshot : t -> snapshot

@@ -1,8 +1,10 @@
 (* Cross-runtime equivalence: single-threaded, with no contention, no
    transaction ever retries, so every synchronization strategy must
    execute an identical operation sequence identically — same results,
-   same failures, same final structure. This pins all six runtimes to
-   the sequential semantics in one sweep. *)
+   same failures, same final structure. This pins every registered
+   runtime — including the adaptive tournament, whose mid-run champion
+   switches must be invisible — to the sequential semantics in one
+   sweep. *)
 
 module P = Sb7_core.Parameters
 module W = Sb7_harness.Workload
@@ -89,6 +91,9 @@ module Probe_fine = Probe (Sb7_runtime.Fine_runtime)
 module Probe_tl2 = Probe (Sb7_runtime.Tl2_runtime)
 module Probe_lsa = Probe (Sb7_runtime.Lsa_runtime)
 module Probe_astm = Probe (Sb7_runtime.Astm_runtime)
+module Probe_norec = Probe (Sb7_runtime.Norec_runtime)
+module Probe_etl = Probe (Sb7_runtime.Etl_runtime)
+module Probe_tournament = Probe (Sb7_runtime.Tournament_runtime)
 
 let all_probes =
   [
@@ -98,7 +103,10 @@ let all_probes =
     ("fine", Probe_fine.run);
     ("tl2", Probe_tl2.run);
     ("lsa", Probe_lsa.run);
+    ("norec", Probe_norec.run);
+    ("etl", Probe_etl.run);
     ("astm", Probe_astm.run);
+    ("tournament", Probe_tournament.run);
   ]
 
 let trace_stats trace =
@@ -193,6 +201,8 @@ end
 
 module Demote_tl2 = Demotion_probe (Sb7_runtime.Tl2_runtime)
 module Demote_lsa = Demotion_probe (Sb7_runtime.Lsa_runtime)
+module Demote_norec = Demotion_probe (Sb7_runtime.Norec_runtime)
+module Demote_etl = Demotion_probe (Sb7_runtime.Etl_runtime)
 module Demote_astm = Demotion_probe (Sb7_runtime.Astm_runtime)
 
 let test_demotion () =
@@ -200,6 +210,8 @@ let test_demotion () =
      signal and nothing is ever demoted. *)
   Demote_tl2.run ~expect_demotions:1 ();
   Demote_lsa.run ~expect_demotions:1 ();
+  Demote_norec.run ~expect_demotions:1 ();
+  Demote_etl.run ~expect_demotions:1 ();
   Demote_astm.run ~expect_demotions:0 ()
 
 (* Checkpointed partial abort: a long ordered scan invalidated
@@ -273,6 +285,7 @@ end
 
 module Cp_tl2 = Checkpoint_probe (Sb7_runtime.Tl2_runtime)
 module Cp_lsa = Checkpoint_probe (Sb7_runtime.Lsa_runtime)
+module Cp_etl = Checkpoint_probe (Sb7_runtime.Etl_runtime)
 
 let test_checkpoint_resume () =
   List.iter
@@ -294,7 +307,129 @@ let test_checkpoint_resume () =
         reads_salvaged;
       Alcotest.(check bool) (name ^ " full abort charged instead") true
         (aborts >= 1))
-    [ ("tl2", Cp_tl2.run); ("lsa", Cp_lsa.run) ]
+    [ ("tl2", Cp_tl2.run); ("lsa", Cp_lsa.run); ("etl", Cp_etl.run) ]
+
+(* Adaptive tournament: a forced phase change (read-only storm, then a
+   write storm) on a short-epoch instance must move the championship —
+   at least one switch, with NOrec holding the title during the
+   read-only phase. Single-threaded, so signals are deterministic up
+   to batching. *)
+module Tourney = Sb7_runtime.Tournament_runtime
+module Tiny_tournament = Tourney.Make (struct
+  let name = "tournament-tiny"
+  let epoch_length = 64
+  let policy = Tourney.Policy.default_config
+end)
+
+let test_tournament_phase_change () =
+  let module R = Tiny_tournament in
+  R.reset_stats ();
+  let cells = Array.init 32 (fun i -> R.make i) in
+  let ro_profile = Sb7_runtime.Op_profile.make ~name:"phase-ro" () in
+  let wr_profile =
+    Sb7_runtime.Op_profile.make ~name:"phase-wr"
+      ~writes:[ Sb7_runtime.Op_profile.Atomic_parts ]
+      ()
+  in
+  (* Read-only phase: high ro_rate, zero aborts — NOrec's home turf. *)
+  for _ = 1 to 1_500 do
+    ignore
+      (R.atomic ~profile:ro_profile (fun () ->
+           Array.fold_left (fun acc c -> acc + R.read c) 0 cells))
+  done;
+  let c k = Option.value (List.assoc_opt k (R.stats ())) ~default:0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "ro phase crowned norec (switches=%d, norec epochs=%d)"
+       (c "substrate_switches")
+       (c "champion_epochs_norec"))
+    true
+    (c "substrate_switches" >= 1 && c "champion_epochs_norec" > 0);
+  (* Write phase: ro_rate collapses, the champion must move off NOrec. *)
+  let before = c "substrate_switches" in
+  for i = 1 to 1_500 do
+    R.atomic ~profile:wr_profile (fun () ->
+        R.write cells.(i mod 32) (R.read cells.(i mod 32) + 1))
+  done;
+  let c k = Option.value (List.assoc_opt k (R.stats ())) ~default:0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "write phase dethroned norec (switches %d -> %d)" before
+       (c "substrate_switches"))
+    true
+    (c "substrate_switches" > before);
+  Alcotest.(check bool)
+    (Printf.sprintf "epochs were decided (%d)" (c "epoch_decisions"))
+    true
+    (c "epoch_decisions" > 0);
+  (* All that adaptation must not have lost a single update. *)
+  let total =
+    R.atomic ~profile:ro_profile (fun () ->
+        Array.fold_left (fun acc c -> acc + R.read c) 0 cells)
+  in
+  Alcotest.(check int) "updates survived every migration"
+    (1_500 + Array.fold_left ( + ) 0 (Array.init 32 (fun i -> i)))
+    total
+
+(* Hysteresis, on the pure policy: a challenger that only wins every
+   other epoch never gets crowned (no flapping), while a stable winner
+   is crowned after exactly [streak] consecutive epochs. *)
+let test_tournament_hysteresis () =
+  let module P = Tourney.Policy in
+  let cfg = P.default_config in
+  let ro =
+    { P.abort_rate = 0.; ro_rate = 1.; mean_read_set = 8.; salvage_rate = 0. }
+  in
+  let wr =
+    { P.abort_rate = 0.; ro_rate = 0.; mean_read_set = 8.; salvage_rate = 0. }
+  in
+  Alcotest.(check bool) "norec outscores tl2 on the ro signals" true
+    (P.score P.norec ro > P.score P.tl2 ro +. cfg.P.margin);
+  Alcotest.(check bool) "tl2 outscores norec on the write signals" true
+    (P.score P.tl2 wr > P.score P.norec wr);
+  (* Noisy signals: the would-be challenger wins only every other
+     epoch, so its streak never reaches [cfg.streak] and the champion
+     never changes. *)
+  let st = ref P.initial in
+  for i = 1 to 40 do
+    st := P.decide cfg !st (if i mod 2 = 0 then ro else wr);
+    Alcotest.(check int)
+      (Printf.sprintf "no flap at epoch %d" i)
+      P.tl2 (P.champion !st)
+  done;
+  (* Stable signals: the crown moves after exactly [streak] consecutive
+     winning epochs, not one sooner. *)
+  let st = ref P.initial in
+  for _ = 1 to cfg.P.streak - 1 do
+    st := P.decide cfg !st ro;
+    Alcotest.(check int) "still dwelling on the incumbent" P.tl2
+      (P.champion !st)
+  done;
+  st := P.decide cfg !st ro;
+  Alcotest.(check int)
+    (Printf.sprintf "crowned after %d consecutive epochs" cfg.P.streak)
+    P.norec (P.champion !st)
+
+(* The registry is the single source the CLI strategy listing, the
+   quick-bench sweep and the sanitizer's check loop are generated
+   from; pin its contents so none of them can silently lose a
+   strategy. *)
+let test_registry_names () =
+  Alcotest.(check (list string))
+    "registry lists every strategy in presentation order"
+    [
+      "seq"; "coarse"; "medium"; "fine"; "tl2"; "lsa"; "norec"; "etl";
+      "astm"; "tournament";
+    ]
+    Sb7_runtime.Registry.names;
+  List.iter
+    (fun name ->
+      match Sb7_runtime.Registry.find name with
+      | Ok (module R : Sb7_runtime.Runtime_intf.S) ->
+        Alcotest.(check string) (name ^ " round-trips") name R.name
+      | Error e -> Alcotest.failf "find %s: %s" name e)
+    Sb7_runtime.Registry.names;
+  match Sb7_runtime.Registry.find "no-such-strategy" with
+  | Ok _ -> Alcotest.fail "unknown strategy resolved"
+  | Error _ -> ()
 
 let () =
   Alcotest.run "runtime_equivalence"
@@ -311,5 +446,11 @@ let () =
             test_demotion;
           Alcotest.test_case "checkpoint resume matches full restart" `Quick
             test_checkpoint_resume;
+          Alcotest.test_case "tournament adapts across a phase change" `Quick
+            test_tournament_phase_change;
+          Alcotest.test_case "tournament hysteresis never flaps" `Quick
+            test_tournament_hysteresis;
+          Alcotest.test_case "registry is the single strategy source" `Quick
+            test_registry_names;
         ] );
     ]
