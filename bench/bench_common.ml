@@ -14,10 +14,18 @@ type settings = {
   scale_name : string;
   threads : int list; (* thread counts swept by the figures *)
   seed : int;
+  minor_heap : int option;
+      (* per-domain minor arena (words) every measured point runs
+         under; recorded in each result's minor_heap_words column so
+         the GC-pressure numbers stay interpretable *)
 }
 
 (* Quick settings keep the full sweep under a few minutes on one core;
-   [--full] reproduces the paper's medium scale and 1..8 threads. *)
+   [--full] reproduces the paper's medium scale and 1..8 threads. Both
+   run with an 8 MiB (2^20-word) minor arena per domain — the
+   allocation pass's sizing knob, see docs/PERF.md §9 — so minor-GC
+   rates across sections are comparable and not dominated by the 256k
+   default arena cycling every few hundred commits. *)
 let quick =
   {
     duration = 1.0;
@@ -26,6 +34,7 @@ let quick =
     scale_name = "small";
     threads = [ 1; 2; 4 ];
     seed = 42;
+    minor_heap = Some (1 lsl 20);
   }
 
 let full =
@@ -36,6 +45,7 @@ let full =
     scale_name = "medium";
     threads = [ 1; 2; 3; 4; 6; 8 ];
     seed = 42;
+    minor_heap = Some (1 lsl 20);
   }
 
 type point_config = {
@@ -98,6 +108,7 @@ let run_point (s : settings) (pt : point_config) : RR.t =
       seed = s.seed;
       histograms = false;
       sanitize = false;
+      minor_heap = s.minor_heap;
     }
   in
   match Sb7_harness.Driver.run ~runtime_name:pt.runtime config with

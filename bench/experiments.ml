@@ -271,6 +271,8 @@ let quick (s : settings) =
       "resume_failures";
       "epoch_decisions";
       "substrate_switches";
+      "descriptor_pool_hits";
+      "descriptor_pool_misses";
     ]
   in
   let results =
@@ -378,6 +380,25 @@ let quick (s : settings) =
     in
     ((if elapsed > 0. then ops /. elapsed else 0.), switches, decisions)
   in
+  (* Allocation probe: every STM substrate twice back-to-back at 2
+     domains. The first run's worker domains donate their descriptors
+     to the substrate pool on exit, so the second (reported) run's
+     workers adopt them and [descriptor_pool_hits] is deterministically
+     positive — the CI allocation gate keys on this, and on
+     minor-words-per-commit staying put (docs/PERF.md §9). *)
+  let alloc_settings = { s with duration = 0.3; warmup = 0. } in
+  let alloc_runtimes = [ "tl2"; "lsa"; "norec"; "etl" ] in
+  let alloc_results =
+    List.map
+      (fun runtime ->
+        let pt =
+          point ~runtime ~workload:W.Read_write ~threads:2
+            ~long_traversals:false ()
+        in
+        ignore (run_point alloc_settings pt);
+        (runtime, run_point alloc_settings pt))
+      alloc_runtimes
+  in
   (* Uniform vs conflict-aware dispatch on the write-dominated mix at 2
      domains — the configuration the static conflict matrix targets
      (docs/FOOTPRINT.md). Duration-based so abort pressure is real. *)
@@ -444,6 +465,22 @@ let quick (s : settings) =
         series)
     dispatch_results;
   Printf.printf
+    "\nallocation probe, read-write, 2 domains, second of two \
+     back-to-back runs (pool hits = domains that adopted a recycled \
+     descriptor):\n";
+  Printf.printf "%-8s %12s %10s %8s %12s %10s %10s %12s\n" "runtime" "ops/s"
+    "commits" "aborts" "words/commit" "mgc/1k" "pool.hits" "pool.misses";
+  List.iter
+    (fun (runtime, r) ->
+      let c k = RR.counter r k in
+      Printf.printf "%-8s %12.1f %10d %8d %12.1f %10.2f %10d %12d\n" runtime
+        (RR.throughput r) (c "commits") (c "aborts")
+        (RR.minor_words_per_commit r)
+        (RR.minor_gc_per_1k_commits r)
+        (c "descriptor_pool_hits")
+        (c "descriptor_pool_misses"))
+    alloc_results;
+  Printf.printf
     "\nlong traversals + writers, 2 domains, full abort vs checkpointed \
      partial abort (mgc/Mgc = minor/major GC per 1k commits):\n";
   Printf.printf "%-8s %-12s %10s %8s %8s %10s %10s %12s %9s %8s %8s\n"
@@ -504,14 +541,17 @@ let quick (s : settings) =
     let oc = open_out path in
     let b = Buffer.create 2048 in
     Buffer.add_string b "{\n";
-    Buffer.add_string b "  \"schema\": \"sb7-bench-quick/6\",\n";
+    Buffer.add_string b "  \"schema\": \"sb7-bench-quick/7\",\n";
     Buffer.add_string b
       (Printf.sprintf
          "  \"scale\": %S,\n  \"workload\": %S,\n  \"threads\": 1,\n\
-         \  \"max_ops\": %d,\n  \"seed\": %d,\n  \"long_traversals\": false,\n"
+         \  \"max_ops\": %d,\n  \"seed\": %d,\n  \"long_traversals\": false,\n\
+         \  \"minor_heap_words\": %d,\n"
          s.scale_name
          (W.kind_to_string W.Read_write)
-         max_ops s.seed);
+         max_ops s.seed
+         (Option.value s.minor_heap
+            ~default:(Gc.get ()).Gc.minor_heap_size));
     Buffer.add_string b "  \"strategies\": [\n";
     List.iteri
       (fun i (runtime, r) ->
@@ -591,6 +631,29 @@ let quick (s : settings) =
     Buffer.add_string b "  ]},\n";
     Buffer.add_string b
       (Printf.sprintf
+         "  \"alloc\": {\"workload\": \"rw\", \"threads\": 2, \
+          \"duration_s\": %.2f, \"host_cores\": %d, \"strategies\": [\n"
+         alloc_settings.duration
+         (Domain.recommended_domain_count ()));
+    List.iteri
+      (fun i (runtime, r) ->
+        let c k = RR.counter r k in
+        Buffer.add_string b
+          (Printf.sprintf
+             "    {\"runtime\": %S, \"ops_per_s\": %.1f, \"commits\": %d, \
+              \"aborts\": %d, \"minor_words_per_commit\": %.1f, \
+              \"minor_gc_per_1k_commits\": %.3f, \"descriptor_pool_hits\": \
+              %d, \"descriptor_pool_misses\": %d}%s\n"
+             runtime (RR.throughput r) (c "commits") (c "aborts")
+             (RR.minor_words_per_commit r)
+             (RR.minor_gc_per_1k_commits r)
+             (c "descriptor_pool_hits")
+             (c "descriptor_pool_misses")
+             (if i = List.length alloc_results - 1 then "" else ",")))
+      alloc_results;
+    Buffer.add_string b "  ]},\n";
+    Buffer.add_string b
+      (Printf.sprintf
          "  \"scaling\": {\"workload\": \"r\", \"duration_s\": %.2f, \
           \"host_cores\": %d, \"threads\": [%s], \"strategies\": [\n"
          scaling_settings.duration
@@ -636,13 +699,15 @@ let quick (s : settings) =
               \"commits\": %d, \"aborts\": %d, \"checkpoints\": %d, \
               \"partial_aborts\": %d, \"reads_salvaged\": %d, \
               \"resume_failures\": %d, \"minor_gc_per_1k_commits\": %.3f, \
-              \"major_gc_per_1k_commits\": %.3f}%s\n"
+              \"major_gc_per_1k_commits\": %.3f, \
+              \"minor_words_per_commit\": %.1f}%s\n"
              runtime
              (if checkpointed then "checkpoint" else "full-abort")
              (RR.throughput r) (c "commits") (c "aborts") (c "checkpoints")
              (c "partial_aborts") (c "reads_salvaged") (c "resume_failures")
              (RR.minor_gc_per_1k_commits r)
              (RR.major_gc_per_1k_commits r)
+             (RR.minor_words_per_commit r)
              (if i = List.length lt_results - 1 then "" else ",")))
       lt_results;
     Buffer.add_string b "  ]},\n";
@@ -880,3 +945,49 @@ let ablation_stm (s : settings) =
         [ "coarse"; "medium"; "tl2"; "lsa"; "astm" ];
       print_newline ())
     W.all_kinds
+
+(* --- Ablation — descriptor pooling on/off across the STM substrates --- *)
+
+let alloc (s : settings) =
+  print_header
+    "Allocation ablation — descriptor pooling on/off per STM substrate \
+     (words/commit = minor-heap words allocated per committed op)";
+  note
+    "pooling off: every domain allocates a fresh descriptor and donates \
+     nothing back; within a pooling-on row, later points adopt \
+     descriptors donated by earlier ones (same process, same pool)";
+  let s = { s with duration = Float.min s.duration 0.4 } in
+  Printf.printf "%-8s %-10s %8s %-8s %12s %13s %8s %10s %10s\n" "runtime"
+    "workload" "domains" "pooling" "ops/s" "words/commit" "mgc/1k"
+    "pool.hits" "pool.misses";
+  List.iter
+    (fun runtime ->
+      List.iter
+        (fun workload ->
+          List.iter
+            (fun threads ->
+              List.iter
+                (fun pooling ->
+                  Sb7_stm.Stm_intf.descriptor_pooling_enabled := pooling;
+                  let r =
+                    run_point s
+                      (point ~runtime ~workload ~threads
+                         ~long_traversals:false ())
+                  in
+                  Sb7_stm.Stm_intf.descriptor_pooling_enabled := true;
+                  let c k = RR.counter r k in
+                  Printf.printf
+                    "%-8s %-10s %8d %-8s %12.1f %13.1f %8.2f %10d %10d\n"
+                    runtime
+                    (W.kind_to_string workload)
+                    threads
+                    (if pooling then "on" else "off")
+                    (RR.throughput r)
+                    (RR.minor_words_per_commit r)
+                    (RR.minor_gc_per_1k_commits r)
+                    (c "descriptor_pool_hits")
+                    (c "descriptor_pool_misses"))
+                [ true; false ])
+            [ 1; 2; 4 ])
+        [ W.Read_dominated; W.Write_dominated ])
+    [ "tl2"; "lsa"; "norec"; "etl" ]

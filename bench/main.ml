@@ -6,7 +6,7 @@
      dune exec bench/main.exe -- --full all   # the paper's scale (slow)
 
    Experiments: table2 fig3 fig4 table3 fig6 t1-astm ablation-index
-   ablation-cm ablation-stm micro all *)
+   ablation-cm ablation-stm alloc micro all *)
 
 open Bench_common
 
@@ -26,6 +26,7 @@ let experiments : (string * (settings -> unit)) list =
     ("ablation-index", Experiments.ablation_index);
     ("ablation-cm", Experiments.ablation_cm);
     ("ablation-stm", Experiments.ablation_stm);
+    ("alloc", Experiments.alloc);
     ("micro", (fun _ -> Micro.run ()));
     ("sanitize-overhead", (fun _ -> Micro.sanitize_overhead ()));
   ]

@@ -133,6 +133,14 @@ let csv_out =
          ~doc:"Also write the run's summary and per-operation results as \
                CSV to FILE and FILE.ops.")
 
+let minor_heap =
+  Arg.(value & opt (some int) None & info [ "minor-heap" ] ~docv:"WORDS"
+         ~doc:"Resize each domain's minor heap to WORDS (Gc.set \
+               minor_heap_size, applied inside every worker domain — \
+               sizes do not propagate to spawned domains). The size in \
+               effect is recorded in the results either way, so \
+               GC-pressure columns can be interpreted after the fact.")
+
 let sanitize =
   Arg.(value & flag & info [ "sanitize" ]
          ~doc:"Run under the opacity + lockset sanitizer: record event \
@@ -143,7 +151,7 @@ let sanitize =
 
 let run threads length workload strategy no_traversals no_sms histograms
     reduced (scale_name, scale) index_kind seed max_ops cm mix only_op
-    dispatch warmup csv_out sanitize =
+    dispatch warmup csv_out minor_heap sanitize =
   Sb7_stm.Astm.set_policy cm;
   let config =
     {
@@ -164,6 +172,7 @@ let run threads length workload strategy no_traversals no_sms histograms
       seed;
       histograms;
       sanitize;
+      minor_heap;
     }
   in
   match Sb7_harness.Driver.run ~runtime_name:strategy config with
@@ -196,6 +205,6 @@ let cmd =
       const run $ threads $ length $ workload $ strategy $ no_traversals
       $ no_sms $ histograms $ reduced $ scale $ index_kind $ seed $ max_ops
       $ contention_manager $ mix $ only_op $ dispatch $ warmup $ csv_out
-      $ sanitize)
+      $ minor_heap $ sanitize)
 
 let () = exit (Cmd.eval' cmd)

@@ -298,14 +298,34 @@ let default =
            ("Typed transaction logs"):
            Padded_atomic exists to defeat false sharing and is Obj
            throughout; the TL2/LSA/NOrec word-based stores need one
-           cast per module to erase tvar payload types (ETL writes
-           through in place and needs none). *)
+           cast per module to erase tvar payload types; and the
+           structure-of-arrays transaction logs erase their entries
+           into parallel [Obj.t] arrays through a fixed set of
+           capture/restore helpers (one group per substrate, each a
+           two-line adapter whose type annotation states the only
+           shape it ever sees). *)
         r5_allowed =
           [
             ("Sb7_stm__Padded_atomic", None);
             ("Sb7_stm__Tl2", Some "cast_ref");
+            ("Sb7_stm__Tl2", Some "undo_unset");
+            ("Sb7_stm__Tl2", Some "undo_capture_slot");
+            ("Sb7_stm__Tl2", Some "undo_capture_val");
+            ("Sb7_stm__Tl2", Some "undo_restore");
             ("Sb7_stm__Lsa", Some "cast_ref");
+            ("Sb7_stm__Lsa", Some "undo_unset");
+            ("Sb7_stm__Lsa", Some "undo_capture_slot");
+            ("Sb7_stm__Lsa", Some "undo_capture_val");
+            ("Sb7_stm__Lsa", Some "undo_restore");
             ("Sb7_stm__Norec", Some "cast_ref");
+            ("Sb7_stm__Norec", Some "read_unset");
+            ("Sb7_stm__Norec", Some "read_capture_tv");
+            ("Sb7_stm__Norec", Some "read_capture_val");
+            ("Sb7_stm__Norec", Some "read_still_current");
+            ("Sb7_stm__Etl", Some "undo_unset");
+            ("Sb7_stm__Etl", Some "undo_capture_tv");
+            ("Sb7_stm__Etl", Some "undo_capture_val");
+            ("Sb7_stm__Etl", Some "undo_restore");
           ];
       };
     r6 =

@@ -60,8 +60,12 @@ let check (u : Cmt_unit.t) ~allowed_bindings =
             List.iter
               (fun vb ->
                 let saved = !current in
+                (* A top-level [let f : ty = ...] with a ground
+                   annotation is typed as an alias pattern, not a
+                   variable — both name the binding. *)
                 (match vb.vb_pat.pat_desc with
-                | Tpat_var (id, _) -> current := Some (Ident.name id)
+                | Tpat_var (id, _) | Tpat_alias (_, id, _) ->
+                  current := Some (Ident.name id)
                 | _ -> current := None);
                 sub.value_binding sub vb;
                 current := saved)

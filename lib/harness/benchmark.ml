@@ -40,6 +40,13 @@ type config = {
           {!Sb7_sanitize.Checker} analyses on them; requires the runtime
           to be wrapped in {!Sb7_sanitize.Sanitize.Make} (the harness
           flags an un-instrumented runtime as a finding) *)
+  minor_heap : int option;
+      (** size (in words) each worker domain sets its minor arena to on
+          startup. [Gc.set minor_heap_size] only affects the calling
+          domain — spawned domains start at the runtime default — so the
+          resize must happen inside every worker, not once in the
+          parent. The size in effect is recorded in the result so the
+          GC-pressure columns stay interpretable. *)
 }
 
 (* Seeded footprint-escape bugs for `sb7-sanitize footprint --seeded`:
@@ -80,7 +87,12 @@ let default_config =
     seed = 42;
     histograms = false;
     sanitize = false;
+    minor_heap = None;
   }
+
+let apply_minor_heap = function
+  | None -> ()
+  | Some words -> Gc.set { (Gc.get ()) with Gc.minor_heap_size = words }
 
 module Make (R : Sb7_runtime.Runtime_intf.S) = struct
   module I = Sb7_core.Instance.Make (R)
@@ -233,6 +245,10 @@ module Make (R : Sb7_runtime.Runtime_intf.S) = struct
 
   let run ?setup config : Run_result.t =
     assert (config.threads >= 1);
+    (* The main domain sizes its arena too, both so single-threaded
+       setup/driver allocation runs under the requested regime and so
+       the [minor_heap_words] read below reports the configured size. *)
+    apply_minor_heap config.minor_heap;
     (* Per-domain backoff RNGs fold this in (see Backoff.for_domain),
        so contention behaviour is reproducible per seed without domains
        spinning in lockstep. *)
@@ -278,6 +294,7 @@ module Make (R : Sb7_runtime.Runtime_intf.S) = struct
       let warm =
         List.init config.threads (fun i ->
             Domain.spawn (fun () ->
+                apply_minor_heap config.minor_heap;
                 await_start ~ready ~go;
                 worker ~ops ~cdf:(cdf_for i) ~setup ~stop ~budget:None
                   ~seed:(config.seed + ((i + 1) * 104729))
@@ -308,6 +325,7 @@ module Make (R : Sb7_runtime.Runtime_intf.S) = struct
     let domains =
       List.init config.threads (fun i ->
           Domain.spawn (fun () ->
+              apply_minor_heap config.minor_heap;
               await_start ~ready ~go;
               worker ~ops ~cdf:(cdf_for i) ~setup ~stop ~budget:config.max_ops
                 ~seed:(config.seed + ((i + 1) * 7919))
@@ -373,6 +391,8 @@ module Make (R : Sb7_runtime.Runtime_intf.S) = struct
         gc1.Gc.minor_collections - gc0.Gc.minor_collections;
       major_collections =
         gc1.Gc.major_collections - gc0.Gc.major_collections;
+      minor_words = gc1.Gc.minor_words -. gc0.Gc.minor_words;
+      minor_heap_words = (Gc.get ()).Gc.minor_heap_size;
       seed = config.seed;
       sanitizer;
     }

@@ -14,8 +14,10 @@ let header_summary =
    dedup_hits,bloom_skips,extensions,clock_reuses,ro_zero_log_commits,\
    ro_inline_revalidations,ro_demotions,checkpoints,partial_aborts,\
    reads_salvaged,resume_failures,epoch_decisions,substrate_switches,\
+   descriptor_pool_hits,descriptor_pool_misses,\
    minor_gc_per_1k_commits,\
-   major_gc_per_1k_commits,commit_imbalance,\
+   major_gc_per_1k_commits,minor_words_per_commit,minor_heap_words,\
+   commit_imbalance,\
    per_domain_successes,seed,champion_occupancy,sanitizer"
 
 (* The STM counters exported per summary row; 0 for lock runtimes. *)
@@ -39,6 +41,8 @@ let summary_counters =
     "resume_failures";
     "epoch_decisions";
     "substrate_switches";
+    "descriptor_pool_hits";
+    "descriptor_pool_misses";
   ]
 
 let escape field =
@@ -62,9 +66,11 @@ let summary_row (r : Run_result.t) =
           (fun k -> string_of_int (Run_result.counter r k))
           summary_counters))
   (* Semicolon-joined so the per-domain vector stays one CSV field. *)
-  ^ Printf.sprintf ",%.3f,%.3f,%.3f,%s,%d,%s,%s"
+  ^ Printf.sprintf ",%.3f,%.3f,%.1f,%d,%.3f,%s,%d,%s,%s"
       (Run_result.minor_gc_per_1k_commits r)
       (Run_result.major_gc_per_1k_commits r)
+      (Run_result.minor_words_per_commit r)
+      r.minor_heap_words
       (Run_result.commit_imbalance r)
       (String.concat ";"
          (Array.to_list (Array.map string_of_int r.per_domain_successes)))

@@ -128,6 +128,11 @@ let print_summary ppf (r : Run_result.t) =
      commits@."
     (Run_result.minor_gc_per_1k_commits r)
     (Run_result.major_gc_per_1k_commits r);
+  Format.fprintf ppf
+    "Allocation:           %.1f minor words per commit (minor heap %d \
+     words)@."
+    (Run_result.minor_words_per_commit r)
+    r.minor_heap_words;
   if r.threads > 1 then
     Format.fprintf ppf
       "Per-domain successes: [%s]  commit imbalance (max/mean): %.2f@."

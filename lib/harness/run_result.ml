@@ -29,6 +29,15 @@ type t = {
          the coordinating domain — a process-wide allocation-pressure
          proxy, not an exact per-domain count *)
   major_collections : int;
+  minor_words : float;
+      (* Gc.quick_stat minor_words delta over the same window: words
+         allocated on the minor heaps, the direct measure the
+         collection counts only proxy (a bigger minor heap lowers
+         minor_collections without changing allocation at all) *)
+  minor_heap_words : int;
+      (* minor heap size (words) the run executed under, so recorded
+         GC pressure can be interpreted (and the --minor-heap knob
+         audited) from the result alone *)
   seed : int;
   sanitizer : Sb7_sanitize.Checker.verdict option;
       (* None when the run was not sanitized *)
@@ -91,6 +100,13 @@ let per_1k_commits t n =
 let minor_gc_per_1k_commits t = per_1k_commits t t.minor_collections
 
 let major_gc_per_1k_commits t = per_1k_commits t t.major_collections
+
+(** Minor-heap words allocated per successful operation during the
+    measured window — the allocation budget the descriptor pool and
+    SoA logs are sized against; 0 when nothing committed. *)
+let minor_words_per_commit t =
+  let c = Stats.total_successes t.stats in
+  if c = 0 then 0. else t.minor_words /. float_of_int c
 
 (** Started (successful or failed) operations per second. *)
 let attempts_throughput t =

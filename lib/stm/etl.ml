@@ -56,17 +56,31 @@ type 'a tvar = {
    coercion, no [Obj]. *)
 type wentry = W : { tv : 'a tvar; locked_from : int } -> wentry
 
-type read_entry = { r_id : int; r_vlock : int Atomic.t; r_version : int }
+(* Structure-of-arrays read set; see the twin comment in Tl2. *)
+let dummy_vlock : int Atomic.t = Atomic.make 0
 
 (* Journal of overwritten contents, in store order; an abort replays
-   it in reverse so the first-write entry restores last. *)
-type undo_entry = U : { tv : 'a tvar; saved : 'a } -> undo_entry
+   it in reverse so the first-write entry restores last. Two parallel
+   [Obj.t] arrays instead of an array of existential {tv; saved}
+   records: pushes and growth doublings allocate no per-entry box and
+   slots are reused in place. The coercions are justified like
+   [Tl2.cast_ref]: each (tvar, saved-content) pair is captured from
+   the same ['a] and only re-paired at the same index. [undo_unset] is
+   an immediate, so the arrays are never float-specialized and a
+   cleared slot pins no dead value. *)
+let undo_unset : Obj.t = Obj.repr 0
 
-let dummy_undo = U { tv = { id = -1; vlock = Atomic.make 0; content = 0 }; saved = 0 }
+let undo_capture_tv : 'a tvar -> Obj.t = fun tv -> Obj.repr tv
+let undo_capture_val : 'a tvar -> Obj.t = fun tv -> Obj.repr tv.content
+
+let undo_restore (tv : Obj.t) (v : Obj.t) =
+  (Obj.obj tv : Obj.t tvar).content <- v
 
 type tx = {
   mutable rv : int;
-  mutable reads : read_entry array;
+  mutable read_ids : int array;
+  mutable read_versions : int array;
+  mutable read_vlocks : int Atomic.t array;
   mutable nreads : int;
   (* Read-set dedup, identical to {!Tl2}'s direct-mapped cache. *)
   mutable dedup_ids : int array;
@@ -74,7 +88,8 @@ type tx = {
   mutable epoch : int;
   writes : (int, wentry) Hashtbl.t; (* tvars whose lock we hold *)
   mutable wbloom : int;
-  backoff : Backoff.t;
+  (* Mutable so a recycled descriptor can be reseeded per domain. *)
+  mutable backoff : Backoff.t;
   mutable validation_steps : int;
   mutable dedup_hits : int;
   mutable bloom_skips : int;
@@ -89,7 +104,8 @@ type tx = {
   mutable nmarks : int;
   mutable wlog : int array;
   mutable nwlog : int;
-  mutable undo : undo_entry array;
+  mutable undo_tvs : Obj.t array; (* parallel with undo_vals *)
+  mutable undo_vals : Obj.t array;
   mutable nundo : int;
   mutable ncheckpoints : int;
   mutable resume_marks : int;
@@ -102,15 +118,15 @@ let tvar_ids = Tvar_id.create ()
 
 let make v = { id = Tvar_id.fresh tvar_ids; vlock = Atomic.make 0; content = v }
 
-let dummy_read = { r_id = -1; r_vlock = Atomic.make 0; r_version = 0 }
-
 let initial_reads = 64
 let initial_dedup = 2 * initial_reads
 
 let fresh_tx () =
   {
     rv = 0;
-    reads = Array.make initial_reads dummy_read;
+    read_ids = Array.make initial_reads (-1);
+    read_versions = Array.make initial_reads 0;
+    read_vlocks = Array.make initial_reads dummy_vlock;
     nreads = 0;
     dedup_ids = Array.make initial_dedup (-1);
     dedup_epochs = Array.make initial_dedup 0;
@@ -129,7 +145,8 @@ let fresh_tx () =
     nmarks = 0;
     wlog = Array.make 16 0;
     nwlog = 0;
-    undo = Array.make 16 dummy_undo;
+    undo_tvs = Array.make 16 undo_unset;
+    undo_vals = Array.make 16 undo_unset;
     nundo = 0;
     ncheckpoints = 0;
     resume_marks = 0;
@@ -151,6 +168,68 @@ let current_key : domain_state Domain.DLS.key =
 
 let current () = Domain.DLS.get current_key
 
+(* Descriptor free pool; same design as Tl2's (scrub-on-release,
+   at-exit donation, pool pop or fresh allocation on a domain's first
+   transaction, backoff reseed on adoption). *)
+let pool_lock = Mutex.create ()
+let pool : tx list ref = ref []
+
+let scrub_tx tx =
+  Hashtbl.reset tx.writes;
+  Array.fill tx.read_vlocks 0 (Array.length tx.read_vlocks) dummy_vlock;
+  Array.fill tx.undo_tvs 0 (Array.length tx.undo_tvs) undo_unset;
+  Array.fill tx.undo_vals 0 (Array.length tx.undo_vals) undo_unset;
+  tx.nreads <- 0;
+  tx.nundo <- 0;
+  tx.nwlog <- 0;
+  tx.nmarks <- 0;
+  tx.wbloom <- 0;
+  tx.ncheckpoints <- 0;
+  tx.resume_marks <- 0;
+  tx.resume_acc <- 0
+
+let release_spare state =
+  match state.spare with
+  | None -> ()
+  | Some tx ->
+    state.spare <- None;
+    scrub_tx tx;
+    if !Stm_intf.descriptor_pooling_enabled then begin
+      Mutex.lock pool_lock;
+      pool := tx :: !pool;
+      Mutex.unlock pool_lock
+    end
+
+let acquire_tx state =
+  let tx =
+    if !Stm_intf.descriptor_pooling_enabled then begin
+      Mutex.lock pool_lock;
+      let popped =
+        match !pool with
+        | tx :: rest ->
+          pool := rest;
+          Some tx
+        | [] -> None
+      in
+      Mutex.unlock pool_lock;
+      match popped with
+      | Some tx ->
+        Stm_stats.record_pool_hit global_stats;
+        tx.backoff <- Backoff.for_domain ();
+        tx
+      | None ->
+        Stm_stats.record_pool_miss global_stats;
+        fresh_tx ()
+    end
+    else begin
+      Stm_stats.record_pool_miss global_stats;
+      fresh_tx ()
+    end
+  in
+  state.spare <- Some tx;
+  Domain.at_exit (fun () -> release_spare state);
+  tx
+
 let in_transaction () =
   let state = current () in
   state.ro_rv >= 0
@@ -168,23 +247,32 @@ let dedup_seen tx id =
     false
   end
 
-let push_read tx entry =
+let push_read tx id vlock version =
   let n = tx.nreads in
-  if n = Array.length tx.reads then begin
-    let bigger = Array.make (2 * n) dummy_read in
-    Array.blit tx.reads 0 bigger 0 n;
-    tx.reads <- bigger;
+  if n = Array.length tx.read_ids then begin
+    let cap = 2 * n in
+    let rids = Array.make cap (-1) in
+    let versions = Array.make cap 0 in
+    let vlocks = Array.make cap dummy_vlock in
+    Array.blit tx.read_ids 0 rids 0 n;
+    Array.blit tx.read_versions 0 versions 0 n;
+    Array.blit tx.read_vlocks 0 vlocks 0 n;
+    tx.read_ids <- rids;
+    tx.read_versions <- versions;
+    tx.read_vlocks <- vlocks;
     let size = 2 * Array.length tx.dedup_ids in
     let ids = Array.make size (-1) and epochs = Array.make size tx.epoch in
     for i = 0 to n - 1 do
-      let id = tx.reads.(i).r_id in
+      let id = rids.(i) in
       ids.(id land (size - 1)) <- id
     done;
-    ids.(entry.r_id land (size - 1)) <- entry.r_id;
+    ids.(id land (size - 1)) <- id;
     tx.dedup_ids <- ids;
     tx.dedup_epochs <- epochs
   end;
-  tx.reads.(n) <- entry;
+  tx.read_ids.(n) <- id;
+  tx.read_versions.(n) <- version;
+  tx.read_vlocks.(n) <- vlock;
   tx.nreads <- n + 1
 
 (* Whether the transaction holds [id]'s encounter-time lock. *)
@@ -198,10 +286,10 @@ let read_set_valid tx =
   let ok = ref true in
   let i = ref 0 in
   while !ok && !i < tx.nreads do
-    let e = tx.reads.(!i) in
-    let cur = Atomic.get e.r_vlock in
-    if cur <> e.r_version then
-      if not (cur = e.r_version + 1 && owns tx e.r_id) then ok := false;
+    let cur = Atomic.get tx.read_vlocks.(!i) in
+    let version = tx.read_versions.(!i) in
+    if cur <> version then
+      if not (cur = version + 1 && owns tx tx.read_ids.(!i)) then ok := false;
     incr i
   done;
   tx.validation_steps <- tx.validation_steps + !i;
@@ -229,7 +317,7 @@ let rec tx_read : type a. tx -> a tvar -> a =
     end
     else begin
       if dedup_seen tx tv.id then tx.dedup_hits <- tx.dedup_hits + 1
-      else push_read tx { r_id = tv.id; r_vlock = tv.vlock; r_version = v1 };
+      else push_read tx tv.id tv.vlock v1;
       value
     end
   end
@@ -271,13 +359,18 @@ let read tv =
       else tx_read tx tv (* bloom false positive *)
     end
 
-let push_undo tx entry =
-  if tx.nundo = Array.length tx.undo then begin
-    let bigger = Array.make (2 * tx.nundo) dummy_undo in
-    Array.blit tx.undo 0 bigger 0 tx.nundo;
-    tx.undo <- bigger
+let push_undo tx tv_r saved =
+  if tx.nundo = Array.length tx.undo_tvs then begin
+    let cap = 2 * tx.nundo in
+    let tvs = Array.make cap undo_unset in
+    let vals = Array.make cap undo_unset in
+    Array.blit tx.undo_tvs 0 tvs 0 tx.nundo;
+    Array.blit tx.undo_vals 0 vals 0 tx.nundo;
+    tx.undo_tvs <- tvs;
+    tx.undo_vals <- vals
   end;
-  tx.undo.(tx.nundo) <- entry;
+  tx.undo_tvs.(tx.nundo) <- tv_r;
+  tx.undo_vals.(tx.nundo) <- saved;
   tx.nundo <- tx.nundo + 1
 
 (* Acquire [tv]'s lock at encounter time. A foreign lock or a lost CAS
@@ -304,7 +397,8 @@ let write tv v =
     if owns tx tv.id then begin
       (* Re-store through a lock already held: journal the overwritten
          value only if a checkpoint might roll back to it. *)
-      if tx.nmarks > 0 then push_undo tx (U { tv; saved = tv.content });
+      if tx.nmarks > 0 then
+        push_undo tx (undo_capture_tv tv) (undo_capture_val tv);
       tv.content <- v
     end
     else begin
@@ -319,7 +413,7 @@ let write tv v =
       tx.wlog.(tx.nwlog) <- tv.id;
       tx.nwlog <- tx.nwlog + 1;
       (* First write always journals: any abort must restore this. *)
-      push_undo tx (U { tv; saved = tv.content });
+      push_undo tx (undo_capture_tv tv) (undo_capture_val tv);
       tv.content <- v
     end
 
@@ -331,8 +425,9 @@ let write tv v =
    again. *)
 let rollback tx =
   for j = tx.nundo - 1 downto 0 do
-    (match tx.undo.(j) with U u -> u.tv.content <- u.saved);
-    tx.undo.(j) <- dummy_undo
+    undo_restore tx.undo_tvs.(j) tx.undo_vals.(j);
+    tx.undo_tvs.(j) <- undo_unset;
+    tx.undo_vals.(j) <- undo_unset
   done;
   tx.nundo <- 0;
   Hashtbl.iter
@@ -363,7 +458,8 @@ let commit tx =
       raise Conflict;
     Hashtbl.iter (fun _ (W w) -> Atomic.set w.tv.vlock wv) tx.writes;
     Hashtbl.reset tx.writes;
-    Array.fill tx.undo 0 tx.nundo dummy_undo;
+    Array.fill tx.undo_tvs 0 tx.nundo undo_unset;
+    Array.fill tx.undo_vals 0 tx.nundo undo_unset;
     tx.nundo <- 0;
     Stm_stats.record_commit global_stats ~read_only:false
   end
@@ -391,8 +487,10 @@ let reset_tx tx =
   tx.ncheckpoints <- 0;
   tx.resume_marks <- 0;
   tx.resume_acc <- 0;
-  if Array.length tx.reads > 1 lsl 16 then begin
-    tx.reads <- Array.make initial_reads dummy_read;
+  if Array.length tx.read_ids > 1 lsl 16 then begin
+    tx.read_ids <- Array.make initial_reads (-1);
+    tx.read_versions <- Array.make initial_reads 0;
+    tx.read_vlocks <- Array.make initial_reads dummy_vlock;
     tx.dedup_ids <- Array.make initial_dedup (-1);
     tx.dedup_epochs <- Array.make initial_dedup 0
   end
@@ -442,11 +540,11 @@ let try_partial_rollback tx =
     let p = ref 0 in
     (try
        while !p < tx.nreads do
-         let e = tx.reads.(!p) in
-         let cur = Atomic.get e.r_vlock in
+         let cur = Atomic.get tx.read_vlocks.(!p) in
+         let version = tx.read_versions.(!p) in
          if
-           cur <> e.r_version
-           && not (cur = e.r_version + 1 && owns tx e.r_id)
+           cur <> version
+           && not (cur = version + 1 && owns tx tx.read_ids.(!p))
          then raise Exit;
          incr p
        done
@@ -467,8 +565,9 @@ let try_partial_rollback tx =
          THEN release the post-mark locks: contents must be back
          before a vlock goes even. *)
       for j = tx.nundo - 1 downto tx.mark_undo.(mark) do
-        (match tx.undo.(j) with U u -> u.tv.content <- u.saved);
-        tx.undo.(j) <- dummy_undo
+        undo_restore tx.undo_tvs.(j) tx.undo_vals.(j);
+        tx.undo_tvs.(j) <- undo_unset;
+        tx.undo_vals.(j) <- undo_unset
       done;
       tx.nundo <- tx.mark_undo.(mark);
       for j = tx.nwlog - 1 downto tx.mark_wlog.(mark) do
@@ -487,7 +586,7 @@ let try_partial_rollback tx =
       tx.wbloom <- !bloom;
       tx.epoch <- tx.epoch + 1;
       for i = 0 to tx.nreads - 1 do
-        let id = tx.reads.(i).r_id in
+        let id = tx.read_ids.(i) in
         tx.dedup_ids.(id land (Array.length tx.dedup_ids - 1)) <- id;
         tx.dedup_epochs.(id land (Array.length tx.dedup_ids - 1)) <- tx.epoch
       done;
@@ -510,10 +609,7 @@ let atomic f =
       let tx =
         match state.spare with
         | Some tx -> tx
-        | None ->
-          let tx = fresh_tx () in
-          state.spare <- Some tx;
-          tx
+        | None -> acquire_tx state
       in
       let rec attempt ~fresh () =
         if fresh then begin

@@ -61,13 +61,15 @@ let cast_ref : type a. a tvar -> wentry -> a ref =
   assert (w.tv.id = tv.id);
   (Obj.magic w.value : a ref)
 
-type read_entry = { r_id : int; r_vlock : int Atomic.t; r_version : int }
+(* Structure-of-arrays read set and Obj-paired undo log; see the twin
+   comments in Tl2 — the layouts, growth and scrub discipline are
+   identical, and the coercions carry the same justification. *)
+let dummy_vlock : int Atomic.t = Atomic.make 0
+let undo_unset : Obj.t = Obj.repr 0
 
-(* Saved value of a buffered write overwritten after a checkpoint; see
-   the twin comment in Tl2. *)
-type undo_entry = U : { slot : 'a ref; saved : 'a } -> undo_entry
-
-let dummy_undo = U { slot = ref 0; saved = 0 }
+let undo_capture_slot : 'a ref -> Obj.t = fun slot -> Obj.repr slot
+let undo_capture_val : 'a ref -> Obj.t = fun slot -> Obj.repr !slot
+let undo_restore (slot : Obj.t) (v : Obj.t) = (Obj.obj slot : Obj.t ref) := v
 
 type mode =
   | Update
@@ -76,7 +78,9 @@ type mode =
 type tx = {
   mutable mode : mode;
   mutable rv : int;
-  mutable reads : read_entry array;
+  mutable read_ids : int array;
+  mutable read_versions : int array;
+  mutable read_vlocks : int Atomic.t array;
   mutable nreads : int;
   (* Read-set dedup cache; see the twin comment in Tl2. *)
   mutable dedup_ids : int array;
@@ -84,7 +88,8 @@ type tx = {
   mutable epoch : int;
   writes : (int, wentry) Hashtbl.t;
   mutable wbloom : int;
-  backoff : Backoff.t;
+  (* Mutable so a recycled descriptor can be reseeded per domain. *)
+  mutable backoff : Backoff.t;
   mutable validation_steps : int;
   mutable dedup_hits : int;
   mutable bloom_skips : int;
@@ -99,7 +104,8 @@ type tx = {
   mutable nmarks : int;
   mutable wlog : int array;
   mutable nwlog : int;
-  mutable undo : undo_entry array;
+  mutable undo_slots : Obj.t array;
+  mutable undo_vals : Obj.t array;
   mutable nundo : int;
   mutable ncheckpoints : int;
   mutable resume_marks : int;
@@ -123,8 +129,6 @@ let make v =
     head = 0;
   }
 
-let dummy_read = { r_id = -1; r_vlock = Atomic.make 0; r_version = 0 }
-
 let initial_reads = 64
 let initial_dedup = 2 * initial_reads
 
@@ -132,7 +136,9 @@ let fresh_tx () =
   {
     mode = Update;
     rv = 0;
-    reads = Array.make initial_reads dummy_read;
+    read_ids = Array.make initial_reads (-1);
+    read_versions = Array.make initial_reads 0;
+    read_vlocks = Array.make initial_reads dummy_vlock;
     nreads = 0;
     dedup_ids = Array.make initial_dedup (-1);
     dedup_epochs = Array.make initial_dedup 0;
@@ -151,7 +157,8 @@ let fresh_tx () =
     nmarks = 0;
     wlog = Array.make 16 0;
     nwlog = 0;
-    undo = Array.make 16 dummy_undo;
+    undo_slots = Array.make 16 undo_unset;
+    undo_vals = Array.make 16 undo_unset;
     nundo = 0;
     ncheckpoints = 0;
     resume_marks = 0;
@@ -171,6 +178,68 @@ let current_key : domain_state Domain.DLS.key =
   Domain.DLS.new_key (fun () -> { active = None; spare = None })
 
 let current () = Domain.DLS.get current_key
+
+(* Descriptor free pool; same design as Tl2's (scrub-on-release,
+   at-exit donation, pool pop or fresh allocation on a domain's first
+   transaction, backoff reseed on adoption). *)
+let pool_lock = Mutex.create ()
+let pool : tx list ref = ref []
+
+let scrub_tx tx =
+  Hashtbl.reset tx.writes;
+  Array.fill tx.read_vlocks 0 (Array.length tx.read_vlocks) dummy_vlock;
+  Array.fill tx.undo_slots 0 (Array.length tx.undo_slots) undo_unset;
+  Array.fill tx.undo_vals 0 (Array.length tx.undo_vals) undo_unset;
+  tx.nreads <- 0;
+  tx.nundo <- 0;
+  tx.nwlog <- 0;
+  tx.nmarks <- 0;
+  tx.wbloom <- 0;
+  tx.ncheckpoints <- 0;
+  tx.resume_marks <- 0;
+  tx.resume_acc <- 0
+
+let release_spare state =
+  match state.spare with
+  | None -> ()
+  | Some tx ->
+    state.spare <- None;
+    scrub_tx tx;
+    if !Stm_intf.descriptor_pooling_enabled then begin
+      Mutex.lock pool_lock;
+      pool := tx :: !pool;
+      Mutex.unlock pool_lock
+    end
+
+let acquire_tx state =
+  let tx =
+    if !Stm_intf.descriptor_pooling_enabled then begin
+      Mutex.lock pool_lock;
+      let popped =
+        match !pool with
+        | tx :: rest ->
+          pool := rest;
+          Some tx
+        | [] -> None
+      in
+      Mutex.unlock pool_lock;
+      match popped with
+      | Some tx ->
+        Stm_stats.record_pool_hit global_stats;
+        tx.backoff <- Backoff.for_domain ();
+        tx
+      | None ->
+        Stm_stats.record_pool_miss global_stats;
+        fresh_tx ()
+    end
+    else begin
+      Stm_stats.record_pool_miss global_stats;
+      fresh_tx ()
+    end
+  in
+  state.spare <- Some tx;
+  Domain.at_exit (fun () -> release_spare state);
+  tx
 
 let in_transaction () =
   match (current ()).active with
@@ -198,34 +267,45 @@ let dedup_seen tx id =
     false
   end
 
-let push_read tx entry =
+let push_read tx id vlock version =
   let n = tx.nreads in
-  if n = Array.length tx.reads then begin
-    let bigger = Array.make (2 * n) dummy_read in
-    Array.blit tx.reads 0 bigger 0 n;
-    tx.reads <- bigger;
+  if n = Array.length tx.read_ids then begin
+    let cap = 2 * n in
+    let rids = Array.make cap (-1) in
+    let versions = Array.make cap 0 in
+    let vlocks = Array.make cap dummy_vlock in
+    Array.blit tx.read_ids 0 rids 0 n;
+    Array.blit tx.read_versions 0 versions 0 n;
+    Array.blit tx.read_vlocks 0 vlocks 0 n;
+    tx.read_ids <- rids;
+    tx.read_versions <- versions;
+    tx.read_vlocks <- vlocks;
     let size = 2 * Array.length tx.dedup_ids in
     let ids = Array.make size (-1) and epochs = Array.make size tx.epoch in
     for i = 0 to n - 1 do
-      let id = tx.reads.(i).r_id in
+      let id = rids.(i) in
       ids.(id land (size - 1)) <- id
     done;
-    ids.(entry.r_id land (size - 1)) <- entry.r_id;
+    ids.(id land (size - 1)) <- id;
     tx.dedup_ids <- ids;
     tx.dedup_epochs <- epochs
   end;
-  tx.reads.(n) <- entry;
+  tx.read_ids.(n) <- id;
+  tx.read_versions.(n) <- version;
+  tx.read_vlocks.(n) <- vlock;
   tx.nreads <- n + 1
 
 let read_set_valid tx ~own_locks =
   let ok = ref true in
   let i = ref 0 in
   while !ok && !i < tx.nreads do
-    let e = tx.reads.(!i) in
-    let cur = Atomic.get e.r_vlock in
-    if cur <> e.r_version then
+    let cur = Atomic.get tx.read_vlocks.(!i) in
+    let version = tx.read_versions.(!i) in
+    if cur <> version then
       if
-        not (own_locks && cur = e.r_version + 1 && Hashtbl.mem tx.writes e.r_id)
+        not
+          (own_locks && cur = version + 1
+          && Hashtbl.mem tx.writes tx.read_ids.(!i))
       then ok := false;
     incr i
   done;
@@ -298,7 +378,7 @@ let rec update_read : type a. tx -> a tvar -> a =
     else begin
       (* Dedup-hit soundness: identical argument to Tl2.tx_read. *)
       if dedup_seen tx tv.id then tx.dedup_hits <- tx.dedup_hits + 1
-      else push_read tx { r_id = tv.id; r_vlock = tv.vlock; r_version = v1 };
+      else push_read tx tv.id tv.vlock v1;
       value
     end
   end
@@ -357,12 +437,17 @@ let write tv v =
       | Some entry ->
         let slot = cast_ref tv entry in
         if tx.nmarks > 0 then begin
-          if tx.nundo = Array.length tx.undo then begin
-            let bigger = Array.make (2 * tx.nundo) dummy_undo in
-            Array.blit tx.undo 0 bigger 0 tx.nundo;
-            tx.undo <- bigger
+          if tx.nundo = Array.length tx.undo_slots then begin
+            let cap = 2 * tx.nundo in
+            let slots = Array.make cap undo_unset in
+            let vals = Array.make cap undo_unset in
+            Array.blit tx.undo_slots 0 slots 0 tx.nundo;
+            Array.blit tx.undo_vals 0 vals 0 tx.nundo;
+            tx.undo_slots <- slots;
+            tx.undo_vals <- vals
           end;
-          tx.undo.(tx.nundo) <- U { slot; saved = !slot };
+          tx.undo_slots.(tx.nundo) <- undo_capture_slot slot;
+          tx.undo_vals.(tx.nundo) <- undo_capture_val slot;
           tx.nundo <- tx.nundo + 1
         end;
         slot := v
@@ -459,15 +544,18 @@ let reset_tx tx mode =
   tx.extensions <- 0;
   tx.nmarks <- 0;
   tx.nwlog <- 0;
-  Array.fill tx.undo 0 tx.nundo dummy_undo;
+  Array.fill tx.undo_slots 0 tx.nundo undo_unset;
+  Array.fill tx.undo_vals 0 tx.nundo undo_unset;
   tx.nundo <- 0;
   tx.ncheckpoints <- 0;
   tx.resume_marks <- 0;
   tx.resume_acc <- 0;
   (* Same shrink guard as Tl2.reset_tx (64-entry floor, 2^16 ceiling),
      dedup cache shrinking symmetrically. *)
-  if Array.length tx.reads > 1 lsl 16 then begin
-    tx.reads <- Array.make initial_reads dummy_read;
+  if Array.length tx.read_ids > 1 lsl 16 then begin
+    tx.read_ids <- Array.make initial_reads (-1);
+    tx.read_versions <- Array.make initial_reads 0;
+    tx.read_vlocks <- Array.make initial_reads dummy_vlock;
     tx.dedup_ids <- Array.make initial_dedup (-1);
     tx.dedup_epochs <- Array.make initial_dedup 0
   end
@@ -513,8 +601,8 @@ let try_partial_rollback tx =
     let p = ref 0 in
     (try
        while !p < tx.nreads do
-         let e = tx.reads.(!p) in
-         if Atomic.get e.r_vlock <> e.r_version then raise Exit;
+         if Atomic.get tx.read_vlocks.(!p) <> tx.read_versions.(!p) then
+           raise Exit;
          incr p
        done
      with Exit -> ());
@@ -535,8 +623,9 @@ let try_partial_rollback tx =
       done;
       tx.nwlog <- tx.mark_wlog.(mark);
       for j = tx.nundo - 1 downto tx.mark_undo.(mark) do
-        (match tx.undo.(j) with U u -> u.slot := u.saved);
-        tx.undo.(j) <- dummy_undo
+        undo_restore tx.undo_slots.(j) tx.undo_vals.(j);
+        tx.undo_slots.(j) <- undo_unset;
+        tx.undo_vals.(j) <- undo_unset
       done;
       tx.nundo <- tx.mark_undo.(mark);
       let bloom = ref 0 in
@@ -546,7 +635,7 @@ let try_partial_rollback tx =
       tx.wbloom <- !bloom;
       tx.epoch <- tx.epoch + 1;
       for i = 0 to tx.nreads - 1 do
-        let id = tx.reads.(i).r_id in
+        let id = tx.read_ids.(i) in
         tx.dedup_ids.(id land (Array.length tx.dedup_ids - 1)) <- id;
         tx.dedup_epochs.(id land (Array.length tx.dedup_ids - 1)) <- tx.epoch
       done;
@@ -567,10 +656,7 @@ let atomic_in_mode mode f =
     let tx =
       match state.spare with
       | Some tx -> tx
-      | None ->
-        let tx = fresh_tx () in
-        state.spare <- Some tx;
-        tx
+      | None -> acquire_tx state
     in
     let rec attempt ~fresh () =
       if fresh then begin

@@ -59,10 +59,23 @@ let global_stats = Stm_stats.create ()
 let tvar_ids = Tvar_id.create ()
 let make v = { id = Tvar_id.fresh tvar_ids; content = v }
 
-(* A logged read: the tvar and the value observed. Existential like
-   {!Tl2.wentry}; the payload never leaves the pair (validation is a
-   physical-equality check inside the match). *)
-type rentry = R : { tv : 'a tvar; seen : 'a } -> rentry
+(* The read log is two parallel [Obj.t] arrays (structure-of-arrays) —
+   the tvar and the value observed — instead of an array of existential
+   {tv; seen} records: a push writes two slots and allocates nothing,
+   and the GC marks two flat arrays per log instead of one record per
+   logged read. The coercions carry the same justification the
+   existential did: tvar and value are captured together from the same
+   ['a] and only ever re-paired at the same index, and validation is a
+   physical-equality check that never inspects the payload.
+   [read_unset] is an immediate, so the arrays are never
+   float-specialized and cleared slots pin nothing. *)
+let read_unset : Obj.t = Obj.repr 0
+
+let read_capture_tv : 'a tvar -> Obj.t = fun tv -> Obj.repr tv
+let read_capture_val : 'a -> Obj.t = fun v -> Obj.repr v
+
+let read_still_current (tv : Obj.t) (seen : Obj.t) =
+  (Obj.obj tv : Obj.t tvar).content == seen
 
 (* A buffered write. The payload type is recovered in [cast_ref],
    justified by the uniqueness of tvar ids: equal ids imply physical
@@ -75,15 +88,15 @@ let cast_ref : type a. a tvar -> wentry -> a ref =
   assert (w.tv.id = tv.id);
   (Obj.magic w.value : a ref)
 
-let dummy_read = R { tv = { id = -1; content = 0 }; seen = 0 }
-
 type tx = {
   mutable rv : int; (* sequence-lock value this snapshot is valid at *)
-  mutable reads : rentry array;
+  mutable read_tvs : Obj.t array; (* parallel with read_seen *)
+  mutable read_seen : Obj.t array;
   mutable nreads : int;
   writes : (int, wentry) Hashtbl.t;
   mutable wbloom : int; (* word-sized bloom over buffered tvar ids *)
-  backoff : Backoff.t;
+  (* Mutable so a recycled descriptor can be reseeded per domain. *)
+  mutable backoff : Backoff.t;
   mutable validation_steps : int;
   mutable bloom_skips : int;
   mutable extensions : int; (* value revalidations that advanced rv *)
@@ -94,7 +107,8 @@ let initial_reads = 64
 let fresh_tx () =
   {
     rv = 0;
-    reads = Array.make initial_reads dummy_read;
+    read_tvs = Array.make initial_reads read_unset;
+    read_seen = Array.make initial_reads read_unset;
     nreads = 0;
     writes = Hashtbl.create 64;
     wbloom = 0;
@@ -119,6 +133,61 @@ let current_key : domain_state Domain.DLS.key =
   Domain.DLS.new_key (fun () -> { active = None; spare = None; ro_rv = -1 })
 
 let current () = Domain.DLS.get current_key
+
+(* Descriptor free pool; same design as Tl2's (scrub-on-release,
+   at-exit donation, pool pop or fresh allocation on a domain's first
+   transaction, backoff reseed on adoption). *)
+let pool_lock = Mutex.create ()
+let pool : tx list ref = ref []
+
+let scrub_tx tx =
+  Hashtbl.reset tx.writes;
+  Array.fill tx.read_tvs 0 (Array.length tx.read_tvs) read_unset;
+  Array.fill tx.read_seen 0 (Array.length tx.read_seen) read_unset;
+  tx.nreads <- 0;
+  tx.wbloom <- 0
+
+let release_spare state =
+  match state.spare with
+  | None -> ()
+  | Some tx ->
+    state.spare <- None;
+    scrub_tx tx;
+    if !Stm_intf.descriptor_pooling_enabled then begin
+      Mutex.lock pool_lock;
+      pool := tx :: !pool;
+      Mutex.unlock pool_lock
+    end
+
+let acquire_tx state =
+  let tx =
+    if !Stm_intf.descriptor_pooling_enabled then begin
+      Mutex.lock pool_lock;
+      let popped =
+        match !pool with
+        | tx :: rest ->
+          pool := rest;
+          Some tx
+        | [] -> None
+      in
+      Mutex.unlock pool_lock;
+      match popped with
+      | Some tx ->
+        Stm_stats.record_pool_hit global_stats;
+        tx.backoff <- Backoff.for_domain ();
+        tx
+      | None ->
+        Stm_stats.record_pool_miss global_stats;
+        fresh_tx ()
+    end
+    else begin
+      Stm_stats.record_pool_miss global_stats;
+      fresh_tx ()
+    end
+  in
+  state.spare <- Some tx;
+  Domain.at_exit (fun () -> release_spare state);
+  tx
 
 let in_transaction () =
   let state = current () in
@@ -162,8 +231,8 @@ let rec validate tx =
     let ok = ref true in
     let i = ref 0 in
     while !ok && !i < tx.nreads do
-      (match tx.reads.(!i) with
-      | R r -> if not (r.tv.content == r.seen) then ok := false);
+      if not (read_still_current tx.read_tvs.(!i) tx.read_seen.(!i)) then
+        ok := false;
       incr i
     done;
     tx.validation_steps <- tx.validation_steps + !i;
@@ -172,14 +241,19 @@ let rec validate tx =
     else time
   end
 
-let push_read tx entry =
+let push_read tx tv_r seen_r =
   let n = tx.nreads in
-  if n = Array.length tx.reads then begin
-    let bigger = Array.make (2 * n) dummy_read in
-    Array.blit tx.reads 0 bigger 0 n;
-    tx.reads <- bigger
+  if n = Array.length tx.read_tvs then begin
+    let cap = 2 * n in
+    let tvs = Array.make cap read_unset in
+    let seen = Array.make cap read_unset in
+    Array.blit tx.read_tvs 0 tvs 0 n;
+    Array.blit tx.read_seen 0 seen 0 n;
+    tx.read_tvs <- tvs;
+    tx.read_seen <- seen
   end;
-  tx.reads.(n) <- entry;
+  tx.read_tvs.(n) <- tv_r;
+  tx.read_seen.(n) <- seen_r;
   tx.nreads <- n + 1
 
 (* The NOrec read protocol: read the content, and as long as the
@@ -195,7 +269,7 @@ let tx_read : type a. tx -> a tvar -> a =
     tx.extensions <- tx.extensions + 1;
     v := tv.content
   done;
-  push_read tx (R { tv; seen = !v });
+  push_read tx (read_capture_tv tv) (read_capture_val !v);
   !v
 
 (* Raised by a zero-log read when the snapshot is stale; [atomic_ro]
@@ -271,7 +345,9 @@ let flush_tx_stats tx =
 
 let reset_tx tx =
   tx.rv <- wait_even ();
-  Array.fill tx.reads 0 tx.nreads dummy_read; (* drop value references *)
+  (* Drop value references so the descriptor pins nothing dead. *)
+  Array.fill tx.read_tvs 0 tx.nreads read_unset;
+  Array.fill tx.read_seen 0 tx.nreads read_unset;
   tx.nreads <- 0;
   Hashtbl.reset tx.writes;
   tx.wbloom <- 0;
@@ -280,8 +356,10 @@ let reset_tx tx =
   tx.extensions <- 0;
   (* Shrink a read log that ballooned in a previous long transaction so
      per-op memory stays bounded. *)
-  if Array.length tx.reads > 1 lsl 16 then
-    tx.reads <- Array.make initial_reads dummy_read
+  if Array.length tx.read_tvs > 1 lsl 16 then begin
+    tx.read_tvs <- Array.make initial_reads read_unset;
+    tx.read_seen <- Array.make initial_reads read_unset
+  end
 
 (* No partial abort: a value-based read log has no per-entry version,
    so a prefix cannot be revalidated against a monotonic read version
@@ -300,10 +378,7 @@ let atomic f =
       let tx =
         match state.spare with
         | Some tx -> tx
-        | None ->
-          let tx = fresh_tx () in
-          state.spare <- Some tx;
-          tx
+        | None -> acquire_tx state
       in
       let rec attempt () =
         reset_tx tx;

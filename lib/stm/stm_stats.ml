@@ -18,6 +18,8 @@ type snapshot = {
   resume_failures : int;
   epoch_decisions : int;
   substrate_switches : int;
+  descriptor_pool_hits : int;
+  descriptor_pool_misses : int;
 }
 
 (* Per-domain shard: plain mutable fields, allocated cache-line padded
@@ -44,6 +46,8 @@ type shard = {
   mutable s_resume_failures : int;
   mutable s_epoch_decisions : int;
   mutable s_substrate_switches : int;
+  mutable s_descriptor_pool_hits : int;
+  mutable s_descriptor_pool_misses : int;
 }
 
 type t = {
@@ -75,6 +79,8 @@ let fresh_shard () =
       s_resume_failures = 0;
       s_epoch_decisions = 0;
       s_substrate_switches = 0;
+      s_descriptor_pool_hits = 0;
+      s_descriptor_pool_misses = 0;
     }
 
 (* First record_* call on a domain claims a shard: recycled from the
@@ -194,6 +200,19 @@ let record_substrate_switch t =
   let s = shard t in
   s.s_substrate_switches <- s.s_substrate_switches + 1
 
+(* Descriptor-pool accounting: a hit is a domain's first transaction
+   adopting a recycled descriptor (with its learned log capacities);
+   a miss is a fresh allocation because the pool was empty or pooling
+   was disabled. At most one of these per (domain, substrate) pair per
+   domain lifetime — steady state records neither. *)
+let record_pool_hit t =
+  let s = shard t in
+  s.s_descriptor_pool_hits <- s.s_descriptor_pool_hits + 1
+
+let record_pool_miss t =
+  let s = shard t in
+  s.s_descriptor_pool_misses <- s.s_descriptor_pool_misses + 1
+
 let zero : snapshot =
   {
     commits = 0;
@@ -215,6 +234,8 @@ let zero : snapshot =
     resume_failures = 0;
     epoch_decisions = 0;
     substrate_switches = 0;
+    descriptor_pool_hits = 0;
+    descriptor_pool_misses = 0;
   }
 
 let add_shard (acc : snapshot) (s : shard) : snapshot =
@@ -239,6 +260,10 @@ let add_shard (acc : snapshot) (s : shard) : snapshot =
     resume_failures = acc.resume_failures + s.s_resume_failures;
     epoch_decisions = acc.epoch_decisions + s.s_epoch_decisions;
     substrate_switches = acc.substrate_switches + s.s_substrate_switches;
+    descriptor_pool_hits =
+      acc.descriptor_pool_hits + s.s_descriptor_pool_hits;
+    descriptor_pool_misses =
+      acc.descriptor_pool_misses + s.s_descriptor_pool_misses;
   }
 
 (* Plain reads of another domain's shard fields are racy but
@@ -273,7 +298,9 @@ let reset t =
       s.s_reads_salvaged <- 0;
       s.s_resume_failures <- 0;
       s.s_epoch_decisions <- 0;
-      s.s_substrate_switches <- 0)
+      s.s_substrate_switches <- 0;
+      s.s_descriptor_pool_hits <- 0;
+      s.s_descriptor_pool_misses <- 0)
     t.shards;
   Mutex.unlock t.registry_lock
 
@@ -299,6 +326,9 @@ let add (a : snapshot) (b : snapshot) : snapshot =
     resume_failures = a.resume_failures + b.resume_failures;
     epoch_decisions = a.epoch_decisions + b.epoch_decisions;
     substrate_switches = a.substrate_switches + b.substrate_switches;
+    descriptor_pool_hits = a.descriptor_pool_hits + b.descriptor_pool_hits;
+    descriptor_pool_misses =
+      a.descriptor_pool_misses + b.descriptor_pool_misses;
   }
 
 let to_assoc (s : snapshot) =
@@ -322,6 +352,8 @@ let to_assoc (s : snapshot) =
     ("resume_failures", s.resume_failures);
     ("epoch_decisions", s.epoch_decisions);
     ("substrate_switches", s.substrate_switches);
+    ("descriptor_pool_hits", s.descriptor_pool_hits);
+    ("descriptor_pool_misses", s.descriptor_pool_misses);
   ]
 
 let pp ppf (s : snapshot) =
@@ -330,9 +362,10 @@ let pp ppf (s : snapshot) =
      read_set_entries=%d dedup_hits=%d bloom_skips=%d extensions=%d \
      clock_reuses=%d ro_zero_log=%d ro_revalidations=%d ro_demotions=%d \
      checkpoints=%d partial_aborts=%d reads_salvaged=%d resume_failures=%d \
-     epoch_decisions=%d substrate_switches=%d"
+     epoch_decisions=%d substrate_switches=%d pool_hits=%d pool_misses=%d"
     s.commits s.aborts s.read_only_commits s.validation_steps s.max_read_set
     s.read_set_entries s.dedup_hits s.bloom_skips s.extensions s.clock_reuses
     s.ro_zero_log_commits s.ro_inline_revalidations s.ro_demotions
     s.checkpoints s.partial_aborts s.reads_salvaged s.resume_failures
-    s.epoch_decisions s.substrate_switches
+    s.epoch_decisions s.substrate_switches s.descriptor_pool_hits
+    s.descriptor_pool_misses

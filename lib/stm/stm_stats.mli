@@ -62,6 +62,13 @@ type snapshot = {
   substrate_switches : int;
       (** epoch decisions that crowned a new champion substrate and
           paid the quiesce + tvar-migration fence *)
+  descriptor_pool_hits : int;
+      (** domains whose first transaction adopted a recycled
+          descriptor (with its learned log capacities) from the
+          substrate's free pool instead of allocating afresh *)
+  descriptor_pool_misses : int;
+      (** domains that allocated a fresh descriptor because the pool
+          was empty (cold start) or pooling was disabled *)
 }
 
 type t
@@ -114,6 +121,14 @@ val record_epoch_decision : t -> unit
 (** Account one champion switch (an epoch decision that changed the
     dispatched substrate). *)
 val record_substrate_switch : t -> unit
+
+(** Account a domain adopting a recycled transaction descriptor from
+    the substrate's free pool (at most once per domain lifetime). *)
+val record_pool_hit : t -> unit
+
+(** Account a domain allocating a fresh transaction descriptor (pool
+    empty, or pooling disabled). *)
+val record_pool_miss : t -> unit
 
 (** Read all counters into a consistent-enough snapshot. *)
 val snapshot : t -> snapshot

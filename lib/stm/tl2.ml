@@ -59,7 +59,8 @@ type 'a tvar = {
 (* A buffered write. The payload type is existentially quantified; it is
    recovered in [cast_ref], justified by the uniqueness of tvar ids:
    equal ids imply physical equality of the tvars and hence equality of
-   the hidden types. This is the only use of [Obj] in the library. *)
+   the hidden types. Every [Obj] use in this module is allowlisted
+   per-binding by lint rule R5 (see lib/analysis/lint_config.ml). *)
 type wentry =
   | W : {
       tv : 'a tvar;
@@ -74,19 +75,36 @@ let cast_ref : type a. a tvar -> wentry -> a ref =
   assert (w.tv.id = tv.id);
   (Obj.magic w.value : a ref)
 
-type read_entry = { r_id : int; r_vlock : int Atomic.t; r_version : int }
+(* The read set is three parallel arrays (structure-of-arrays) rather
+   than an array of {id; vlock; version} records: a push writes three
+   slots and allocates nothing, and the GC marks three flat arrays per
+   log instead of one record per logged read. [read_ids] and
+   [read_versions] are unboxed int arrays; [read_vlocks] holds the
+   tvars' existing atomic cells (shared pointers, never allocated per
+   entry). Unused vlock slots hold [dummy_vlock]. *)
+let dummy_vlock : int Atomic.t = Atomic.make 0
 
-(* Saved value of a buffered write that was overwritten after a
-   checkpoint: rolling back to the watermark replays these in reverse
-   to restore the write buffer's state at mark time. Existential like
-   [wentry]; no coercion needed — the payload never leaves the pair. *)
-type undo_entry = U : { slot : 'a ref; saved : 'a } -> undo_entry
+(* Undo log for buffered writes overwritten after a checkpoint: rolling
+   back to a watermark replays (slot, saved-value) pairs in reverse.
+   Stored as two parallel [Obj.t] arrays instead of an array of
+   existential records, so pushes and growth doublings allocate no
+   per-entry box and never re-allocate entry records (each slot is
+   reused in place). The coercions are justified exactly like
+   [cast_ref]: slot and value are captured together from the same ['a]
+   and only ever re-paired at the same index, so the hidden types
+   cannot mix. [undo_unset] is an immediate, so the arrays are never
+   float-specialized and a cleared slot pins no dead value. *)
+let undo_unset : Obj.t = Obj.repr 0
 
-let dummy_undo = U { slot = ref 0; saved = 0 }
+let undo_capture_slot : 'a ref -> Obj.t = fun slot -> Obj.repr slot
+let undo_capture_val : 'a ref -> Obj.t = fun slot -> Obj.repr !slot
+let undo_restore (slot : Obj.t) (v : Obj.t) = (Obj.obj slot : Obj.t ref) := v
 
 type tx = {
   mutable rv : int;
-  mutable reads : read_entry array;
+  mutable read_ids : int array;
+  mutable read_versions : int array;
+  mutable read_vlocks : int Atomic.t array;
   mutable nreads : int;
   (* Read-set dedup: direct-mapped cache over tvar ids, epoch-tagged so
      reset is O(1). A slot holds the id it last admitted; collisions
@@ -97,7 +115,9 @@ type tx = {
   mutable epoch : int;
   writes : (int, wentry) Hashtbl.t;
   mutable wbloom : int; (* word-sized bloom over buffered tvar ids *)
-  backoff : Backoff.t;
+  (* Mutable so a descriptor recycled to a new domain can be reseeded
+     with that domain's backoff stream. *)
+  mutable backoff : Backoff.t;
   mutable validation_steps : int;
   mutable dedup_hits : int;
   mutable bloom_skips : int;
@@ -113,7 +133,8 @@ type tx = {
   mutable nmarks : int;
   mutable wlog : int array; (* buffered tvar ids, insertion order *)
   mutable nwlog : int;
-  mutable undo : undo_entry array;
+  mutable undo_slots : Obj.t array; (* parallel with undo_vals *)
+  mutable undo_vals : Obj.t array;
   mutable nundo : int;
   mutable ncheckpoints : int; (* checkpoint calls this attempt (stats) *)
   mutable resume_marks : int; (* marks salvaged by the last partial abort *)
@@ -130,15 +151,15 @@ let tvar_ids = Tvar_id.create ()
 
 let make v = { id = Tvar_id.fresh tvar_ids; vlock = Atomic.make 0; content = v }
 
-let dummy_read = { r_id = -1; r_vlock = Atomic.make 0; r_version = 0 }
-
 let initial_reads = 64
 let initial_dedup = 2 * initial_reads
 
 let fresh_tx () =
   {
     rv = 0;
-    reads = Array.make initial_reads dummy_read;
+    read_ids = Array.make initial_reads (-1);
+    read_versions = Array.make initial_reads 0;
+    read_vlocks = Array.make initial_reads dummy_vlock;
     nreads = 0;
     dedup_ids = Array.make initial_dedup (-1);
     dedup_epochs = Array.make initial_dedup 0;
@@ -157,7 +178,8 @@ let fresh_tx () =
     nmarks = 0;
     wlog = Array.make 16 0;
     nwlog = 0;
-    undo = Array.make 16 dummy_undo;
+    undo_slots = Array.make 16 undo_unset;
+    undo_vals = Array.make 16 undo_unset;
     nundo = 0;
     ncheckpoints = 0;
     resume_marks = 0;
@@ -188,6 +210,82 @@ let current_key : domain_state Domain.DLS.key =
 
 let current () = Domain.DLS.get current_key
 
+(* Descriptor free pool (same shape as the [Stm_stats] shard pool): a
+   domain's first transaction adopts a scrubbed descriptor donated by
+   an exited domain — keeping the log capacities it learned — or
+   allocates fresh on a cold start. [Domain.at_exit] scrubs and donates
+   the spare, so steady-state respawning workers allocate no
+   descriptor, no log arrays and no write-set table at all. *)
+let pool_lock = Mutex.create ()
+let pool : tx list ref = ref []
+
+(* Drop every heap reference the descriptor still holds (write-set
+   table entries, undo slots, vlock pointers) so a pooled descriptor
+   never pins tvar values or atomic cells from its previous life. The
+   capacity-wide fills are fine here: release is once per domain
+   lifetime, never per transaction. *)
+let scrub_tx tx =
+  Hashtbl.reset tx.writes;
+  Array.fill tx.read_vlocks 0 (Array.length tx.read_vlocks) dummy_vlock;
+  Array.fill tx.undo_slots 0 (Array.length tx.undo_slots) undo_unset;
+  Array.fill tx.undo_vals 0 (Array.length tx.undo_vals) undo_unset;
+  tx.nreads <- 0;
+  tx.nundo <- 0;
+  tx.nwlog <- 0;
+  tx.nmarks <- 0;
+  tx.wbloom <- 0;
+  tx.ncheckpoints <- 0;
+  tx.resume_marks <- 0;
+  tx.resume_acc <- 0
+
+let release_spare state =
+  match state.spare with
+  | None -> ()
+  | Some tx ->
+    state.spare <- None;
+    scrub_tx tx;
+    if !Stm_intf.descriptor_pooling_enabled then begin
+      Mutex.lock pool_lock;
+      pool := tx :: !pool;
+      Mutex.unlock pool_lock
+    end
+
+(* First descriptor acquisition on this domain: pool pop or fresh
+   allocation. Runs at most once per domain lifetime ([spare] holds the
+   descriptor from then on), which is also the only point the at-exit
+   donation needs registering. *)
+let acquire_tx state =
+  let tx =
+    if !Stm_intf.descriptor_pooling_enabled then begin
+      Mutex.lock pool_lock;
+      let popped =
+        match !pool with
+        | tx :: rest ->
+          pool := rest;
+          Some tx
+        | [] -> None
+      in
+      Mutex.unlock pool_lock;
+      match popped with
+      | Some tx ->
+        Stm_stats.record_pool_hit global_stats;
+        (* The recycled descriptor carries the donor domain's backoff
+           stream; reseed for this domain. *)
+        tx.backoff <- Backoff.for_domain ();
+        tx
+      | None ->
+        Stm_stats.record_pool_miss global_stats;
+        fresh_tx ()
+    end
+    else begin
+      Stm_stats.record_pool_miss global_stats;
+      fresh_tx ()
+    end
+  in
+  state.spare <- Some tx;
+  Domain.at_exit (fun () -> release_spare state);
+  tx
+
 let in_transaction () =
   let state = current () in
   state.ro_rv >= 0
@@ -208,27 +306,36 @@ let dedup_seen tx id =
     false
   end
 
-let push_read tx entry =
+let push_read tx id vlock version =
   let n = tx.nreads in
-  if n = Array.length tx.reads then begin
-    let bigger = Array.make (2 * n) dummy_read in
-    Array.blit tx.reads 0 bigger 0 n;
-    tx.reads <- bigger;
+  if n = Array.length tx.read_ids then begin
+    let cap = 2 * n in
+    let rids = Array.make cap (-1) in
+    let versions = Array.make cap 0 in
+    let vlocks = Array.make cap dummy_vlock in
+    Array.blit tx.read_ids 0 rids 0 n;
+    Array.blit tx.read_versions 0 versions 0 n;
+    Array.blit tx.read_vlocks 0 vlocks 0 n;
+    tx.read_ids <- rids;
+    tx.read_versions <- versions;
+    tx.read_vlocks <- vlocks;
     (* Grow the dedup cache with the read set and re-mark the logged
        ids, so dedup stays effective on long traversals. *)
     let size = 2 * Array.length tx.dedup_ids in
     let ids = Array.make size (-1) and epochs = Array.make size tx.epoch in
     for i = 0 to n - 1 do
-      let id = tx.reads.(i).r_id in
+      let id = rids.(i) in
       ids.(id land (size - 1)) <- id
     done;
     (* The incoming entry claimed its slot in the old cache; re-claim in
        the new one so its next re-read still dedups. *)
-    ids.(entry.r_id land (size - 1)) <- entry.r_id;
+    ids.(id land (size - 1)) <- id;
     tx.dedup_ids <- ids;
     tx.dedup_epochs <- epochs
   end;
-  tx.reads.(n) <- entry;
+  tx.read_ids.(n) <- id;
+  tx.read_versions.(n) <- version;
+  tx.read_vlocks.(n) <- vlock;
   tx.nreads <- n + 1
 
 (* Seeded-bug fixture for the sanitizer (docs/SANITIZER.md): when set,
@@ -260,10 +367,13 @@ let read_set_valid tx ~own_locks =
   let ok = ref true in
   let i = ref 0 in
   while !ok && !i < tx.nreads do
-    let e = tx.reads.(!i) in
-    let cur = Atomic.get e.r_vlock in
-    if cur <> e.r_version then
-      if not (own_locks && cur = e.r_version + 1 && Hashtbl.mem tx.writes e.r_id)
+    let cur = Atomic.get tx.read_vlocks.(!i) in
+    let version = tx.read_versions.(!i) in
+    if cur <> version then
+      if
+        not
+          (own_locks && cur = version + 1
+          && Hashtbl.mem tx.writes tx.read_ids.(!i))
       then ok := false;
     incr i
   done;
@@ -300,7 +410,7 @@ let rec tx_read : type a. tx -> a tvar -> a =
          the duplicate push therefore preserves the exact conflict
          set. *)
       if dedup_seen tx tv.id then tx.dedup_hits <- tx.dedup_hits + 1
-      else push_read tx { r_id = tv.id; r_vlock = tv.vlock; r_version = v1 };
+      else push_read tx tv.id tv.vlock v1;
       value
     end
   end
@@ -363,12 +473,17 @@ let write tv v =
       (* With live checkpoints, save the overwritten buffer value so a
          rollback to an earlier watermark can restore it. *)
       if tx.nmarks > 0 then begin
-        if tx.nundo = Array.length tx.undo then begin
-          let bigger = Array.make (2 * tx.nundo) dummy_undo in
-          Array.blit tx.undo 0 bigger 0 tx.nundo;
-          tx.undo <- bigger
+        if tx.nundo = Array.length tx.undo_slots then begin
+          let cap = 2 * tx.nundo in
+          let slots = Array.make cap undo_unset in
+          let vals = Array.make cap undo_unset in
+          Array.blit tx.undo_slots 0 slots 0 tx.nundo;
+          Array.blit tx.undo_vals 0 vals 0 tx.nundo;
+          tx.undo_slots <- slots;
+          tx.undo_vals <- vals
         end;
-        tx.undo.(tx.nundo) <- U { slot; saved = !slot };
+        tx.undo_slots.(tx.nundo) <- undo_capture_slot slot;
+        tx.undo_vals.(tx.nundo) <- undo_capture_val slot;
         tx.nundo <- tx.nundo + 1
       end;
       slot := v
@@ -466,15 +581,19 @@ let reset_tx tx =
   tx.extensions <- 0;
   tx.nmarks <- 0;
   tx.nwlog <- 0;
-  Array.fill tx.undo 0 tx.nundo dummy_undo; (* drop value references *)
+  (* Drop value references so the descriptor pins nothing dead. *)
+  Array.fill tx.undo_slots 0 tx.nundo undo_unset;
+  Array.fill tx.undo_vals 0 tx.nundo undo_unset;
   tx.nundo <- 0;
   tx.ncheckpoints <- 0;
   tx.resume_marks <- 0;
   tx.resume_acc <- 0;
   (* Shrink a read set that ballooned in a previous long transaction so
      per-op memory stays bounded; the dedup cache shrinks with it. *)
-  if Array.length tx.reads > 1 lsl 16 then begin
-    tx.reads <- Array.make initial_reads dummy_read;
+  if Array.length tx.read_ids > 1 lsl 16 then begin
+    tx.read_ids <- Array.make initial_reads (-1);
+    tx.read_versions <- Array.make initial_reads 0;
+    tx.read_vlocks <- Array.make initial_reads dummy_vlock;
     tx.dedup_ids <- Array.make initial_dedup (-1);
     tx.dedup_epochs <- Array.make initial_dedup 0
   end
@@ -533,8 +652,8 @@ let try_partial_rollback tx =
         let p = ref 0 in
         (try
            while !p < tx.nreads do
-             let e = tx.reads.(!p) in
-             if Atomic.get e.r_vlock <> e.r_version then raise Exit;
+             if Atomic.get tx.read_vlocks.(!p) <> tx.read_versions.(!p) then
+               raise Exit;
              incr p
            done
          with Exit -> ());
@@ -561,8 +680,9 @@ let try_partial_rollback tx =
       done;
       tx.nwlog <- tx.mark_wlog.(mark);
       for j = tx.nundo - 1 downto tx.mark_undo.(mark) do
-        (match tx.undo.(j) with U u -> u.slot := u.saved);
-        tx.undo.(j) <- dummy_undo
+        undo_restore tx.undo_slots.(j) tx.undo_vals.(j);
+        tx.undo_slots.(j) <- undo_unset;
+        tx.undo_vals.(j) <- undo_unset
       done;
       tx.nundo <- tx.mark_undo.(mark);
       let bloom = ref 0 in
@@ -574,7 +694,7 @@ let try_partial_rollback tx =
          so its re-reads still dedup; truncated ids will re-log. *)
       tx.epoch <- tx.epoch + 1;
       for i = 0 to tx.nreads - 1 do
-        let id = tx.reads.(i).r_id in
+        let id = tx.read_ids.(i) in
         tx.dedup_ids.(id land (Array.length tx.dedup_ids - 1)) <- id;
         tx.dedup_epochs.(id land (Array.length tx.dedup_ids - 1)) <- tx.epoch
       done;
@@ -604,10 +724,7 @@ let atomic f =
     let tx =
       match state.spare with
       | Some tx -> tx
-      | None ->
-        let tx = fresh_tx () in
-        state.spare <- Some tx;
-        tx
+      | None -> acquire_tx state
     in
     let rec attempt ~fresh () =
       if fresh then begin

@@ -309,6 +309,21 @@ let test_checkpoint_resume () =
         (aborts >= 1))
     [ ("tl2", Cp_tl2.run); ("lsa", Cp_lsa.run); ("etl", Cp_etl.run) ]
 
+(* The same probe run from short-lived domains, twice: the second
+   execution's scanner adopts the descriptor the first one donated to
+   the substrate pool on exit, so identical salvage counters prove the
+   checkpoint marks and partial-abort rollback survive log recycling
+   (watermark truncation on a reused structure-of-arrays log) exactly
+   as on a fresh descriptor. *)
+let test_checkpoint_resume_on_pooled_descriptor () =
+  let run_in_domain () =
+    Domain.join (Domain.spawn (fun () -> Cp_tl2.run ~checkpointed:true ()))
+  in
+  let first = run_in_domain () in
+  let second = run_in_domain () in
+  Alcotest.(check (triple int int int))
+    "salvage counters identical on a recycled descriptor" first second
+
 (* Adaptive tournament: a forced phase change (read-only storm, then a
    write storm) on a short-epoch instance must move the championship —
    at least one switch, with NOrec holding the title during the
@@ -446,6 +461,8 @@ let () =
             test_demotion;
           Alcotest.test_case "checkpoint resume matches full restart" `Quick
             test_checkpoint_resume;
+          Alcotest.test_case "checkpoint resume on a pooled descriptor"
+            `Quick test_checkpoint_resume_on_pooled_descriptor;
           Alcotest.test_case "tournament adapts across a phase change" `Quick
             test_tournament_phase_change;
           Alcotest.test_case "tournament hysteresis never flaps" `Quick

@@ -114,11 +114,13 @@ let test_every_counter_recorded_and_reset () =
         Stats.record_partial_abort st ~reads_salvaged:4;
         Stats.record_resume_failure st;
         Stats.record_epoch_decision st;
-        Stats.record_substrate_switch st);
+        Stats.record_substrate_switch st;
+        Stats.record_pool_hit st;
+        Stats.record_pool_miss st);
     ];
   let live = Stats.to_assoc (Stats.snapshot stats) in
-  Alcotest.(check bool) "at least the 19 known counters" true
-    (List.length live >= 19);
+  Alcotest.(check bool) "at least the 21 known counters" true
+    (List.length live >= 21);
   List.iter
     (fun (k, v) ->
       if v = 0 then
