@@ -4,15 +4,13 @@
 
 open Cmdliner
 
-let known_rules = [ "R1"; "R2"; "R3"; "R4"; "R5"; "R6" ]
-
-let run paths json sarif strict_local allow_stale source_root rules =
-  (match List.filter (fun r -> not (List.mem r known_rules)) rules with
+let run paths json sarif strict_local allow_stale source_root rules timing =
+  (match Sb7_analysis.Lint_config.unknown_rule_families rules with
   | [] -> ()
   | unknown ->
     Printf.eprintf "sb7-lint: unknown rule family %s (expected %s)\n"
       (String.concat ", " unknown)
-      (String.concat ", " known_rules);
+      (String.concat ", " Sb7_analysis.Lint_config.known_rule_families);
     exit 2);
   (match List.filter (fun p -> not (Sys.file_exists p)) paths with
   | [] -> ()
@@ -36,32 +34,11 @@ let run paths json sarif strict_local allow_stale source_root rules =
           { base.r4 with r4_ro_codes = Sb7_core.Op_footprint.pure_read_codes };
       }
     in
-    match rules with
-    | [] -> base
-    | rules ->
-      let open Sb7_analysis.Lint_config in
-      {
-        base with
-        r1 =
-          (if List.mem "R1" rules then base.r1
-           else { base.r1 with r1_prefixes = []; r1_dls_prefixes = [] });
-        r2 =
-          (if List.mem "R2" rules then base.r2
-           else { base.r2 with r2_seeds = [] });
-        r3 = (if List.mem "R3" rules then base.r3 else []);
-        r4 =
-          (if List.mem "R4" rules then base.r4
-           else { base.r4 with r4_registry_units = [] });
-        r5 =
-          (if List.mem "R5" rules then base.r5
-           else { base.r5 with r5_prefixes = [] });
-        r6 =
-          (if List.mem "R6" rules then base.r6
-           else { base.r6 with r6_prefixes = [] });
-      }
+    Sb7_analysis.Lint_config.narrow base rules
   in
+  let clock = if timing then Some Unix.gettimeofday else None in
   let result =
-    Sb7_analysis.Lint_engine.run ~config ~source_root ~paths ()
+    Sb7_analysis.Lint_engine.run ~config ?clock ~source_root ~paths ()
   in
   if sarif then print_string (Sb7_analysis.Lint_engine.render_sarif result)
   else if json then print_string (Sb7_analysis.Lint_engine.render_json result)
@@ -123,9 +100,16 @@ let source_root_arg =
 
 let rules_arg =
   let doc =
-    "Comma-separated subset of rule families to run (R1,R2,R3,R4,R5,R6)."
+    "Comma-separated subset of rule families to run (R1,R2,R3,R4,R5,R6,R7)."
   in
   Arg.(value & opt (list string) [] & info [ "rules" ] ~docv:"RULES" ~doc)
+
+let timing_arg =
+  let doc =
+    "Print per-stage wall-clock times (cmt loading, each rule family, \
+     the shared escape-graph build, suppression loading)."
+  in
+  Arg.(value & flag & info [ "timing" ] ~doc)
 
 let cmd =
   let doc = "enforce STM discipline across the STMBench7 sync-free core" in
@@ -143,16 +127,20 @@ let cmd =
          transactional write or index mutation; (R5) no unsafe Obj.* \
          primitives outside the sanctioned, DESIGN.md-documented sites; \
          (R6) no closure or transaction-local mutable value stored from \
-         inside an atomic block into state that outlives it.";
+         inside an atomic block into state that outlives it; (R7) no \
+         unguarded cross-domain mutable state — every location reachable \
+         from a Domain.spawn closure or a configured domain entry point \
+         must be Atomic, tvar-managed, DLS-confined, lock-guarded or \
+         pre-spawn-frozen.";
       `P
         "Suppress a finding with a comment on the same or preceding \
          line: (* sb7-lint: allow <rule> -- reason *).";
     ]
   in
   Cmd.v
-    (Cmd.info "sb7_lint" ~version:"1.0" ~doc ~man)
+    (Cmd.info "sb7_lint" ~version:Sb7_analysis.Lint_version.version ~doc ~man)
     Term.(
       const run $ paths_arg $ json_arg $ sarif_arg $ strict_local_arg
-      $ allow_stale_arg $ source_root_arg $ rules_arg)
+      $ allow_stale_arg $ source_root_arg $ rules_arg $ timing_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -385,6 +385,119 @@ let footprint trace seeded threads length scale seed dir =
   | None, Some fixture -> footprint_seeded fixture threads length scale seed dir
   | None, None -> footprint_all threads length scale seed dir
 
+(* --- Seeded domain race (R7 static/dynamic cross-check) ------------ *)
+
+(* [domain-race]: the static half re-runs the lint engine over the
+   given .cmt tree with the Race_probe waiver stripped from the default
+   configuration and demands the R7 domain-escape finding reappear in
+   race_probe.ml; the dynamic half runs the probe disarmed (exact
+   counts required) and armed (lost updates required, with retries —
+   the race needs an actual interleaving). Static finding = real race,
+   mirroring the R3↔checker lock-rank cross-check above. *)
+
+let probe_unit = "Sb7_harness__Race_probe"
+
+let domain_race_static cmt_dir =
+  let module LC = Sb7_analysis.Lint_config in
+  let config =
+    let d = LC.default in
+    {
+      d with
+      LC.r7 =
+        {
+          d.LC.r7 with
+          LC.r7_allowed =
+            List.filter
+              (fun (u, _, _) -> u <> probe_unit)
+              d.LC.r7.LC.r7_allowed;
+        };
+    }
+  in
+  let result =
+    Sb7_analysis.Lint_engine.run ~config ~source_root:"." ~paths:[ cmt_dir ]
+      ()
+  in
+  if
+    not
+      (List.mem probe_unit result.Sb7_analysis.Lint_engine.units_checked)
+  then begin
+    Format.eprintf
+      "error: %s not among the %d unit(s) under %s — run from the dune \
+       build root (_build/default) so --cmt-dir resolves to .cmt files@."
+      probe_unit
+      (List.length result.Sb7_analysis.Lint_engine.units_checked)
+      cmt_dir;
+    exit 1
+  end;
+  let hits =
+    List.filter
+      (fun (f : Sb7_analysis.Lint_finding.t) ->
+        f.rule = "domain-escape" && f.unit_name = probe_unit)
+      result.Sb7_analysis.Lint_engine.findings
+  in
+  match hits with
+  | [] ->
+    Format.eprintf
+      "error: stripping the %s waiver produced no R7 finding — the live \
+       seeded race is no longer statically visible@."
+      probe_unit;
+    exit 1
+  | f :: _ ->
+    Format.printf "domain-race: static: %d R7 finding(s) at %s:%d with the \
+                   waiver stripped@."
+      (List.length hits) f.Sb7_analysis.Lint_finding.file
+      f.Sb7_analysis.Lint_finding.line
+
+let domain_race cmt_dir threads iters =
+  let module RP = Sb7_harness.Race_probe in
+  (match cmt_dir with
+  | Some dir -> domain_race_static dir
+  | None ->
+    Format.printf
+      "domain-race: static cross-check skipped (pass --cmt-dir from the \
+       dune build root to enable it)@.");
+  RP.Unsafe.reset ();
+  let o = RP.run ~domains:threads ~iters () in
+  if o.RP.unguarded <> o.RP.expected || o.RP.guarded <> o.RP.expected then begin
+    Format.eprintf
+      "error: disarmed probe lost updates (unguarded %d, guarded %d, \
+       expected %d): the mutex-guarded paths are broken@."
+      o.RP.unguarded o.RP.guarded o.RP.expected;
+    exit 1
+  end;
+  Format.printf "domain-race: disarmed: %d/%d increments, no loss@."
+    o.RP.unguarded o.RP.expected;
+  RP.Unsafe.arm ();
+  let attempts = 20 in
+  let rec go n =
+    if n = 0 then begin
+      RP.Unsafe.reset ();
+      Format.eprintf
+        "error: armed probe never lost an update in %d attempts — the \
+         seeded race did not bite dynamically@."
+        attempts;
+      exit 1
+    end
+    else
+      let o = RP.run ~domains:threads ~iters () in
+      if o.RP.unguarded < o.RP.expected then o else go (n - 1)
+  in
+  let o = go attempts in
+  RP.Unsafe.reset ();
+  if o.RP.guarded <> o.RP.expected then begin
+    Format.eprintf
+      "error: armed probe corrupted the mutex-guarded control counter \
+       (%d, expected %d)@."
+      o.RP.guarded o.RP.expected;
+    exit 1
+  end;
+  Format.printf
+    "domain-race: armed: lost %d of %d increments (control counter \
+     intact); the static R7 finding is a real race@."
+    (o.RP.expected - o.RP.unguarded)
+    o.RP.expected;
+  0
+
 (* --- CLI ----------------------------------------------------------- *)
 
 let scale_conv =
@@ -461,9 +574,30 @@ let footprint_cmd =
       const footprint $ trace_arg $ seeded_arg $ threads_arg $ length_arg
       $ scale_arg $ seed_arg $ dir_arg)
 
+let domain_race_cmd =
+  let doc =
+    "R7 static/dynamic cross-check: strip the race-probe lint waiver and \
+     demand the domain-escape finding reappears, then run the probe \
+     disarmed (exact counts) and armed (lost updates required)."
+  in
+  let cmt_dir_arg =
+    Arg.(value & opt (some string) None
+         & info [ "cmt-dir" ] ~docv:"DIR"
+             ~doc:"Directory of .cmt files to lint for the static half \
+                   (e.g. lib, run from the dune build root). Skipped when \
+                   absent.")
+  in
+  let iters_arg =
+    Arg.(value & opt int 200_000
+         & info [ "iters" ] ~docv:"N"
+             ~doc:"Increments per domain in each probe run.")
+  in
+  Cmd.v (Cmd.info "domain-race" ~doc)
+    Term.(const domain_race $ cmt_dir_arg $ threads_arg $ iters_arg)
+
 let cmd =
   let doc = "Opacity + lockset race sanitizer for the STMBench7 runtimes" in
   Cmd.group (Cmd.info "sb7-sanitize" ~doc)
-    [ check_cmd; seeded_cmd; footprint_cmd ]
+    [ check_cmd; seeded_cmd; footprint_cmd; domain_race_cmd ]
 
 let () = exit (Cmd.eval' cmd)

@@ -310,7 +310,7 @@ let analyze_binding config ~units ~alias_tables ~unit_name expr (v : finfo) =
 
 let unit_info config ~units ~alias_tables (u : Cmt_unit.t) =
   let bindings : (string, finfo) Hashtbl.t = Hashtbl.create 32 in
-  Rule_r4.walk_structure
+  Escape_graph.walk_structure
     ~on_module:(fun _ _ -> ())
     ~on_item:(fun item ->
       match item.str_desc with
@@ -526,7 +526,7 @@ let infer ?(config = default) (all_units : Cmt_unit.t list) =
     (fun u ->
       if relevant u.Cmt_unit.name then
         Hashtbl.replace alias_tables u.Cmt_unit.name
-          (Rule_r4.collect_aliases ~units u.Cmt_unit.structure))
+          (Escape_graph.collect_aliases ~units u.Cmt_unit.structure))
     all_units;
   let infos = Hashtbl.create 32 in
   List.iter

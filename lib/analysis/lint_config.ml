@@ -119,6 +119,31 @@ type r5 = {
           site must be justified in DESIGN.md *)
 }
 
+(** Scope of rule R7 (domain-escape): units matching [r7_prefixes] are
+    summarized into the escape graph; roots are every closure passed to
+    [Domain.spawn] plus [r7_roots] — the cross-domain entry points that
+    are only ever called through functor parameters (a runtime's
+    [atomic]/[read]/[write]), which the value-reference graph cannot
+    see. [(unit, None)] roots every binding of the unit. *)
+type r7 = {
+  r7_prefixes : string list;
+  r7_roots : (string * string option) list;
+  r7_confined_types : (string * string) list;
+      (** type key -> justification: values of these types are
+          per-domain contexts (transaction descriptors, per-worker
+          stats); accesses through them are DLS-confined even when the
+          value arrives as a parameter *)
+  r7_tvar_types : (string * string) list;
+      (** type key -> justification: the substrates' tvar records,
+          whose mutable fields are guarded by their own versioned-lock
+          commit protocol rather than a Mutex *)
+  r7_allowed : (string * string option * string) list;
+      (** (unit, binding, justification): sanctioned shared-mutable
+          sites, binding-granular like the R5 Obj list; [None] covers
+          the whole unit. Every entry must carry a written
+          justification. *)
+}
+
 type t = {
   r1 : r1;
   r2 : r2;
@@ -126,6 +151,7 @@ type t = {
   r4 : r4;
   r5 : r5;
   r6 : r6;
+  r7 : r7;
   strict_local : bool;
       (** when true, R1 also reports provably transaction-local mutable
           state (notices): useful to audit a module for full purity *)
@@ -185,6 +211,43 @@ let in_r2_universe t unit_name =
   List.exists
     (fun p -> String.starts_with ~prefix:p unit_name)
     t.r2.r2_universe_prefixes
+
+let in_r7_scope t unit_name =
+  List.exists
+    (fun p -> String.starts_with ~prefix:p unit_name)
+    t.r7.r7_prefixes
+
+(* --- Rule-family selection (--rules) --- *)
+
+let known_rule_families = [ "R1"; "R2"; "R3"; "R4"; "R5"; "R6"; "R7" ]
+
+(** Rule ids in [rules] that are not a known family, preserving order. *)
+let unknown_rule_families rules =
+  List.filter (fun r -> not (List.mem r known_rule_families)) rules
+
+(** Restrict [t] to the given families by emptying the scopes of every
+    other rule. An empty list means "run everything". *)
+let narrow t = function
+  | [] -> t
+  | rules ->
+    {
+      t with
+      r1 =
+        (if List.mem "R1" rules then t.r1
+         else { t.r1 with r1_prefixes = []; r1_dls_prefixes = [] });
+      r2 =
+        (if List.mem "R2" rules then t.r2 else { t.r2 with r2_seeds = [] });
+      r3 = (if List.mem "R3" rules then t.r3 else []);
+      r4 =
+        (if List.mem "R4" rules then t.r4
+         else { t.r4 with r4_registry_units = [] });
+      r5 =
+        (if List.mem "R5" rules then t.r5 else { t.r5 with r5_prefixes = [] });
+      r6 =
+        (if List.mem "R6" rules then t.r6 else { t.r6 with r6_prefixes = [] });
+      r7 =
+        (if List.mem "R7" rules then t.r7 else { t.r7 with r7_prefixes = [] });
+    }
 
 (** The repository configuration enforced by [dune build @lint]. *)
 let default =
@@ -346,6 +409,208 @@ let default =
             ("Stdlib.Queue.add", 0, Some 1);
             ("Stdlib.Queue.push", 0, Some 1);
             ("Stdlib.Stack.push", 0, Some 1);
+          ];
+      };
+    r7 =
+      {
+        r7_prefixes = [ "Sb7_" ];
+        (* Roots beyond the Domain.spawn closures the graph discovers
+           itself. The benchmark workers call the runtime through the
+           [R] functor parameter and the read-only dispatcher calls the
+           substrate through its [Stm] parameter — calls through
+           functor parameters have no resolvable path, so the
+           cross-domain entry points they target are rooted here
+           explicitly. Whole-unit roots cover the lock runtimes and
+           wrappers (every binding of those units runs on worker
+           domains); the substrates only need [atomic]/[atomic_ro]
+           rooted — the rest of their API is re-exported by the
+           wrapper units and reached through the value graph. *)
+        r7_roots =
+          [
+            ("Sb7_runtime__Seq_runtime", None);
+            ("Sb7_runtime__Coarse_runtime", None);
+            ("Sb7_runtime__Medium_runtime", None);
+            ("Sb7_runtime__Fine_runtime", None);
+            ("Sb7_runtime__Tl2_runtime", None);
+            ("Sb7_runtime__Lsa_runtime", None);
+            ("Sb7_runtime__Norec_runtime", None);
+            ("Sb7_runtime__Etl_runtime", None);
+            ("Sb7_runtime__Astm_runtime", None);
+            ("Sb7_runtime__Tournament_runtime", None);
+            ("Sb7_runtime__Ro_dispatch", None);
+            ("Sb7_stm__Tl2", Some "atomic");
+            ("Sb7_stm__Tl2", Some "atomic_ro");
+            ("Sb7_stm__Lsa", Some "atomic");
+            ("Sb7_stm__Lsa", Some "atomic_ro");
+            ("Sb7_stm__Norec", Some "atomic");
+            ("Sb7_stm__Norec", Some "atomic_ro");
+            ("Sb7_stm__Etl", Some "atomic");
+            ("Sb7_stm__Etl", Some "atomic_ro");
+            ("Sb7_stm__Astm", Some "atomic");
+            ("Sb7_stm__Astm", Some "atomic_ro");
+          ];
+        (* Per-domain context records: every value of these types is
+           either allocated fresh per transaction/operation or lives in
+           Domain.DLS, so a mutation reachable from a domain root is
+           still single-domain. The justification strings double as the
+           audit trail the allowlist test asserts non-empty. *)
+        r7_confined_types =
+          [
+            ( "Sb7_stm__Tl2.tx",
+              "transaction descriptor: DLS-pooled, owned by one domain \
+               for the lifetime of each transaction" );
+            ( "Sb7_stm__Lsa.tx",
+              "transaction descriptor: DLS-pooled, owned by one domain \
+               for the lifetime of each transaction" );
+            ( "Sb7_stm__Norec.tx",
+              "transaction descriptor: DLS-pooled, owned by one domain \
+               for the lifetime of each transaction" );
+            ( "Sb7_stm__Etl.tx",
+              "transaction descriptor: DLS-pooled, owned by one domain \
+               for the lifetime of each transaction" );
+            ( "Sb7_stm__Astm.txd",
+              "transaction descriptor: DLS-pooled, owned by one domain \
+               for the lifetime of each transaction" );
+            ( "Sb7_stm__Tl2.domain_state",
+              "Domain.DLS value: per-domain by construction" );
+            ( "Sb7_stm__Lsa.domain_state",
+              "Domain.DLS value: per-domain by construction" );
+            ( "Sb7_stm__Norec.domain_state",
+              "Domain.DLS value: per-domain by construction" );
+            ( "Sb7_stm__Etl.domain_state",
+              "Domain.DLS value: per-domain by construction" );
+            ( "Sb7_stm__Astm.domain_state",
+              "Domain.DLS value: per-domain by construction" );
+            ( "wentry.W",
+              "write-set entry (inline record, all substrates): owned \
+               by the enclosing transaction descriptor; .locked and \
+               .content transitions happen with the entry's tvar \
+               version-lock held" );
+            ( "Sb7_stm__Stm_stats.shard",
+              "padded per-domain statistics shard: only the owning \
+               domain writes it; readers aggregate quiescently" );
+            ( "Sb7_harness__Stats.op_stat",
+              "per-worker statistics record: each worker owns its \
+               slice; the harness merges after join" );
+            ( "Sb7_stm__Backoff.t",
+              "per-transaction backoff state threaded through the \
+               retry loop of a single domain" );
+            ( "Sb7_runtime__Fine_runtime.op_ctx",
+              "per-operation lock context from Domain.DLS: held-lock \
+               table and undo log are single-domain" );
+            ( "Sb7_runtime__Tournament_runtime.dstate",
+              "per-domain epoch counter registered in DLS: only the \
+               owning domain increments it; the decider drains via the \
+               atomic commit pool" );
+            ( "Sb7_core__Sb_random.t",
+              "splittable PRNG state: explicitly threaded one instance \
+               per worker, never shared" );
+          ];
+        (* tvar internals: mutated only under the substrate's own
+           concurrency-control protocol (version-locks at commit,
+           per-tvar read/write locks), which is exactly the machinery
+           the STM correctness argument — and the sanitizer's dynamic
+           checks — cover. *)
+        r7_tvar_types =
+          [
+            ( "Sb7_stm__Tl2.tvar",
+              "content written only at commit with the tvar's \
+               version-lock held" );
+            ( "Sb7_stm__Lsa.tvar",
+              "version-list head CAS-managed; content written under \
+               the version-lock" );
+            ( "Sb7_stm__Norec.tvar",
+              "content written only inside the commit critical \
+               section under the global sequence lock" );
+            ( "Sb7_stm__Etl.tvar",
+              "content written encounter-time with the tvar's \
+               write-lock held" );
+            ( "Sb7_runtime__Fine_runtime.tvar",
+              "content written with the per-tvar write lock held \
+               (lock_for_write precedes every write)" );
+          ];
+        r7_allowed =
+          [
+            ( "Sb7_harness__Race_probe",
+              None,
+              "live seeded race for the static/dynamic cross-check: \
+               sb7-sanitize domain-race strips this waiver, demands \
+               the R7 finding reappear, then exhibits the lost \
+               updates dynamically" );
+            ( "Sb7_runtime__Seq_runtime",
+              Some "write",
+              "single-domain baseline runtime: documented unsafe under \
+               parallelism and never selected by multi-domain runs" );
+            ( "Sb7_runtime__Coarse_runtime",
+              Some "write",
+              "tvar write path of the coarse runtime: callers hold the \
+               global rwlock in write mode, taken by [atomic]" );
+            ( "Sb7_runtime__Medium_runtime",
+              Some "write",
+              "tvar write path of the medium runtime: callers hold the \
+               locking plan's write locks acquired by [atomic]; R3 \
+               audits the pairing and the sanitizer checks locksets \
+               dynamically" );
+            ( "Sb7_runtime__Medium_runtime",
+              Some "drop_first_write_lock",
+              "seeded-bug fixture (Unsafe.dropping): armed quiescently \
+               by the sanitizer harness, racy by design when armed" );
+            ( "Sb7_runtime__Medium_runtime",
+              Some "reset",
+              "seeded-bug fixture (Unsafe.dropping): disarmed \
+               quiescently between runs" );
+            ( "Sb7_runtime__Medium_runtime",
+              Some "effective_plan",
+              "reads the seeded-bug fixture flag; exact flag value \
+               only matters while the sanitizer has armed it" );
+            ( "Sb7_runtime__Fine_runtime",
+              Some "lock_for_write",
+              "flips the Held_read cell in the per-operation ctx.held \
+               table after winning the upgrade CAS on the tvar's lock \
+               word" );
+            ( "Sb7_runtime__Tournament_runtime",
+              Some "try_decide",
+              "decider-only state (prev_snap/occupancy/policy_state): \
+               mutated only after winning the [deciding] CAS; the \
+               exclusion protocol is an atomic flag lock inference \
+               cannot see" );
+            ( "Sb7_runtime__Tournament_runtime",
+              Some "switch_to",
+              "called only from the [deciding] CAS winner during the \
+               quiesce fence; epoch baseline reset is single-writer" );
+            ( "Sb7_runtime__Tournament_runtime",
+              Some "reset_stats",
+              "reset contract: runs quiescent between runs, after \
+               workers have joined" );
+            ( "Sb7_runtime__Tournament_runtime",
+              Some "stats",
+              "reads the champion-occupancy counters quiescently after \
+               a run; staleness is harmless for reporting" );
+            ( "Sb7_stm__Tl2",
+              Some "undo_restore",
+              "restores a tvar content slot from the per-transaction \
+               undo log during rollback; the slot was captured while \
+               the entry's version-lock protocol owned it" );
+            ( "Sb7_stm__Lsa",
+              Some "undo_restore",
+              "restores a tvar content slot from the per-transaction \
+               undo log during rollback; the slot was captured while \
+               the entry's version-lock protocol owned it" );
+            ( "Sb7_stm__Tl2",
+              Some "write",
+              "updates the transaction-private redo slot (w.value ref) \
+               of a write-set entry; published to the tvar only at \
+               commit under the version-lock" );
+            ( "Sb7_stm__Lsa",
+              Some "write",
+              "updates the transaction-private redo slot (w.value ref) \
+               of a write-set entry; published to the tvar only at \
+               commit under the version-lock" );
+            ( "Sb7_stm__Norec",
+              Some "write",
+              "updates the transaction-private redo slot (w.value ref) \
+               of a write-set entry; published only inside the commit \
+               critical section" );
           ];
       };
     strict_local = false;

@@ -8,6 +8,16 @@ type severity =
   | Error  (** fails the build when unsuppressed *)
   | Notice  (** informational (e.g. [--strict-local] mode) *)
 
+(** A step of a multi-location finding (an R7 escape path, the earlier
+    acquisition an R3 lock-order violation conflicts with): a labelled
+    secondary source position, rendered as a SARIF [relatedLocation]. *)
+type related = {
+  rel_message : string;
+  rel_file : string;
+  rel_line : int;
+  rel_col : int;
+}
+
 type t = {
   rule : string;  (** short rule id, as used by suppression comments *)
   file : string;  (** source path as recorded in the .cmt *)
@@ -16,9 +26,19 @@ type t = {
   unit_name : string;  (** compilation unit the finding belongs to *)
   message : string;
   severity : severity;
+  related : related list;  (** secondary locations, in step order *)
 }
 
-let make ?(severity = Error) ~rule ~loc ~unit_name message =
+let related_of_loc msg (loc : Location.t) =
+  let pos = loc.Location.loc_start in
+  {
+    rel_message = msg;
+    rel_file = pos.Lexing.pos_fname;
+    rel_line = pos.Lexing.pos_lnum;
+    rel_col = pos.Lexing.pos_cnum - pos.Lexing.pos_bol;
+  }
+
+let make ?(severity = Error) ?(related = []) ~rule ~loc ~unit_name message =
   let pos = loc.Location.loc_start in
   {
     rule;
@@ -28,11 +48,12 @@ let make ?(severity = Error) ~rule ~loc ~unit_name message =
     unit_name;
     message;
     severity;
+    related;
   }
 
 (** Finding with no meaningful source position (module-level checks). *)
 let module_level ?(severity = Error) ~rule ~file ~unit_name message =
-  { rule; file; line = 0; col = 0; unit_name; message; severity }
+  { rule; file; line = 0; col = 0; unit_name; message; severity; related = [] }
 
 let compare a b =
   match String.compare a.file b.file with
@@ -64,9 +85,23 @@ let json_escape s =
   Buffer.contents buf
 
 let to_json t =
+  let related =
+    match t.related with
+    | [] -> ""
+    | rels ->
+      Printf.sprintf {|,"related":[%s]|}
+        (String.concat ","
+           (List.map
+              (fun r ->
+                Printf.sprintf
+                  {|{"message":"%s","file":"%s","line":%d,"col":%d}|}
+                  (json_escape r.rel_message) (json_escape r.rel_file)
+                  r.rel_line r.rel_col)
+              rels))
+  in
   Printf.sprintf
-    {|{"rule":"%s","file":"%s","line":%d,"col":%d,"unit":"%s","severity":"%s","message":"%s"}|}
+    {|{"rule":"%s","file":"%s","line":%d,"col":%d,"unit":"%s","severity":"%s","message":"%s"%s}|}
     (json_escape t.rule) (json_escape t.file) t.line t.col
     (json_escape t.unit_name)
     (match t.severity with Error -> "error" | Notice -> "notice")
-    (json_escape t.message)
+    (json_escape t.message) related

@@ -38,15 +38,10 @@ let references (units : (string, unit) Hashtbl.t) (u : Cmt_unit.t) =
   iter.structure iter u.Cmt_unit.structure;
   Hashtbl.fold (fun k () acc -> k :: acc) refs []
 
-(** [reachable units ~seeds] is the set of unit names reachable from
-    [seeds] (inclusive) following references between loaded units. *)
-let reachable (units : Cmt_unit.t list) ~seeds =
-  let unit_names = Hashtbl.create 64 in
-  List.iter (fun u -> Hashtbl.replace unit_names u.Cmt_unit.name ()) units;
-  let edges = Hashtbl.create 64 in
-  List.iter
-    (fun u -> Hashtbl.replace edges u.Cmt_unit.name (references unit_names u))
-    units;
+(** [closure ~edges ~seeds] is the set of unit names reachable from
+    [seeds] (inclusive) over the precomputed [edges] table — the shared
+    engine walk collects the edges itself, one traversal per unit. *)
+let closure ~(edges : (string, string list) Hashtbl.t) ~seeds =
   let reached = Hashtbl.create 64 in
   let rec visit name =
     if not (Hashtbl.mem reached name) then begin
@@ -56,3 +51,14 @@ let reachable (units : Cmt_unit.t list) ~seeds =
   in
   List.iter visit seeds;
   reached
+
+(** [reachable units ~seeds] is the set of unit names reachable from
+    [seeds] (inclusive) following references between loaded units. *)
+let reachable (units : Cmt_unit.t list) ~seeds =
+  let unit_names = Hashtbl.create 64 in
+  List.iter (fun u -> Hashtbl.replace unit_names u.Cmt_unit.name ()) units;
+  let edges = Hashtbl.create 64 in
+  List.iter
+    (fun u -> Hashtbl.replace edges u.Cmt_unit.name (references unit_names u))
+    units;
+  closure ~edges ~seeds

@@ -130,38 +130,30 @@ let nth_positional args n =
   in
   go 0 args
 
-let check (u : Cmt_unit.t) ~strict_local =
-  let findings = ref [] in
-  let unit_name = u.Cmt_unit.name in
-  let add ?severity ~rule ~loc msg =
-    findings := Lint_finding.make ?severity ~rule ~loc ~unit_name msg :: !findings
-  in
-  (* Pass 1: register transaction-local bindings. Ident stamps are
-     unique within a compilation unit, so one flat set suffices. *)
-  let locals = Hashtbl.create 64 in
-  let register_binding vb =
-    match (vb.vb_pat.pat_desc, is_creator vb.vb_expr) with
-    | Tpat_var (id, _), true -> Hashtbl.replace locals id ()
-    | _ -> ()
-  in
-  let pass1 =
-    {
-      Tast_iterator.default_iterator with
-      value_binding =
-        (fun sub vb ->
-          register_binding vb;
-          Tast_iterator.default_iterator.value_binding sub vb);
-    }
-  in
-  pass1.structure pass1 u.Cmt_unit.structure;
+(* Register a transaction-local binding (pass 1 of the rule): binding
+   the direct result of a creator application. Ident stamps are unique
+   within a compilation unit, so one flat set per unit suffices — the
+   shared engine walk collects it once and feeds it back to
+   {!expr_hook}. *)
+let register_local locals vb =
+  match (vb.vb_pat.pat_desc, is_creator vb.vb_expr) with
+  | Tpat_var (id, _), true -> Hashtbl.replace locals id ()
+  | _ -> ()
+
+(* Pass 2, per expression: mutations, dereferences, Atomic. *)
+let expr_hook ~locals ~strict_local
+    ~(add :
+        ?severity:Lint_finding.severity ->
+        rule:string ->
+        loc:Location.t ->
+        string ->
+        unit) e =
   let is_local e =
     match target_ident e with
     | Some id -> Hashtbl.mem locals id
     | None -> false
   in
-  (* Pass 2: check mutations, dereferences and module-level state. *)
-  let check_expr e =
-    match e.exp_desc with
+  match e.exp_desc with
     | Texp_setfield (target, _, label, _) ->
       if is_local target then begin
         if strict_local then
@@ -213,11 +205,17 @@ let check (u : Cmt_unit.t) ~strict_local =
                  name)
           | _ -> ()))
     | _ -> ()
-  in
-  (* Structure-level bindings that allocate mutable state create values
-     shared by every caller of the module (or functor instance). *)
-  let check_structure_item item =
-    match item.str_desc with
+
+(* Structure-level bindings that allocate mutable state create values
+   shared by every caller of the module (or functor instance). *)
+let item_hook
+    ~(add :
+        ?severity:Lint_finding.severity ->
+        rule:string ->
+        loc:Location.t ->
+        string ->
+        unit) item =
+  match item.str_desc with
     | Tstr_value (_, vbs) ->
       List.iter
         (fun vb ->
@@ -238,17 +236,34 @@ let check (u : Cmt_unit.t) ~strict_local =
                instead")
         vbs
     | _ -> ()
+
+let check (u : Cmt_unit.t) ~strict_local =
+  let findings = ref [] in
+  let unit_name = u.Cmt_unit.name in
+  let add ?severity ~rule ~loc msg =
+    findings := Lint_finding.make ?severity ~rule ~loc ~unit_name msg :: !findings
   in
+  let locals = Hashtbl.create 64 in
+  let pass1 =
+    {
+      Tast_iterator.default_iterator with
+      value_binding =
+        (fun sub vb ->
+          register_local locals vb;
+          Tast_iterator.default_iterator.value_binding sub vb);
+    }
+  in
+  pass1.structure pass1 u.Cmt_unit.structure;
   let pass2 =
     {
       Tast_iterator.default_iterator with
       expr =
         (fun sub e ->
-          check_expr e;
+          expr_hook ~locals ~strict_local ~add e;
           Tast_iterator.default_iterator.expr sub e);
       structure_item =
         (fun sub item ->
-          check_structure_item item;
+          item_hook ~add item;
           Tast_iterator.default_iterator.structure_item sub item);
     }
   in
@@ -264,30 +279,29 @@ let check (u : Cmt_unit.t) ~strict_local =
    "just a DLS key". Every [Stdlib.Domain.DLS.*] identifier occurrence
    is a finding, [new_key] included: the key creation site is where the
    reviewer decides the state is legitimately per-domain. *)
+let dls_hook ~unit_name ~emit e =
+  match e.exp_desc with
+  | Texp_ident (p, _, _) ->
+    let name = path_name p in
+    if String.starts_with ~prefix:"Stdlib.Domain.DLS." name then
+      emit
+        (Lint_finding.make ~rule:"raw-dls" ~loc:e.exp_loc ~unit_name
+           (Printf.sprintf
+              "%s: Domain.DLS is per-domain shared state; only the \
+               allowlisted sharding modules may use it (see \
+               Lint_config.r1_dls_allowed_units)"
+              name))
+  | _ -> ()
+
 let check_dls (u : Cmt_unit.t) =
   let findings = ref [] in
-  let unit_name = u.Cmt_unit.name in
-  let check_expr e =
-    match e.exp_desc with
-    | Texp_ident (p, _, _) ->
-      let name = path_name p in
-      if String.starts_with ~prefix:"Stdlib.Domain.DLS." name then
-        findings :=
-          Lint_finding.make ~rule:"raw-dls" ~loc:e.exp_loc ~unit_name
-            (Printf.sprintf
-               "%s: Domain.DLS is per-domain shared state; only the \
-                allowlisted sharding modules may use it (see \
-                Lint_config.r1_dls_allowed_units)"
-               name)
-          :: !findings
-    | _ -> ()
-  in
+  let emit f = findings := f :: !findings in
   let pass =
     {
       Tast_iterator.default_iterator with
       expr =
         (fun sub e ->
-          check_expr e;
+          dls_hook ~unit_name:u.Cmt_unit.name ~emit e;
           Tast_iterator.default_iterator.expr sub e);
     }
   in

@@ -62,28 +62,30 @@ let banned =
 let classify name =
   List.find_opt (fun (prefix, _) -> String.starts_with ~prefix name) banned
 
+let expr_hook ~unit_name ~emit e =
+  match e.exp_desc with
+  | Texp_ident (p, _, _) -> (
+    let name = Path.name p in
+    match classify name with
+    | Some (_, reason) ->
+      emit
+        (Lint_finding.make ~rule:"irrevocable" ~loc:e.exp_loc ~unit_name
+           (Printf.sprintf
+              "%s (%s) is irrevocable but reachable from operation bodies \
+               that the STM runtimes may abort and retry"
+              name reason))
+    | None -> ())
+  | _ -> ()
+
 let check (u : Cmt_unit.t) =
   let findings = ref [] in
+  let emit f = findings := f :: !findings in
   let iter =
     {
       Tast_iterator.default_iterator with
       expr =
         (fun sub e ->
-          (match e.exp_desc with
-          | Texp_ident (p, _, _) -> (
-            let name = Path.name p in
-            match classify name with
-            | Some (_, reason) ->
-              findings :=
-                Lint_finding.make ~rule:"irrevocable" ~loc:e.exp_loc
-                  ~unit_name:u.Cmt_unit.name
-                  (Printf.sprintf
-                     "%s (%s) is irrevocable but reachable from operation \
-                      bodies that the STM runtimes may abort and retry"
-                     name reason)
-                :: !findings
-            | None -> ())
-          | _ -> ());
+          expr_hook ~unit_name:u.Cmt_unit.name ~emit e;
           Tast_iterator.default_iterator.expr sub e);
     }
   in

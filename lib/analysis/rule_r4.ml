@@ -41,144 +41,7 @@
 
 open Typedtree
 
-let rec last_component = function
-  | Path.Pident id -> Ident.name id
-  | Path.Pdot (_, s) -> s
-  | Path.Papply (p, _) -> last_component p
-  | Path.Pextra_ty (p, _) -> last_component p
-
-(* --- Per-unit value-reference graph --- *)
-
-type vinfo = {
-  mutable v_refs : (string * string) list;  (** (unit, value) edges *)
-  mutable v_writes : (string * Location.t) list;
-      (** (description, site) of direct writes in the binding body *)
-}
-
-type unit_info = {
-  bindings : (string, vinfo) Hashtbl.t;
-}
-
-(* Walk a structure, flattening nested modules and functor bodies:
-   [items] receives every structure item, [aliases] every local module
-   binding name with its module expression. The sync-free core defines
-   its operations inside [Make (R : Runtime_intf.S)], so descending
-   into functor bodies is the common case, not the exception. *)
-let rec walk_structure ~on_item ~on_module str =
-  List.iter (walk_item ~on_item ~on_module) str.str_items
-
-and walk_item ~on_item ~on_module item =
-  on_item item;
-  match item.str_desc with
-  | Tstr_module mb ->
-    (match mb.mb_id with
-    | Some id -> on_module (Ident.name id) mb.mb_expr
-    | None -> ());
-    walk_module ~on_item ~on_module mb.mb_expr
-  | Tstr_recmodule mbs ->
-    List.iter
-      (fun mb ->
-        (match mb.mb_id with
-        | Some id -> on_module (Ident.name id) mb.mb_expr
-        | None -> ());
-        walk_module ~on_item ~on_module mb.mb_expr)
-      mbs
-  | _ -> ()
-
-and walk_module ~on_item ~on_module m =
-  match m.mod_desc with
-  | Tmod_structure str -> walk_structure ~on_item ~on_module str
-  | Tmod_functor (_, body) -> walk_module ~on_item ~on_module body
-  | Tmod_constraint (m, _, _, _) -> walk_module ~on_item ~on_module m
-  | _ -> ()
-
-(* [module X = Unit] or [module X = Unit.Make (R)] — the unit behind a
-   local module alias, if it is one of the loaded units. *)
-let rec alias_target ~units m =
-  match m.mod_desc with
-  | Tmod_ident (p, _) -> Cmt_unit.resolve_ref ~units p
-  | Tmod_apply (f, _, _) -> alias_target ~units f
-  | Tmod_constraint (m, _, _, _) -> alias_target ~units m
-  | _ -> None
-
-let collect_aliases ~units structure =
-  let aliases = Hashtbl.create 8 in
-  walk_structure
-    ~on_item:(fun _ -> ())
-    ~on_module:(fun name m ->
-      match alias_target ~units m with
-      | Some target -> Hashtbl.replace aliases name target
-      | None -> ())
-    structure;
-  aliases
-
-(* References and writes in one binding body. [Pident] references stay
-   within the unit (parameters and let-locals simply fail the binding
-   lookup later); alias-qualified and wrapper-qualified references
-   become cross-unit edges. *)
-let analyze_binding (config : Lint_config.r4) ~units ~aliases ~unit_name expr
-    (v : vinfo) =
-  let note_path p loc =
-    let name = Path.name p in
-    if List.mem name config.r4_write_idents then
-      v.v_writes <- (name, loc) :: v.v_writes
-    else
-      match Cmt_unit.resolve_ref ~units p with
-      | Some target -> v.v_refs <- (target, last_component p) :: v.v_refs
-      | None -> (
-        match p with
-        | Path.Pdot (Path.Pident m, field) -> (
-          match Hashtbl.find_opt aliases (Ident.name m) with
-          | Some target -> v.v_refs <- (target, field) :: v.v_refs
-          | None -> ())
-        | Path.Pident id -> v.v_refs <- (unit_name, Ident.name id) :: v.v_refs
-        | _ -> ())
-  in
-  let iter =
-    {
-      Tast_iterator.default_iterator with
-      expr =
-        (fun sub e ->
-          (match e.exp_desc with
-          | Texp_ident (p, _, _) -> note_path p e.exp_loc
-          | Texp_field (_, _, lbl)
-            when List.mem lbl.Types.lbl_name config.r4_write_fields ->
-            v.v_writes <-
-              ("index mutation ." ^ lbl.Types.lbl_name, e.exp_loc) :: v.v_writes
-          | _ -> ());
-          Tast_iterator.default_iterator.expr sub e);
-    }
-  in
-  iter.expr iter expr
-
-let unit_info (config : Lint_config.r4) ~units (u : Cmt_unit.t) =
-  let aliases = collect_aliases ~units u.Cmt_unit.structure in
-  let bindings = Hashtbl.create 32 in
-  walk_structure
-    ~on_module:(fun _ _ -> ())
-    ~on_item:(fun item ->
-      match item.str_desc with
-      | Tstr_value (_, vbs) ->
-        List.iter
-          (fun vb ->
-            match vb.vb_pat.pat_desc with
-            | Tpat_var (id, _) ->
-              let name = Ident.name id in
-              let v =
-                match Hashtbl.find_opt bindings name with
-                | Some v -> v (* same name in sibling scope: merge *)
-                | None ->
-                  let v = { v_refs = []; v_writes = [] } in
-                  Hashtbl.add bindings name v;
-                  v
-              in
-              analyze_binding config ~units ~aliases
-                ~unit_name:u.Cmt_unit.name vb.vb_expr v
-            | _ -> ())
-          vbs
-      | _ -> ())
-    u.Cmt_unit.structure;
-  { bindings }
+let last_component = Escape_graph.last_component
 
 (* --- Registry extraction --- *)
 
@@ -210,7 +73,7 @@ let unwrap_option_arg e =
 (* Every profiled-builder registration in a registry unit, with
    whether a (non-[None]) [~writes] argument was passed. *)
 let registered_ops (config : Lint_config.r4) ~units (u : Cmt_unit.t) =
-  let aliases = collect_aliases ~units u.Cmt_unit.structure in
+  let aliases = Escape_graph.collect_aliases ~units u.Cmt_unit.structure in
   let ops = ref [] in
   let handle_apply fn args loc =
     match fn.exp_desc with
@@ -289,26 +152,27 @@ let registered_ops (config : Lint_config.r4) ~units (u : Cmt_unit.t) =
   iter.structure iter u.Cmt_unit.structure;
   List.rev !ops
 
-(* --- Reachability --- *)
+(* --- Reachability over the shared escape-graph summaries --- *)
 
-let find_write infos (start_unit, start_value) =
+let find_write (summaries : (string, Escape_graph.summary) Hashtbl.t)
+    (start_unit, start_value) =
   let visited = Hashtbl.create 64 in
   let rec go unit_name value =
     if Hashtbl.mem visited (unit_name, value) then None
     else begin
       Hashtbl.add visited (unit_name, value) ();
-      match Hashtbl.find_opt infos unit_name with
+      match Hashtbl.find_opt summaries unit_name with
       | None -> None
-      | Some info -> (
-        match Hashtbl.find_opt info.bindings value with
+      | Some s -> (
+        match Hashtbl.find_opt s.Escape_graph.s_bindings value with
         | None -> None
-        | Some v -> (
-          match List.rev v.v_writes with
+        | Some b -> (
+          match List.rev b.Escape_graph.b_r4_writes with
           | (what, loc) :: _ -> Some (unit_name, value, what, loc)
           | [] ->
             List.find_map
               (fun (u', v') -> go u' v')
-              (List.rev v.v_refs)))
+              (List.rev b.Escape_graph.b_refs)))
     end
   in
   go start_unit start_value
@@ -322,20 +186,14 @@ let pos_of loc =
   let p = loc.Location.loc_start in
   (p.Lexing.pos_fname, p.Lexing.pos_lnum)
 
-let check (config : Lint_config.r4) (all_units : Cmt_unit.t list) =
+(* [summaries] is the engine's shared escape graph (built once, used by
+   both this rule and R7); it covers at least every unit in the R4
+   universe. *)
+let check (config : Lint_config.r4) ~units
+    ~(summaries : (string, Escape_graph.summary) Hashtbl.t)
+    (all_units : Cmt_unit.t list) =
   if config.r4_registry_units = [] then []
   else begin
-    let units = Hashtbl.create 64 in
-    List.iter
-      (fun u -> Hashtbl.replace units u.Cmt_unit.name ())
-      all_units;
-    let infos = Hashtbl.create 32 in
-    List.iter
-      (fun u ->
-        if in_universe config u.Cmt_unit.name then
-          Hashtbl.replace infos u.Cmt_unit.name
-            (unit_info config ~units u))
-      all_units;
     (* Which registrations are read-only claims to verify: the codes
        the generated footprint table infers as pure reads when
        configured, the no-~writes declaration heuristic otherwise. *)
@@ -361,7 +219,7 @@ let check (config : Lint_config.r4) (all_units : Cmt_unit.t list) =
               match op.op_run with
               | None -> ()
               | Some target when claimed_ro op -> (
-                match find_write infos target with
+                match find_write summaries target with
                 | None -> ()
                 | Some (w_unit, w_value, what, w_loc) ->
                   let file, line = pos_of w_loc in

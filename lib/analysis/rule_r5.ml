@@ -18,34 +18,36 @@
 
 open Typedtree
 
-let check (u : Cmt_unit.t) ~allowed_bindings =
-  let findings = ref [] in
-  let unit_name = u.Cmt_unit.name in
-  (* Name of the enclosing top-level value binding, maintained by the
-     structure_item iterator below. *)
-  let current = ref None in
+(* Per-expression hook for the shared engine walk: [current] is the
+   name of the enclosing top-level value binding, maintained by the
+   caller's structure_item handling. *)
+let expr_hook ~current ~allowed_bindings ~unit_name ~emit e =
   let sanctioned () =
     match !current with
     | Some b -> List.mem b allowed_bindings
     | None -> false
   in
-  let check_expr e =
-    match e.exp_desc with
-    | Texp_ident (p, _, _) ->
-      let name = Path.name p in
-      if String.starts_with ~prefix:"Stdlib.Obj." name && not (sanctioned ())
-      then
-        findings :=
-          Lint_finding.make ~rule:"obj-use" ~loc:e.exp_loc ~unit_name
-            (Printf.sprintf
-               "%s: unsafe Obj primitives are forbidden outside the \
-                sanctioned sites (Lint_config.r5_allowed, justified in \
-                DESIGN.md); they can alias or retype shared state behind \
-                every checker's back"
-               name)
-          :: !findings
-    | _ -> ()
-  in
+  match e.exp_desc with
+  | Texp_ident (p, _, _) ->
+    let name = Path.name p in
+    if String.starts_with ~prefix:"Stdlib.Obj." name && not (sanctioned ())
+    then
+      emit
+        (Lint_finding.make ~rule:"obj-use" ~loc:e.exp_loc ~unit_name
+           (Printf.sprintf
+              "%s: unsafe Obj primitives are forbidden outside the \
+               sanctioned sites (Lint_config.r5_allowed, justified in \
+               DESIGN.md); they can alias or retype shared state behind \
+               every checker's back"
+              name))
+  | _ -> ()
+
+let check (u : Cmt_unit.t) ~allowed_bindings =
+  let findings = ref [] in
+  let unit_name = u.Cmt_unit.name in
+  let emit f = findings := f :: !findings in
+  let current = ref None in
+  let check_expr e = expr_hook ~current ~allowed_bindings ~unit_name ~emit e in
   let pass =
     {
       Tast_iterator.default_iterator with

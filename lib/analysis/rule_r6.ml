@@ -115,15 +115,8 @@ let rec peel_function e =
     (param :: (pat_bound_idents c_lhs @ params), body)
   | _ -> ([], e)
 
-let check (r6 : Lint_config.r6) (u : Cmt_unit.t) =
-  let findings = ref [] in
-  let unit_name = u.Cmt_unit.name in
-  let add ~loc msg =
-    findings :=
-      Lint_finding.make ~rule:"tvar-escape" ~loc ~unit_name msg :: !findings
-  in
-  (* One sink application inside an atomic scope. *)
-  let check_sink scope ~sink_name ~target ~value =
+(* One sink application inside an atomic scope. *)
+let check_sink ~add scope ~sink_name ~target ~value =
     let target_is_txn_local =
       match target with
       | Some { exp_desc = Texp_ident (Path.Pident id, _, _); _ } ->
@@ -163,56 +156,68 @@ let check (r6 : Lint_config.r6) (u : Cmt_unit.t) =
                 aborted effects into committed state"
                (Ident.name id) sink_name)
         | _ -> ())
-  in
-  (* Walk one atomic body looking for sink applications, nested lambdas
-     included (they may run — or be stored — during the attempt). *)
-  let scan_atomic_body scope body =
-    let it =
-      {
-        Tast_iterator.default_iterator with
-        expr =
-          (fun sub e ->
-            (match e.exp_desc with
-            | Texp_apply ({ exp_desc = Texp_ident (p, _, _); _ }, args) -> (
-              let name = path_name p in
-              match
-                List.find_opt (fun (s, _, _) -> s = name) r6.Lint_config.r6_sinks
-              with
-              | None -> ()
-              | Some (_, value_arg, target_arg) -> (
-                let target =
-                  Option.bind target_arg (Rule_r1.nth_positional args)
-                in
-                match Rule_r1.nth_positional args value_arg with
-                | Some value -> check_sink scope ~sink_name:name ~target ~value
-                | None -> ()))
-            | _ -> ());
-            Tast_iterator.default_iterator.expr sub e);
-      }
-    in
-    it.expr it body
-  in
-  let check_expr e =
-    match e.exp_desc with
-    | Texp_apply ({ exp_desc = Texp_ident (p, _, _); _ }, args)
-      when List.mem (path_name p) r6.Lint_config.r6_atomic_idents ->
-      List.iter
-        (fun (_, arg) ->
-          match arg with
-          | Some ({ exp_desc = Texp_function _; _ } as fn) ->
-            let params, body = peel_function fn in
-            let scope = collect_scope params body in
-            scan_atomic_body scope body
-          | _ -> ())
-        args
-    | _ -> ()
-  in
+
+(* Walk one atomic body looking for sink applications, nested lambdas
+   included (they may run — or be stored — during the attempt). *)
+let scan_atomic_body (r6 : Lint_config.r6) ~add scope body =
   let it =
     {
       Tast_iterator.default_iterator with
       expr =
         (fun sub e ->
-          check_expr e;
+          (match e.exp_desc with
+          | Texp_apply ({ exp_desc = Texp_ident (p, _, _); _ }, args) -> (
+            let name = path_name p in
+            match
+              List.find_opt (fun (s, _, _) -> s = name) r6.Lint_config.r6_sinks
+            with
+            | None -> ()
+            | Some (_, value_arg, target_arg) -> (
+              let target =
+                Option.bind target_arg (Rule_r1.nth_positional args)
+              in
+              match Rule_r1.nth_positional args value_arg with
+              | Some value ->
+                check_sink ~add scope ~sink_name:name ~target ~value
+              | None -> ()))
+          | _ -> ());
+          Tast_iterator.default_iterator.expr sub e);
+    }
+  in
+  it.expr it body
+
+(* Per-expression hook for the shared engine walk: fires on atomic
+   entry-point applications and scans the function literals passed to
+   them (a self-contained sub-walk — the engine's iterator still visits
+   the same subtree, which is harmless: the hook only looks at direct
+   atomic applications). *)
+let expr_hook (r6 : Lint_config.r6) ~unit_name ~emit e =
+  let add ~loc msg =
+    emit (Lint_finding.make ~rule:"tvar-escape" ~loc ~unit_name msg)
+  in
+  match e.exp_desc with
+  | Texp_apply ({ exp_desc = Texp_ident (p, _, _); _ }, args)
+    when List.mem (path_name p) r6.Lint_config.r6_atomic_idents ->
+    List.iter
+      (fun (_, arg) ->
+        match arg with
+        | Some ({ exp_desc = Texp_function _; _ } as fn) ->
+          let params, body = peel_function fn in
+          let scope = collect_scope params body in
+          scan_atomic_body r6 ~add scope body
+        | _ -> ())
+      args
+  | _ -> ()
+
+let check (r6 : Lint_config.r6) (u : Cmt_unit.t) =
+  let findings = ref [] in
+  let emit f = findings := f :: !findings in
+  let it =
+    {
+      Tast_iterator.default_iterator with
+      expr =
+        (fun sub e ->
+          expr_hook r6 ~unit_name:u.Cmt_unit.name ~emit e;
           Tast_iterator.default_iterator.expr sub e);
     }
   in

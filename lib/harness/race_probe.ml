@@ -1,0 +1,73 @@
+(** Live seeded race for the R7 static/dynamic cross-check
+    (docs/LINT.md, "R7 — domain-escape").
+
+    The armed branch of {!run} increments a captured counter from
+    several spawned domains with no guard at all — exactly the
+    "unguarded counter captured by a spawned closure" shape lint R7
+    flags statically. [sb7-sanitize domain-race] demonstrates the
+    correspondence: the static finding at the armed increment is a real
+    race (lost updates observable dynamically), mirroring the
+    R3↔checker lock-rank cross-check.
+
+    The default lint configuration waives this unit wholesale
+    (Lint_config.r7_allowed); the sanitizer re-runs the engine with
+    that waiver stripped and demands the finding come back. *)
+
+module Unsafe = struct
+  (* The flag itself is an Atomic so the probe's only racy location is
+     the counter under test; never arm outside sanitizer fixtures. *)
+  let armed = Atomic.make false
+  let arm () = Atomic.set armed true
+  let reset () = Atomic.set armed false
+end
+
+type outcome = {
+  expected : int;  (** domains × iters *)
+  unguarded : int;  (** the probe counter: < expected means lost updates *)
+  guarded : int;  (** mutex-guarded control counter: always = expected *)
+}
+
+let run ~domains ~iters () =
+  let unguarded = ref 0 in
+  let guarded = ref 0 in
+  let m = Mutex.create () in
+  (* Spawning a domain takes far longer than the increment loop, so
+     without a start barrier the domains would run back-to-back and
+     never actually contend. *)
+  let ready = Atomic.make 0 in
+  let ds =
+    List.init domains (fun _ ->
+        Domain.spawn (fun () ->
+            Atomic.incr ready;
+            while Atomic.get ready < domains do
+              Domain.cpu_relax ()
+            done;
+            if Atomic.get Unsafe.armed then begin
+              let scratch = ref 0 in
+              for _ = 1 to iters do
+                (* The live seeded race: read-modify-write of the
+                   captured ref with no synchronization; concurrent
+                   domains overwrite each other's increments. The
+                   scratch loop widens the load-to-store window so the
+                   loss is overwhelmingly likely even on a single-core
+                   host, where preemption is the only interleaving. *)
+                let v = !unguarded in
+                for _ = 1 to 50 do
+                  incr scratch
+                done;
+                unguarded := v + 1
+              done;
+              ignore (Sys.opaque_identity !scratch)
+            end
+            else
+              for _ = 1 to iters do
+                Mutex.lock m;
+                unguarded := !unguarded + 1;
+                Mutex.unlock m
+              done;
+            Mutex.lock m;
+            guarded := !guarded + iters;
+            Mutex.unlock m))
+  in
+  List.iter Domain.join ds;
+  { expected = domains * iters; unguarded = !unguarded; guarded = !guarded }

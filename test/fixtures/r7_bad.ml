@@ -1,0 +1,21 @@
+(* R7 violation fixture: three distinct domain-escape shapes.
+
+   1. a captured local counter mutated inside a spawned closure;
+   2. a mutable field read inside a spawned closure;
+   3. a mutable field written by the parent after the spawn, while the
+      child may still be reading it (publication race). *)
+
+let spawn_unguarded_counter () =
+  let counter = ref 0 in
+  let d = Domain.spawn (fun () -> incr counter) in
+  Domain.join d;
+  !counter
+
+type cell = { mutable payload : int }
+
+let publish_after_spawn () =
+  let c = { payload = 0 } in
+  let d = Domain.spawn (fun () -> c.payload) in
+  c.payload <- 42;
+  let r = Domain.join d in
+  r + c.payload

@@ -1,0 +1,13 @@
+(* R7 clean fixture: state reached through Domain.DLS is per-domain by
+   construction; mutating it from a spawned closure is confined. *)
+
+let slot = Domain.DLS.new_key (fun () -> ref 0)
+
+let bump_in_domain () =
+  let d =
+    Domain.spawn (fun () ->
+        let r = Domain.DLS.get slot in
+        r := !r + 1;
+        !r)
+  in
+  Domain.join d

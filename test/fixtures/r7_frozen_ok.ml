@@ -1,0 +1,9 @@
+(* R7 clean fixture: module-level mutable state that is initialized
+   once and never written afterwards is pre-spawn-frozen — concurrent
+   reads from spawned domains are safe. *)
+
+let table = Array.init 8 (fun i -> i * i)
+
+let sum_in_domain () =
+  let d = Domain.spawn (fun () -> table.(0) + table.(7)) in
+  Domain.join d

@@ -1,0 +1,16 @@
+(* R7 clean fixture: shared mutable state accessed only with a mutex
+   held is lock-guarded — both the explicit lock/unlock bracket and the
+   [Mutex.protect] combinator must be recognized. *)
+
+let m = Mutex.create ()
+let counter = ref 0
+
+let bump_locked () =
+  let d =
+    Domain.spawn (fun () ->
+        Mutex.lock m;
+        counter := !counter + 1;
+        Mutex.unlock m)
+  in
+  Domain.join d;
+  Mutex.protect m (fun () -> !counter)

@@ -1,0 +1,12 @@
+(* R7 suppression fixture: a real domain-escape waived by an in-source
+   suppression comment with a justification. *)
+
+let counter = ref 0
+
+let bump () =
+  let d =
+    Domain.spawn (fun () ->
+        (* sb7-lint: allow domain-escape -- fixture: deliberate benign race *)
+        counter := 1)
+  in
+  Domain.join d

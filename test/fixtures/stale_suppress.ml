@@ -7,3 +7,7 @@
 (* sb7-lint: allow raw-mut -- fixture: deliberately stale, the
    mutation it once excused is gone *)
 let pure x = x + 1
+
+(* sb7-lint: allow domain-escape -- fixture: deliberately stale, the
+   escaping spawn it once excused is gone *)
+let still_pure x = x * 2

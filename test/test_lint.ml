@@ -67,6 +67,14 @@ let fixture_config : Lint_config.t =
         r6_atomic_idents = [ "R.atomic" ];
         r6_sinks = [ ("R.write", 1, None); ("Stdlib.:=", 1, Some 0) ];
       };
+    r7 =
+      {
+        r7_prefixes = [ "Lint_fixtures__R7" ];
+        r7_roots = [];
+        r7_confined_types = [];
+        r7_tvar_types = [];
+        r7_allowed = [];
+      };
     strict_local = false;
   }
 
@@ -284,6 +292,114 @@ let test_r5_sanctioned_binding () =
          not (in_file "r5_allowed.ml" f) || f.line >= 11)
        r.Lint_engine.findings)
 
+let test_r7_fires () =
+  (* incr of the captured counter, c.payload read in the spawned
+     closure, c.payload written by the parent after the spawn. *)
+  check_count ~rule:"domain-escape" ~file:"r7_bad.ml" 3
+
+let test_r7_findings_carry_escape_path () =
+  let r = Lazy.force result in
+  let r7 =
+    List.filter
+      (fun (f : Lint_finding.t) ->
+        f.rule = "domain-escape" && in_file "r7_bad.ml" f)
+      r.Lint_engine.findings
+  in
+  Alcotest.(check bool)
+    "every r7_bad finding is anchored with related locations" true
+    (r7 <> [] && List.for_all (fun (f : Lint_finding.t) -> f.related <> []) r7);
+  Alcotest.(check bool)
+    "the post-spawn write names the racing spawn" true
+    (List.exists
+       (fun (f : Lint_finding.t) ->
+         List.exists
+           (fun (rel : Lint_finding.related) ->
+             contains ~sub:"Domain.spawn" rel.rel_message)
+           f.related)
+       r7)
+
+let test_r7_clean_modules () =
+  let r = Lazy.force result in
+  List.iter
+    (fun file ->
+      Alcotest.(check int)
+        (Printf.sprintf "no findings in %s" file)
+        0
+        (List.length (List.filter (in_file file) r.Lint_engine.findings)))
+    [ "r7_frozen_ok.ml"; "r7_dls_ok.ml"; "r7_mutex_ok.ml" ]
+
+let test_r7_suppression () =
+  let r = Lazy.force result in
+  Alcotest.(check int)
+    "no unsuppressed findings in r7_suppressed.ml" 0
+    (List.length
+       (List.filter (in_file "r7_suppressed.ml") r.Lint_engine.findings));
+  Alcotest.(check int)
+    "the violation is suppressed" 1
+    (List.length
+       (List.filter (in_file "r7_suppressed.ml") r.Lint_engine.suppressed))
+
+let test_r7_stale_suppression () =
+  let r = Lazy.force result in
+  Alcotest.(check bool)
+    "stale domain-escape suppression is reported" true
+    (List.exists
+       (fun (file, _, rule) ->
+         Filename.basename file = "stale_suppress.ml"
+         && rule = "domain-escape")
+       r.Lint_engine.stale_suppressions)
+
+let test_rules_validation () =
+  Alcotest.(check (list string))
+    "known families pass" []
+    (Lint_config.unknown_rule_families [ "R1"; "R7" ]);
+  Alcotest.(check (list string))
+    "unknown families are returned" [ "R9"; "bogus" ]
+    (Lint_config.unknown_rule_families [ "R2"; "R9"; "bogus" ]);
+  Alcotest.(check bool)
+    "R7 is a known family" true
+    (List.mem "R7" Lint_config.known_rule_families)
+
+let test_default_allowlist_justified () =
+  (* Every waiver in the shipped configuration must carry a non-empty
+     justification: the allowlist is an audit trail, not a mute
+     button. *)
+  let open Lint_config in
+  let d = default in
+  List.iter
+    (fun (u, b, why) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "r7_allowed %s/%s justified" u
+           (Option.value b ~default:"*"))
+        true
+        (String.trim why <> ""))
+    d.r7.r7_allowed;
+  List.iter
+    (fun (ty, why) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "confined type %s justified" ty)
+        true
+        (String.trim why <> ""))
+    (d.r7.r7_confined_types @ d.r7.r7_tvar_types)
+
+let test_sarif_structure () =
+  let r = Lazy.force result in
+  let sarif = Lint_engine.render_sarif r in
+  Alcotest.(check bool)
+    "SARIF declares version 2.1.0" true
+    (contains ~sub:"\"version\":\"2.1.0\"" sarif);
+  Alcotest.(check bool)
+    "tool version comes from dune-project, not a hardcoded string" true
+    (contains
+       ~sub:(Printf.sprintf "\"version\":%S" Lint_version.version)
+       sarif);
+  Alcotest.(check bool)
+    "R7 findings carry relatedLocations" true
+    (contains ~sub:"\"relatedLocations\"" sarif);
+  Alcotest.(check bool)
+    "rules carry helpUri anchors into docs/LINT.md" true
+    (contains ~sub:"docs/LINT.md#r7" sarif)
+
 let test_strict_local_notices () =
   let r = run ~strict_local:true () in
   Alcotest.(check bool)
@@ -304,6 +420,11 @@ let () =
             test_strict_local_notices;
           Alcotest.test_case "stale suppressions reported" `Quick
             test_stale_suppression_reported;
+          Alcotest.test_case "--rules family validation" `Quick
+            test_rules_validation;
+          Alcotest.test_case "SARIF structure" `Quick test_sarif_structure;
+          Alcotest.test_case "default allowlist justified" `Quick
+            test_default_allowlist_justified;
         ] );
       ( "r1-runtime-bypass",
         [
@@ -339,6 +460,16 @@ let () =
             test_r4_findings_name_the_witness;
           Alcotest.test_case "honest profiles stay clean" `Quick
             test_r4_honest_ops_clean;
+        ] );
+      ( "r7-domain-escape",
+        [
+          Alcotest.test_case "escapes fire" `Quick test_r7_fires;
+          Alcotest.test_case "findings carry the escape path" `Quick
+            test_r7_findings_carry_escape_path;
+          Alcotest.test_case "clean modules" `Quick test_r7_clean_modules;
+          Alcotest.test_case "suppression comments" `Quick test_r7_suppression;
+          Alcotest.test_case "stale suppression" `Quick
+            test_r7_stale_suppression;
         ] );
       ( "r6-tvar-escape",
         [
